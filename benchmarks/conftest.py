@@ -1,0 +1,45 @@
+"""Benchmark helpers.
+
+Every bench regenerates one of the paper's tables/figures (timed with
+pytest-benchmark), asserts the embedded paper-claim checks, prints the same
+rows/series the paper reports, and writes the rendering to
+``results/<figure_id>.txt`` so the regenerated data survives the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import render_result, run_experiment
+from repro.experiments.figures import FigureResult
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Regenerate a figure under the benchmark timer and validate it."""
+
+    def _run(figure_id: str) -> FigureResult:
+        result = benchmark(run_experiment, figure_id)
+        assert result.all_checks_pass, (
+            f"{figure_id} failed paper-claim checks: {result.failed_checks()}"
+        )
+        text = render_result(
+            result, chart=result.kind in ("curves", "sf_curves")
+        )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{figure_id}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return result
+
+    return _run
+
+
+def series_at(result: FigureResult, strategy: str, x: float) -> float:
+    """A named series' value at x (exact match against the sweep grid)."""
+    index = result.x_values.index(x)
+    return result.series[strategy][index]

@@ -1,0 +1,90 @@
+"""Ablation: WAL checkpoint interval for the logged validity map.
+
+The paper (§3): "If the data structure is checkpointed periodically, it
+can be recovered by playing the latest part of the log against the last
+checkpoint after a crash." Checkpointing is the classic runtime-vs-
+recovery trade: frequent checkpoints cost snapshot writes during normal
+operation but leave little log to replay after a crash. This bench
+measures both sides on the actual WAL implementation.
+"""
+
+import pathlib
+
+from repro.recovery import WalScheme
+from repro.sim import CostClock
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+NUM_PROCEDURES = 100
+TRANSITIONS = 3_000
+INTERVALS = (0, 50, 200, 1000)  # 0 = never checkpoint
+
+
+def _run_interval(checkpoint_every: int) -> tuple[float, float, int]:
+    """Returns (runtime_ms, recovery_ms, replayed_records)."""
+    clock = CostClock()
+    scheme = WalScheme(
+        clock,
+        checkpoint_every=checkpoint_every,
+        records_per_page=200,
+        force_on_invalidate=False,  # group commit; isolates checkpoint cost
+    )
+    for i in range(NUM_PROCEDURES):
+        scheme.register(f"P{i}")
+    for i in range(TRANSITIONS):
+        name = f"P{i % NUM_PROCEDURES}"
+        if i % 2 == 0:
+            scheme.mark_valid(name)
+        else:
+            scheme.mark_invalid(name)
+    runtime = clock.elapsed_ms
+
+    before = clock.snapshot()
+    scheme.map.crash()
+    replay_len = scheme.wal.durable_length
+    scheme.map.recover(scheme._registered)
+    recovery = clock.elapsed_since(before)
+    return runtime, recovery, replay_len
+
+
+def test_checkpoint_interval_tradeoff(benchmark):
+    def measure():
+        return {interval: _run_interval(interval) for interval in INTERVALS}
+
+    table = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        f"{'interval':>9s} {'runtime ms':>11s} {'recovery ms':>12s} {'replayed':>9s}"
+    ]
+    for interval in INTERVALS:
+        runtime, recovery, replayed = table[interval]
+        label = str(interval) if interval else "never"
+        lines.append(
+            f"{label:>9s} {runtime:11.1f} {recovery:12.1f} {replayed:9d}"
+        )
+    text = (
+        f"WAL checkpoint interval trade-off "
+        f"({TRANSITIONS} transitions, {NUM_PROCEDURES} procedures):\n"
+        + "\n".join(lines)
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_checkpoint.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+    # Runtime cost rises as checkpoints get more frequent...
+    runtimes = [table[i][0] for i in INTERVALS]
+    assert runtimes[0] <= runtimes[-1] <= runtimes[2] <= runtimes[1]
+    # ...while recovery cost and replay length fall.
+    assert table[50][1] < table[0][1]
+    assert table[50][2] < table[0][2]
+    # Recovery is always *correct*: spot-check the recovered map against
+    # ground truth for the never-checkpoint run.
+    clock = CostClock()
+    scheme = WalScheme(clock, checkpoint_every=0, force_on_invalidate=True)
+    for i in range(5):
+        scheme.register(f"P{i}")
+    scheme.mark_valid("P0")
+    scheme.mark_invalid("P0")
+    scheme.mark_valid("P1")
+    scheme.crash_and_recover()
+    assert not scheme.is_valid("P0")

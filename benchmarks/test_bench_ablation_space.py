@@ -1,0 +1,62 @@
+"""Ablation: the space side of subexpression sharing (not a paper figure).
+
+The paper evaluates time only. Sharing has a second effect the analysis
+never prices: a shared α-memory is *stored once*. This bench sweeps the
+sharing factor and reports both axes for the two Update Cache variants.
+What it shows: AVM's footprint is flat (one private materialisation per
+procedure, nothing else); RVM always pays extra space for its interior
+memory nodes (the right-side α-memories that buy its maintenance speed),
+and sharing claws a sizeable part of that overhead back as SF rises — a
+space-time trade the paper's time-only analysis hides.
+"""
+
+import pathlib
+
+from repro.experiments.simcompare import SIM_SCALE_PARAMS
+from repro.workload import run_workload
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+SF_VALUES = (0.0, 0.5, 1.0)
+
+
+def test_sharing_space_time_tradeoff(benchmark):
+    params = SIM_SCALE_PARAMS.with_update_probability(0.5)
+
+    def measure():
+        table = {}
+        for sf in SF_VALUES:
+            point = params.replace(sharing_factor=sf)
+            for strategy in ("update_cache_avm", "update_cache_rvm"):
+                run = run_workload(
+                    point, strategy, num_operations=150, seed=43
+                )
+                table[(sf, strategy)] = (run.cost_per_access_ms, run.space_pages)
+        return table
+
+    table = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [f"{'SF':>5s} {'AVM ms':>9s} {'AVM pages':>10s} {'RVM ms':>9s} {'RVM pages':>10s}"]
+    for sf in SF_VALUES:
+        avm_cost, avm_pages = table[(sf, "update_cache_avm")]
+        rvm_cost, rvm_pages = table[(sf, "update_cache_rvm")]
+        lines.append(
+            f"{sf:5.1f} {avm_cost:9.1f} {avm_pages:10d} "
+            f"{rvm_cost:9.1f} {rvm_pages:10d}"
+        )
+    text = "sharing factor vs cost and cache footprint:\n" + "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_space.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+    # AVM's footprint ignores SF; RVM's shrinks monotonically with it.
+    avm_pages = [table[(sf, "update_cache_avm")][1] for sf in SF_VALUES]
+    rvm_pages = [table[(sf, "update_cache_rvm")][1] for sf in SF_VALUES]
+    assert max(avm_pages) - min(avm_pages) <= 0.02 * max(avm_pages)
+    assert rvm_pages[0] > rvm_pages[1] > rvm_pages[2]
+    # RVM's interior memories mean it always out-stores AVM here; sharing
+    # recovers a meaningful slice of that overhead.
+    assert rvm_pages[0] > avm_pages[0]
+    overhead_sf0 = rvm_pages[0] - avm_pages[0]
+    overhead_sf1 = rvm_pages[-1] - avm_pages[-1]
+    assert overhead_sf1 < 0.75 * overhead_sf0

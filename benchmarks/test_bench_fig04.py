@@ -1,0 +1,31 @@
+"""Figure 4: query cost vs update probability with the naive 2-I/O
+invalidation scheme (C_inval = 60 ms).
+
+Paper shape: Cache and Invalidate's cost is highly sensitive to C_inval —
+with the naive scheme it climbs past Always Recompute well before the
+plateau, while both Update Cache variants are unaffected by C_inval.
+"""
+
+from conftest import series_at
+
+from repro.experiments import run_experiment
+
+
+def test_fig04_high_invalidation_cost(regenerate):
+    result = regenerate("fig04")
+    free = run_experiment("fig05")
+
+    # CI pays heavily for invalidation recording; UC curves are identical
+    # to the free-invalidation figure.
+    assert series_at(result, "cache_invalidate", 0.5) > 1.3 * series_at(
+        free, "cache_invalidate", 0.5
+    )
+    for strategy in ("update_cache_avm", "update_cache_rvm", "always_recompute"):
+        assert series_at(result, strategy, 0.5) == series_at(free, strategy, 0.5)
+
+    # With costly invalidation CI is worse than even Always Recompute at
+    # moderate update probabilities — the paper's argument for keeping
+    # C_inval small.
+    assert series_at(result, "cache_invalidate", 0.5) > series_at(
+        result, "always_recompute", 0.5
+    )

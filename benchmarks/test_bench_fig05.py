@@ -1,0 +1,31 @@
+"""Figure 5: query cost vs update probability, free invalidation
+(C_inval = 0) — the paper's headline model-1 comparison.
+
+Paper shape: CI = UC at P = 0; UC clearly cheaper than CI through the
+moderate-P band (incremental maintenance beats invalidate-and-recompute,
+and CI suffers false invalidations); CI plateaus slightly above Always
+Recompute for P > ~0.6; UC's cost explodes as P -> 1.
+"""
+
+from conftest import series_at
+
+
+def test_fig05_default_costs(regenerate):
+    result = regenerate("fig05")
+
+    # Equality at P = 0 (both just read a 2-page cached value: 60 ms).
+    assert series_at(result, "cache_invalidate", 0.0) == 60.0
+    assert series_at(result, "update_cache_avm", 0.0) == 60.0
+
+    # Update Cache (AVM) wins the moderate band by a wide margin.
+    assert series_at(result, "update_cache_avm", 0.5) < 0.5 * series_at(
+        result, "cache_invalidate", 0.5
+    )
+
+    # CI plateau: within 2% of Always Recompute at P = 0.9.
+    ar = series_at(result, "always_recompute", 0.9)
+    ci = series_at(result, "cache_invalidate", 0.9)
+    assert 1.0 < ci / ar < 1.10
+
+    # UC overtakes everything as P grows.
+    assert series_at(result, "update_cache_avm", 0.9) > ci

@@ -1,0 +1,28 @@
+"""Figure 8: query cost vs update probability for single-tuple objects
+(f = 1/N, N1 = 100, N2 = 0).
+
+Paper shape: with one-tuple objects, Cache and Invalidate is essentially
+equivalent to Update Cache — invalidate-and-recompute of a single tuple
+costs about the same as incrementally updating it — except that CI's cost
+stays bounded at high update probability.
+"""
+
+from conftest import series_at
+
+
+def test_fig08_single_tuple_objects(regenerate):
+    result = regenerate("fig08")
+
+    # Essential equivalence at low-to-moderate P.
+    for p in (0.0, 0.1, 0.2, 0.3, 0.4):
+        ci = series_at(result, "cache_invalidate", p)
+        uc = series_at(result, "update_cache_avm", p)
+        assert abs(ci - uc) <= 0.35 * uc
+
+    # CI tracks AR's plateau at high P; UC keeps climbing.
+    assert series_at(result, "cache_invalidate", 0.9) <= 1.1 * series_at(
+        result, "always_recompute", 0.9
+    )
+    assert series_at(result, "update_cache_avm", 0.9) > series_at(
+        result, "cache_invalidate", 0.9
+    )

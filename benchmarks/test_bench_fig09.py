@@ -1,0 +1,34 @@
+"""Figure 9: query cost vs update probability under high locality
+(Z = 0.05: 5% of procedures receive 95% of accesses).
+
+Paper shape: locality benefits Cache and Invalidate — hot procedures are
+re-read before many invalidating updates accumulate — but does nothing for
+Update Cache, which pays maintenance regardless of who reads.
+"""
+
+from conftest import series_at
+
+from repro.experiments import run_experiment
+
+
+def test_fig09_high_locality(regenerate):
+    result = regenerate("fig09")
+    default = run_experiment("fig05")
+
+    # CI is cheaper under high locality than at the default Z.
+    for p in (0.1, 0.3, 0.5):
+        assert series_at(result, "cache_invalidate", p) < series_at(
+            default, "cache_invalidate", p
+        )
+
+    # Update Cache's cost is locality-independent.
+    for p in (0.1, 0.5, 0.9):
+        assert series_at(result, "update_cache_avm", p) == series_at(
+            default, "update_cache_avm", p
+        )
+
+    # With high locality CI is competitive with UC at low P and superior
+    # at high P.
+    assert series_at(result, "cache_invalidate", 0.9) < series_at(
+        result, "update_cache_avm", 0.9
+    )

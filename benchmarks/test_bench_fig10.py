@@ -1,0 +1,40 @@
+"""Figure 10: query cost vs update probability with a large number of
+objects (N1 = N2 = 1000).
+
+Paper shape: the strategies still meet at P = 0, but Update Cache's slope
+steepens ~10x (every update maintains ten times as many materialised
+values) and Cache and Invalidate reaches its plateau at a smaller P.
+"""
+
+from conftest import series_at
+
+from repro.experiments import run_experiment
+
+
+def test_fig10_many_objects(regenerate):
+    result = regenerate("fig10")
+    default = run_experiment("fig05")
+
+    # Equal at P = 0 regardless of object count (read one cached value).
+    assert series_at(result, "cache_invalidate", 0.0) == series_at(
+        result, "update_cache_avm", 0.0
+    )
+
+    # UC slope scales with the number of maintained objects.
+    def slope(res, strategy):
+        return series_at(res, strategy, 0.5) - series_at(res, strategy, 0.0)
+
+    assert slope(result, "update_cache_avm") > 5 * slope(
+        default, "update_cache_avm"
+    )
+
+    # CI reaches its plateau (within 10% of AR) by a smaller P than in the
+    # default figure.
+    def plateau_p(res):
+        for p in res.x_values:
+            ar = series_at(res, "always_recompute", p)
+            if series_at(res, "cache_invalidate", p) >= 0.9 * ar:
+                return p
+        return 1.0
+
+    assert plateau_p(result) <= plateau_p(default)

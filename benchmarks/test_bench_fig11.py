@@ -1,0 +1,30 @@
+"""Figure 11: Update Cache variants (AVM vs RVM) vs sharing factor, model 1
+(two-way joins).
+
+Paper shape: AVM is flat in SF; RVM's cost falls linearly with SF but the
+α-memory refresh overhead means RVM becomes comparable to AVM only as
+SF -> 1 — with two-way joins, sharing cannot buy back the memory-
+maintenance overhead.
+"""
+
+from conftest import series_at
+
+
+def test_fig11_sharing_model1(regenerate):
+    result = regenerate("fig11")
+    avm = result.series["update_cache_avm"]
+    rvm = result.series["update_cache_rvm"]
+
+    # AVM flat, RVM strictly decreasing.
+    assert max(avm) == min(avm)
+    assert all(b < a for a, b in zip(rvm, rvm[1:]))
+
+    # RVM above AVM everywhere except (at most) full sharing.
+    assert all(
+        r > a
+        for r, a, sf in zip(rvm, avm, result.x_values)
+        if sf < 0.95
+    )
+    assert series_at(result, "update_cache_rvm", 1.0) <= series_at(
+        result, "update_cache_avm", 1.0
+    )

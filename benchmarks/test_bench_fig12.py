@@ -1,0 +1,27 @@
+"""Figure 12: winner regions over (update probability, object size),
+model 1.
+
+Paper shape: three bands — Update Cache wins the low-P region, Always
+Recompute the high-P region; Cache and Invalidate's outright-win region is
+insignificant (but it is within 2x of UC near the boundary — figure 14).
+An interesting paper observation: UC's winning P-range *shrinks* as objects
+grow, because large objects are touched by almost every update.
+"""
+
+
+def test_fig12_winner_regions_model1(regenerate):
+    result = regenerate("fig12")
+    grid = result.grid
+
+    assert all(label == "update_cache" for label in grid.labels[0])
+    assert all(label == "always_recompute" for label in grid.labels[-1])
+
+    # CI's outright-win region is insignificant.
+    assert grid.fraction("cache_invalidate") <= 0.1
+
+    # UC's winning extent (in P) is monotone non-increasing with f.
+    extents = [
+        sum(1 for row in grid.labels if row[j] == "update_cache")
+        for j in range(len(grid.f_values))
+    ]
+    assert all(b <= a for a, b in zip(extents, extents[1:]))

@@ -1,0 +1,31 @@
+"""Figure 13: winner regions over (P, f) under high locality (Z = 0.05).
+
+Paper shape: Cache and Invalidate benefits from locality but Update Cache
+does not, so CI claims a real region — concentrated on small objects
+(f < ~0.002), where incrementally updating an object costs nearly as much
+as recomputing it.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig13_winner_regions_high_locality(regenerate):
+    result = regenerate("fig13")
+    grid = result.grid
+    default_grid = run_experiment("fig12").grid
+
+    # Locality grows CI's winning region from (near) nothing.
+    assert grid.count("cache_invalidate") > default_grid.count(
+        "cache_invalidate"
+    )
+
+    # CI's wins concentrate on small objects.
+    small_cols = [j for j, f in enumerate(grid.f_values) if f < 0.002]
+    ci_cells = [
+        (i, j)
+        for i, row in enumerate(grid.labels)
+        for j, label in enumerate(row)
+        if label == "cache_invalidate"
+    ]
+    assert ci_cells, "expected CI to win somewhere under high locality"
+    assert all(j in small_cols for _i, j in ci_cells)

@@ -1,0 +1,25 @@
+"""Figure 14: the region where Cache and Invalidate is within a factor of
+two of Update Cache (or better), model 1 defaults.
+
+Paper shape: CI is close to UC (a) at high update probability everywhere
+(UC degrades, CI plateaus) and (b) for small objects at low update
+probability (invalidate-and-recompute of a small object is nearly as cheap
+as incrementally updating it).
+"""
+
+
+def test_fig14_ci_closeness(regenerate):
+    result = regenerate("fig14")
+    grid = result.grid
+
+    # (a) entire high-P rows are within 2x.
+    high_rows = [i for i, p in enumerate(grid.p_values) if p >= 0.7]
+    for i in high_rows:
+        assert all(label == "ci_within" for label in grid.labels[i])
+
+    # (b) the smallest-object column is within 2x at every P.
+    assert all(row[0] == "ci_within" for row in grid.labels)
+
+    # And the region is not everything: moderate P with large objects puts
+    # CI more than 2x behind UC.
+    assert grid.count("ci_outside") > 0

@@ -1,0 +1,38 @@
+"""Figure 17: query cost vs update probability, model 2 (three-way P2
+joins), default parameters.
+
+Paper shape: 'the performance results for Model 1 and Model 2 are similar'
+(compare figure 5) — same orderings and plateau — 'the main difference is
+that the shared view maintenance algorithm (RVM) performs significantly
+better in model 2 compared to the non-shared algorithm (AVM)'.
+"""
+
+from conftest import series_at
+
+from repro.experiments import run_experiment
+
+
+def test_fig17_model2_costs(regenerate):
+    result = regenerate("fig17")
+    model1 = run_experiment("fig05")
+
+    # Same qualitative shape as figure 5.
+    assert series_at(result, "cache_invalidate", 0.0) == series_at(
+        result, "update_cache_avm", 0.0
+    )
+    ar = series_at(result, "always_recompute", 0.9)
+    assert series_at(result, "cache_invalidate", 0.9) / ar < 1.1
+
+    # Three-way recompute costs more than two-way.
+    assert series_at(result, "always_recompute", 0.5) > series_at(
+        model1, "always_recompute", 0.5
+    )
+
+    # The RVM-vs-AVM flip: RVM loses in model 1 at SF = 0.5 but wins (or
+    # ties) in model 2.
+    assert series_at(model1, "update_cache_rvm", 0.5) > series_at(
+        model1, "update_cache_avm", 0.5
+    )
+    assert series_at(result, "update_cache_rvm", 0.5) <= series_at(
+        result, "update_cache_avm", 0.5
+    )

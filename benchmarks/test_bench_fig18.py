@@ -1,0 +1,26 @@
+"""Figure 18: Update Cache variants (AVM vs RVM) vs sharing factor, model 2
+(three-way joins).
+
+Paper shape: the curves cross at SF ~ 0.47; above it RVM wins because the
+changed R1 tuples join once against the precomputed sigma_Cf2(R2) |><| R3
+β-memory where AVM must join through R2 and then R3.
+"""
+
+
+def test_fig18_sharing_model2(regenerate):
+    result = regenerate("fig18")
+    avm = result.series["update_cache_avm"]
+    rvm = result.series["update_cache_rvm"]
+    sfs = result.x_values
+
+    crossover = next(sf for sf, a, r in zip(sfs, avm, rvm) if r <= a)
+    assert 0.35 <= crossover <= 0.60, (
+        f"crossover at SF={crossover}, paper says ~0.47"
+    )
+
+    # Below the crossover AVM wins; above it RVM wins.
+    for sf, a, r in zip(sfs, avm, rvm):
+        if sf < crossover - 1e-9:
+            assert a < r
+        elif sf > crossover + 0.05:
+            assert r < a

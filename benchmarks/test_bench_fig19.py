@@ -1,0 +1,37 @@
+"""Figure 19: winner regions over (P, f), model 2.
+
+Paper shape: 'similar to Figure 12 for Model 1, except that the best
+version of Update Cache is RVM instead of AVM'.
+"""
+
+from repro.experiments import run_experiment
+from repro.model import ModelParams, cost_of
+
+
+def test_fig19_winner_regions_model2(regenerate):
+    result = regenerate("fig19")
+    grid = result.grid
+    model1_grid = run_experiment("fig12").grid
+
+    assert all(label == "update_cache" for label in grid.labels[0])
+    assert all(label == "always_recompute" for label in grid.labels[-1])
+
+    # Region structure mirrors model 1's.
+    agreement = sum(
+        1
+        for row_a, row_b in zip(grid.labels, model1_grid.labels)
+        for cell_a, cell_b in zip(row_a, row_b)
+        if cell_a == cell_b
+    )
+    assert agreement / grid.num_cells >= 0.8
+
+    # The best UC variant in model 2 is RVM across representative cells.
+    params = ModelParams()
+    for p_value, f_value in ((0.1, 0.001), (0.4, 0.0005), (0.3, 0.01)):
+        point = params.replace(selectivity_f=f_value).with_update_probability(
+            p_value
+        )
+        assert (
+            cost_of("update_cache_rvm", point, 2).total_ms
+            < cost_of("update_cache_avm", point, 2).total_ms
+        )

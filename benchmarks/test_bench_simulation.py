@@ -1,0 +1,127 @@
+"""Simulation-vs-model validation benches (not a paper figure).
+
+The paper's numbers are analytical; these benches run the *actual*
+strategies — real B-tree, real Rete network, real i-locks — on the
+simulated-I/O engine and assert that the analytical orderings and shapes
+emerge from measurement. Scaled down in N for wall-clock reasons; the cost
+clock does the measuring, so the scale only affects noise.
+"""
+
+import pathlib
+
+from repro.experiments.simcompare import (
+    SIM_SCALE_PARAMS,
+    render_comparison,
+    sim_model_comparison,
+)
+from repro.workload import run_workload
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def _write(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    print()
+    print(text)
+
+
+def test_simulator_vs_model_default_point(benchmark):
+    points = benchmark.pedantic(
+        sim_model_comparison,
+        kwargs=dict(
+            params=SIM_SCALE_PARAMS, model=1, num_operations=300, seed=13
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_comparison(points)
+    _write("sim_vs_model_model1.txt", text)
+    by_name = {p.strategy: p for p in points}
+    # Agreement within 2x per strategy...
+    for point in points:
+        assert 0.5 <= point.ratio <= 2.0, text
+    # ...and the model-1 ordering at P=0.5 reproduced by measurement.
+    assert (
+        by_name["update_cache_avm"].simulated_ms
+        < by_name["cache_invalidate"].simulated_ms
+        < by_name["always_recompute"].simulated_ms * 1.2
+    )
+
+
+def test_simulated_p_sweep_reproduces_fig05_shape(benchmark):
+    """A coarse simulated version of figure 5: three P points, three
+    strategies, measured."""
+
+    def sweep():
+        rows = {}
+        for p_value in (0.1, 0.5, 0.8):
+            params = SIM_SCALE_PARAMS.with_update_probability(p_value)
+            rows[p_value] = {
+                name: run_workload(
+                    params, name, num_operations=240, seed=21
+                ).cost_per_access_ms
+                for name in (
+                    "always_recompute",
+                    "cache_invalidate",
+                    "update_cache_avm",
+                )
+            }
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'P':>5s} {'AR':>10s} {'CI':>10s} {'UC-AVM':>10s}"]
+    for p_value, costs in rows.items():
+        lines.append(
+            f"{p_value:5.2f} {costs['always_recompute']:10.1f} "
+            f"{costs['cache_invalidate']:10.1f} "
+            f"{costs['update_cache_avm']:10.1f}"
+        )
+    _write("sim_fig05_sweep.txt", "\n".join(lines))
+
+    # Figure-5 shape, measured: UC wins at low P; UC cost rises steeply
+    # with P; CI approaches AR at high P; AR is ~flat.
+    assert rows[0.1]["update_cache_avm"] < rows[0.1]["always_recompute"]
+    assert rows[0.8]["update_cache_avm"] > 3 * rows[0.1]["update_cache_avm"]
+    assert rows[0.8]["cache_invalidate"] < 1.6 * rows[0.8]["always_recompute"]
+    ar = [rows[p]["always_recompute"] for p in (0.1, 0.5, 0.8)]
+    assert max(ar) < 1.5 * min(ar)
+
+
+def test_simulated_sharing_flip_fig11_vs_fig18(benchmark):
+    """Measured version of the AVM/RVM flip: model 1 favours AVM at SF=0,
+    model 2 favours RVM at SF=1."""
+
+    def measure():
+        out = {}
+        no_share = SIM_SCALE_PARAMS.replace(
+            sharing_factor=0.0
+        ).with_update_probability(0.5)
+        full_share = SIM_SCALE_PARAMS.replace(
+            sharing_factor=1.0
+        ).with_update_probability(0.5)
+        for label, params, model in (
+            ("m1_sf0_avm", no_share, 1),
+            ("m2_sf1_avm", full_share, 2),
+        ):
+            out[label] = run_workload(
+                params, "update_cache_avm", model=model,
+                num_operations=200, seed=5,
+            ).cost_per_access_ms
+        for label, params, model in (
+            ("m1_sf0_rvm", no_share, 1),
+            ("m2_sf1_rvm", full_share, 2),
+        ):
+            out[label] = run_workload(
+                params, "update_cache_rvm", model=model,
+                num_operations=200, seed=5,
+            ).cost_per_access_ms
+        return out
+
+    out = benchmark.pedantic(measure, rounds=1, iterations=1)
+    _write(
+        "sim_sharing_flip.txt",
+        "\n".join(f"{k}: {v:.1f} ms" for k, v in sorted(out.items())),
+    )
+    assert out["m1_sf0_avm"] <= out["m1_sf0_rvm"] * 1.05
+    assert out["m2_sf1_rvm"] < out["m2_sf1_avm"]

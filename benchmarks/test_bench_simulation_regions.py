@@ -1,0 +1,83 @@
+"""Simulated winner grid: Figure 12's region structure, measured.
+
+The region figures (12/13/19) come from the analytical model. This bench
+replays a coarse (P, f) grid through the *executable* strategies and
+checks that the measured winner in each cell agrees with the model's label
+— the strongest end-to-end statement the reproduction makes: the map the
+paper drew emerges from running the actual algorithms.
+"""
+
+import pathlib
+
+from repro.experiments.simcompare import SIM_SCALE_PARAMS
+from repro.model.regions import winner_grid
+from repro.workload import run_workload
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+P_VALUES = [0.1, 0.5, 0.9]
+# f values at simulation scale (N=10k): one-page, three-page, 13-page P1s.
+F_VALUES = [0.004, 0.012, 0.05]
+STRATEGIES = (
+    "always_recompute",
+    "cache_invalidate",
+    "update_cache_avm",
+    "update_cache_rvm",
+)
+
+
+def _sim_winner(p_value: float, f_value: float) -> str:
+    params = SIM_SCALE_PARAMS.replace(
+        selectivity_f=f_value
+    ).with_update_probability(p_value)
+    costs = {}
+    for strategy in STRATEGIES:
+        run = run_workload(
+            params, strategy, num_operations=200, seed=19
+        )
+        costs[strategy] = run.cost_per_access_ms
+    best = min(costs, key=costs.__getitem__)
+    if best.startswith("update_cache"):
+        return "update_cache"
+    return best
+
+
+def test_simulated_winner_grid_matches_model(benchmark):
+    def measure():
+        return {
+            (p, f): _sim_winner(p, f) for p in P_VALUES for f in F_VALUES
+        }
+
+    simulated = benchmark.pedantic(measure, rounds=1, iterations=1)
+    model_grid = winner_grid(SIM_SCALE_PARAMS, P_VALUES, F_VALUES, model=1)
+
+    header = "P / f"
+    lines = [f"{header:>6s} " + " ".join(f"{f:>14g}" for f in F_VALUES)]
+    agreements = 0
+    cells = []
+    for i, p_value in enumerate(P_VALUES):
+        row = []
+        for j, f_value in enumerate(F_VALUES):
+            sim_label = simulated[(p_value, f_value)]
+            model_label = model_grid.labels[i][j]
+            agree = sim_label == model_label
+            agreements += agree
+            cells.append((p_value, f_value, sim_label, model_label))
+            row.append(f"{sim_label[:10]}{'=' if agree else '!'}")
+        lines.append(f"{p_value:6g} " + " ".join(f"{cell:>14s}" for cell in row))
+    text = (
+        "simulated winners (cell suffix '=' agrees with model, '!' differs):\n"
+        + "\n".join(lines)
+        + f"\nagreement: {agreements}/{len(cells)}"
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "sim_winner_grid.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+    # The corners the paper's narrative rests on must agree exactly:
+    assert simulated[(0.1, F_VALUES[0])] == "update_cache"
+    assert simulated[(0.9, F_VALUES[-1])] == "always_recompute"
+    # And overall agreement must be strong (cells near a boundary may
+    # legitimately flip under simulation noise).
+    assert agreements >= 7, text

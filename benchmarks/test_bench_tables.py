@@ -1,0 +1,23 @@
+"""Benches for the paper's tables: Figure 2 (parameters) and the §3
+access-method table."""
+
+
+def test_parameter_table(regenerate):
+    result = regenerate("table_fig2")
+    symbols = [row[0] for row in result.table_rows]
+    # Every Figure-2 symbol appears.
+    for symbol in ("N", "S", "B", "k", "l", "q", "d", "SF", "f", "f2",
+                   "fR2", "fR3", "C1", "C2", "C3", "C_inval"):
+        assert symbol in symbols
+    values = {row[0]: row[2] for row in result.table_rows}
+    assert values["N"] == "100000"
+    assert values["C2"] == "30"
+    assert values["f"] == "0.001"
+
+
+def test_access_methods(regenerate):
+    result = regenerate("table_access_methods")
+    relations = [row[0] for row in result.table_rows]
+    assert relations == ["R1", "R2", "R3"]
+    assert "B-tree" in result.table_rows[0][1]
+    assert "hash" in result.table_rows[1][1]

@@ -1,0 +1,95 @@
+"""Validation bench for Appendix A: the page-access estimator.
+
+The paper justifies Cardenas' approximation as "very close [to Yao's exact
+formula] if the blocking factor is large (e.g. n/m > 10)" and patches the
+small cases piecewise. This bench quantifies both claims over the
+parameter ranges the cost model actually exercises, and additionally
+cross-checks the *piecewise estimator* against the measured page counts of
+the storage engine's batched fetches.
+"""
+
+import pathlib
+import random
+
+from repro.model import cardenas, yao, yao_exact
+from repro.sim import CostClock
+from repro.storage import BufferPool, Catalog, DiskManager, Field, Schema
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def test_cardenas_error_bound(benchmark):
+    """Max relative error of Cardenas vs exact Yao at blocking factor 40
+    (the paper's 100-byte tuples in 4 000-byte blocks)."""
+
+    def worst_error():
+        worst = 0.0
+        for m in (5, 25, 100, 250):
+            n = m * 40
+            for k in (2, 5, 10, 50, 100, 500, 2000):
+                if k > n:
+                    continue
+                exact = yao_exact(n, m, k)
+                approx = cardenas(m, k)
+                worst = max(worst, abs(approx - exact) / exact)
+        return worst
+
+    worst = benchmark(worst_error)
+    print(f"\nworst Cardenas relative error at blocking factor 40: {worst:.4f}")
+    assert worst < 0.02  # "very close" indeed
+
+
+def test_estimator_matches_measured_page_counts(benchmark):
+    """The piecewise y(n, m, k) tracks the engine's actual distinct-page
+    counts for random batched fetches (expectation vs sample mean)."""
+
+    def measure():
+        clock = CostClock()
+        catalog = Catalog(BufferPool(DiskManager(clock)))
+        relation = catalog.create_relation(
+            "T", Schema([Field("id"), Field("pay")], tuple_bytes=100)
+        )
+        rng = random.Random(47)
+        rids = [relation.insert((i, 0)) for i in range(4000)]  # 100 pages
+        rows = []
+        for k in (1, 4, 16, 64, 256):
+            trials = 40
+            total_pages = 0
+            for _ in range(trials):
+                sample = rng.sample(rids, k)
+                before = clock.snapshot()
+                relation.fetch_batched(sample)
+                total_pages += (clock.snapshot() - before).disk_reads
+            measured = total_pages / trials
+            predicted = yao(4000, 100, k)
+            rows.append((k, measured, predicted))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [f"{'k':>6s} {'measured':>10s} {'y(n,m,k)':>10s}"]
+    for k, measured, predicted in rows:
+        lines.append(f"{k:6d} {measured:10.2f} {predicted:10.2f}")
+    text = (
+        "distinct pages touched: engine measurement vs Appendix-A "
+        "estimator\n(n=4000 tuples, m=100 pages):\n" + "\n".join(lines)
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "yao_accuracy.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+    for _k, measured, predicted in rows:
+        assert abs(measured - predicted) / predicted < 0.12
+
+
+def test_piecewise_rules_cover_small_objects(benchmark):
+    """The paper's special cases: fractional expectations pass through,
+    sub-page objects cost one page, tiny objects min(k, m)."""
+
+    def check():
+        assert yao(100, 2.5, 0.05) == 0.05  # k <= 1
+        assert yao(10, 0.25, 5) == 1.0  # m < 1
+        assert yao(100, 1.5, 3) == 1.5  # m < U
+        return True
+
+    assert benchmark(check)

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Scenario: durable invalidation without paying two I/Os per event.
+
+Section 3 of the paper worries about how Cache and Invalidate *records*
+invalidations durably. The naive scheme flags the cached object's first
+page — 2 I/Os (60 ms) per invalidation — and Figure 4 shows that wrecking
+CI's competitiveness. The paper's fix: keep the validity map in memory and
+make it recoverable with a write-ahead log plus checkpoints [Gra78], or
+battery-backed RAM.
+
+This example runs the actual WAL implementation (`repro.recovery`): a CI
+strategy processes updates and accesses, the "machine" crashes twice, the
+validity map is rebuilt from checkpoint + log replay, and every answer is
+verified against an Always Recompute oracle — while costing a fraction of
+the page-flag scheme.
+
+Run:  python examples/crash_recovery.py
+"""
+
+import random
+
+from repro.core import ProcedureManager
+from repro.model import ModelParams
+from repro.workload import build_database, build_procedures
+from repro.workload.runner import make_strategy
+
+PARAMS = ModelParams(
+    n_tuples=5_000,
+    num_p1=15,
+    num_p2=15,
+    selectivity_f=0.005,
+    selectivity_f2=0.2,
+    tuples_per_update=8,
+).with_update_probability(0.5)
+
+STEPS = 200
+CRASH_EVERY = 60
+
+
+def run_with_scheme(scheme_name: str, verify: bool = False):
+    db = build_database(PARAMS, seed=77)
+    pop = build_procedures(db, PARAMS, model=1, seed=77)
+    strategy = make_strategy(
+        "cache_invalidate", db, PARAMS, invalidation_scheme=scheme_name
+    )
+    manager = ProcedureManager(strategy)
+    oracle_mgr = None
+    if verify:
+        oracle = make_strategy("always_recompute", db, PARAMS)
+        oracle_mgr = ProcedureManager(oracle)
+    for name, expr in pop.definitions:
+        manager.define_procedure(name, expr)
+        if oracle_mgr is not None:
+            oracle_mgr.define_procedure(name, expr)
+
+    rng = random.Random(77)
+    crashes = 0
+    stale_answers = 0
+    for step in range(STEPS):
+        if scheme_name == "wal" and step and step % CRASH_EVERY == 0:
+            strategy.scheme.crash_and_recover()
+            crashes += 1
+        if rng.random() < PARAMS.update_probability:
+            positions = rng.sample(range(len(db.r1_rids)), 8)
+            changes = []
+            for pos in positions:
+                rid = db.r1_rids[pos]
+                old = db.r1.heap.read(rid)
+                changes.append((rid, (old[0], rng.randrange(db.sel_domain), old[2])))
+            manager.update("R1", changes, cluster_field="sel")
+            for pos, new_rid in zip(positions, manager.last_rids):
+                db.r1_rids[pos] = new_rid
+        else:
+            name = pop.names[rng.randrange(len(pop.names))]
+            answer = sorted(manager.access(name).rows)
+            if oracle_mgr is not None:
+                if answer != sorted(oracle_mgr.access(name).rows):
+                    stale_answers += 1
+    return manager.cost_per_access(), crashes, stale_answers
+
+
+def main() -> None:
+    print(__doc__)
+    wal_cost, crashes, stale = run_with_scheme("wal", verify=True)
+    print(
+        f"WAL scheme:       {wal_cost:8.1f} ms/access "
+        f"({crashes} crashes survived, {stale} stale answers served)"
+    )
+    assert stale == 0, "recovery must never serve a stale cache"
+    flag_cost, _c, _s = run_with_scheme("page_flag")
+    battery_cost, _c, _s = run_with_scheme("battery")
+    print(f"page-flag scheme: {flag_cost:8.1f} ms/access (2 I/Os per invalidation)")
+    print(f"battery scheme:   {battery_cost:8.1f} ms/access (the unattainable floor)")
+    print(
+        f"\nThe WAL recovers exactly like the paper prescribes and keeps CI "
+        f"within {wal_cost / battery_cost:.2f}x of the battery-backed floor, "
+        f"vs {flag_cost / battery_cost:.2f}x for the naive page flag."
+    )
+
+
+if __name__ == "__main__":
+    main()

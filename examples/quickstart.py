@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's headline comparison in a dozen lines.
+
+Computes the analytical cost of each strategy at the paper's default
+parameters (model 1), then runs the same comparison in the executable
+simulator at laptop scale and prints both side by side.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ModelParams, run_workload, strategy_costs
+
+# --- 1. The paper's analytical model at Figure-2 defaults -------------------
+
+params = ModelParams()  # N=100k tuples, P=0.5, f=0.001, C2=30ms, ...
+print("Analytical cost per procedure access (model 1, paper defaults):")
+for name, breakdown in strategy_costs(params, model=1).items():
+    print(f"  {name:22s} {breakdown.total_ms:8.1f} simulated ms")
+
+# --- 2. The same comparison, measured --------------------------------------
+
+sim_params = params.replace(
+    n_tuples=10_000,        # laptop scale; the cost *clock* still measures
+    num_p1=25,
+    num_p2=25,
+    selectivity_f=0.004,    # keeps per-object page counts at paper scale
+    tuples_per_update=10,
+)
+
+print("\nSimulated cost per procedure access (same point, scaled N):")
+for name in ("always_recompute", "cache_invalidate",
+             "update_cache_avm", "update_cache_rvm"):
+    result = run_workload(sim_params, name, num_operations=300, seed=1)
+    print(
+        f"  {name:22s} {result.cost_per_access_ms:8.1f} simulated ms "
+        f"({result.num_accesses} accesses, {result.num_updates} updates)"
+    )
+
+print(
+    "\nBoth layers agree on the paper's conclusion at P=0.5: Update Cache "
+    "wins,\nCache and Invalidate trails it, Always Recompute pays full "
+    "price every read."
+)

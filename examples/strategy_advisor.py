@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Scenario: choosing a strategy per workload (the paper's open problem).
+
+Section 8 of the paper leaves open "how to decide whether or not to
+maintain a cached copy of a given object". This example uses the
+reproduction's :func:`repro.model.recommend` advisor — the paper's own
+cost model turned into a decision procedure — across a portfolio of
+workload profiles, including the risk-adjusted variant that encodes the
+paper's "Cache and Invalidate is a much safer algorithm" argument.
+
+Run:  python examples/strategy_advisor.py
+"""
+
+from repro.model import ModelParams, implementation_stage, recommend
+
+PROFILES = {
+    # (description, params, model)
+    "reporting dashboard": (
+        "large objects, hourly refresh, read-dominated",
+        ModelParams(selectivity_f=0.01).with_update_probability(0.05),
+        1,
+    ),
+    "reference lookups": (
+        "tiny objects, rare updates, heavy read locality",
+        ModelParams(selectivity_f=0.0001, locality=0.05).with_update_probability(0.1),
+        1,
+    ),
+    "order-entry forms": (
+        "3-way-join objects, balanced read/write, shared subexpressions",
+        ModelParams(sharing_factor=0.8).with_update_probability(0.4),
+        2,
+    ),
+    "telemetry ingest": (
+        "update-dominated; reads are occasional audits",
+        ModelParams().with_update_probability(0.85),
+        1,
+    ),
+}
+
+
+def main() -> None:
+    print(__doc__)
+    header = (
+        f"{'workload':22s} {'point-optimal':18s} {'risk-adjusted':18s} "
+        f"{'vs recompute':>12s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, (description, params, model) in PROFILES.items():
+        rec = recommend(
+            params, model=model, update_probability_uncertainty=0.3
+        )
+        print(
+            f"{name:22s} {rec.best:18s} {rec.risk_adjusted:18s} "
+            f"{rec.speedup_over('always_recompute'):11.1f}x"
+        )
+        print(f"  ({description})")
+        for line in rec.rationale:
+            print(f"   - {line}")
+        print()
+
+    print("Paper §8 staged implementation plan, by available effort:")
+    for effort in range(1, 5):
+        stages = ", ".join(implementation_stage(effort))
+        print(f"  effort {effort}: {stages}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) cannot build the editable wheel. This shim
+enables the legacy path: ``python setup.py develop``. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

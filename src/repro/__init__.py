@@ -1,0 +1,90 @@
+"""repro — reproduction of Eric N. Hanson, "Processing Queries Against
+Database Procedures: A Performance Analysis" (SIGMOD 1988 / UCB ERL M87/68).
+
+Two layers reproduce the paper:
+
+- :mod:`repro.model` — the paper's closed-form cost model: every formula of
+  §4 (model 1, two-way joins) and §6 (model 2, three-way joins), the
+  Yao/Cardenas page estimator, and the winner-region computations. This
+  regenerates every figure exactly as the paper computed it.
+- the executable simulator — a from-scratch relational substrate
+  (:mod:`repro.storage`, :mod:`repro.query`), a Rete network
+  (:mod:`repro.rete`), i-locks (:mod:`repro.locks`), the four strategies
+  (:mod:`repro.core`), and a synthetic workload driver
+  (:mod:`repro.workload`) measuring the same metric on a simulated cost
+  clock.
+
+Quickstart::
+
+    from repro import ModelParams, strategy_costs, run_workload
+
+    params = ModelParams()  # the paper's Figure 2 defaults
+    print({k: v.total_ms for k, v in strategy_costs(params, model=1).items()})
+
+    result = run_workload(
+        params.replace(n_tuples=10_000, num_p1=25, num_p2=25),
+        "cache_invalidate", num_operations=400,
+    )
+    print(result.cost_per_access_ms)
+
+See also ``python -m repro all`` (regenerate every figure) and
+EXPERIMENTS.md (paper-vs-reproduction record).
+"""
+
+from repro.core import (
+    STRATEGY_CLASSES,
+    AlwaysRecompute,
+    CacheAndInvalidate,
+    DatabaseProcedure,
+    ProcedureManager,
+    UpdateCacheAVM,
+    UpdateCacheRVM,
+)
+from repro.experiments import REGISTRY, render_result, run_experiment
+from repro.model import (
+    DEFAULT_PARAMS,
+    ModelParams,
+    cost_of,
+    strategy_costs,
+    sweep_sharing_factor,
+    sweep_update_probability,
+    winner_grid,
+    yao,
+)
+from repro.query.parser import parse_retrieve
+from repro.workload import (
+    build_database,
+    build_procedures,
+    run_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # analytical model
+    "ModelParams",
+    "DEFAULT_PARAMS",
+    "cost_of",
+    "strategy_costs",
+    "sweep_update_probability",
+    "sweep_sharing_factor",
+    "winner_grid",
+    "yao",
+    # strategies
+    "STRATEGY_CLASSES",
+    "AlwaysRecompute",
+    "CacheAndInvalidate",
+    "UpdateCacheAVM",
+    "UpdateCacheRVM",
+    "DatabaseProcedure",
+    "ProcedureManager",
+    "parse_retrieve",
+    # workload & experiments
+    "build_database",
+    "build_procedures",
+    "run_workload",
+    "REGISTRY",
+    "run_experiment",
+    "render_result",
+]

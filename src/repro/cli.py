@@ -1,0 +1,305 @@
+"""Command-line interface.
+
+Examples::
+
+    repro-procs list
+    repro-procs run fig05
+    repro-procs run fig18 --no-checks
+    repro-procs all
+    repro-procs simulate --strategy update_cache_rvm --model 2 -P 0.5
+    repro-procs compare --model 1
+
+(Also reachable as ``python -m repro``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import REGISTRY, render_result, run_experiment
+from repro.experiments.simcompare import (
+    SIM_SCALE_PARAMS,
+    render_comparison,
+    sim_model_comparison,
+)
+from repro.model.params import DEFAULT_PARAMS
+from repro.workload.runner import run_workload
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("available experiments (paper body-text numbering):")
+    for figure_id in REGISTRY:
+        print(f"  {figure_id}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment)
+    chart = args.chart and result.kind in ("curves", "sf_curves")
+    print(render_result(result, show_checks=not args.no_checks, chart=chart))
+    if not args.no_checks and not result.all_checks_pass:
+        print(
+            f"\nFAILED checks: {result.failed_checks()}", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    status = 0
+    for figure_id in REGISTRY:
+        result = run_experiment(figure_id)
+        print(render_result(result, show_checks=not args.no_checks))
+        print()
+        if not result.all_checks_pass:
+            status = 1
+    return status
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    params = SIM_SCALE_PARAMS.with_update_probability(args.update_probability)
+    run = run_workload(
+        params,
+        args.strategy,
+        model=args.model,
+        num_operations=args.operations,
+        seed=args.seed,
+    )
+    print(
+        f"strategy={run.strategy} model={run.model} "
+        f"P={args.update_probability:g} ops={args.operations}"
+    )
+    print(f"cost per access: {run.cost_per_access_ms:.1f} simulated ms")
+    print(
+        f"  access total:      {run.access_cost_ms:.0f} ms over "
+        f"{run.num_accesses} accesses"
+    )
+    print(
+        f"  maintenance total: {run.maintenance_cost_ms:.0f} ms over "
+        f"{run.num_updates} updates"
+    )
+    print(
+        f"  base-update total (excluded from metric): "
+        f"{run.base_update_cost_ms:.0f} ms"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.summary import build_report
+
+    report = build_report(
+        include_simulation=not args.no_simulation,
+        sim_operations=args.operations,
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"wrote reproduction report to {args.output}")
+    else:
+        print(report, end="")
+    return 0 if "FAILED" not in report else 1
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments.export import to_csv, write_csv
+
+    result = run_experiment(args.experiment)
+    if args.output:
+        write_csv(result, args.output)
+        print(f"wrote {args.experiment} data to {args.output}")
+    else:
+        print(to_csv(result), end="")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.model.advisor import recommend
+
+    params = DEFAULT_PARAMS.replace(
+        selectivity_f=args.selectivity,
+        sharing_factor=args.sharing_factor,
+    ).with_update_probability(args.update_probability)
+    rec = recommend(
+        params,
+        model=args.model,
+        update_probability_uncertainty=args.uncertainty,
+    )
+    print(f"workload: P={args.update_probability:g} f={args.selectivity:g} "
+          f"SF={args.sharing_factor:g} model={args.model}")
+    for name, cost in sorted(rec.costs.items(), key=lambda kv: kv[1]):
+        marker = "  <- point-optimal" if name == rec.best else ""
+        print(f"  {name:22s} {cost:10.1f} ms/access{marker}")
+    if rec.risk_adjusted != rec.best:
+        print(f"risk-adjusted pick (P may exceed estimate): {rec.risk_adjusted}")
+    for line in rec.rationale:
+        print(f"  - {line}")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.model.sensitivity import analyze, render_tornado
+
+    params = DEFAULT_PARAMS.with_update_probability(args.update_probability)
+    results = analyze(params, model=args.model)
+    print(
+        f"tornado analysis around P={args.update_probability:g} "
+        f"(model {args.model}); cost ratios for each parameter halved/doubled:"
+    )
+    print(render_tornado(results, top=args.top))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    params = SIM_SCALE_PARAMS.with_update_probability(args.update_probability)
+    points = sim_model_comparison(
+        params, model=args.model, num_operations=args.operations, seed=args.seed
+    )
+    print(
+        f"simulator vs analytical model "
+        f"(model {args.model}, P={args.update_probability:g}, "
+        f"N={params.n_tuples}, ops={args.operations})"
+    )
+    print(render_comparison(points))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-procs",
+        description=(
+            "Reproduction of Hanson, 'Processing Queries Against Database "
+            "Procedures: A Performance Analysis' (SIGMOD 1988)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids").set_defaults(
+        func=_cmd_list
+    )
+
+    run_parser = sub.add_parser("run", help="regenerate one figure/table")
+    run_parser.add_argument("experiment", choices=sorted(REGISTRY))
+    run_parser.add_argument(
+        "--no-checks", action="store_true", help="skip paper-claim checks"
+    )
+    run_parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="append an ASCII line chart (curve figures)",
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    all_parser = sub.add_parser("all", help="regenerate every figure/table")
+    all_parser.add_argument("--no-checks", action="store_true")
+    all_parser.set_defaults(func=_cmd_all)
+
+    sim_parser = sub.add_parser(
+        "simulate", help="run one strategy in the executable simulator"
+    )
+    sim_parser.add_argument(
+        "--strategy",
+        default="cache_invalidate",
+        choices=[
+            "always_recompute",
+            "cache_invalidate",
+            "update_cache_avm",
+            "update_cache_rvm",
+        ],
+    )
+    sim_parser.add_argument("--model", type=int, default=1, choices=(1, 2))
+    sim_parser.add_argument(
+        "-P",
+        "--update-probability",
+        type=float,
+        default=DEFAULT_PARAMS.update_probability,
+    )
+    sim_parser.add_argument("--operations", type=int, default=400)
+    sim_parser.add_argument("--seed", type=int, default=7)
+    sim_parser.set_defaults(func=_cmd_simulate)
+
+    report_parser = sub.add_parser(
+        "report", help="regenerate everything into one markdown report"
+    )
+    report_parser.add_argument("-o", "--output", default=None)
+    report_parser.add_argument(
+        "--no-simulation",
+        action="store_true",
+        help="skip the (slower) simulator-vs-model section",
+    )
+    report_parser.add_argument("--operations", type=int, default=300)
+    report_parser.set_defaults(func=_cmd_report)
+
+    export_parser = sub.add_parser(
+        "export", help="export one experiment's data as CSV"
+    )
+    export_parser.add_argument("experiment", choices=sorted(REGISTRY))
+    export_parser.add_argument(
+        "-o", "--output", default=None, help="file path (default: stdout)"
+    )
+    export_parser.set_defaults(func=_cmd_export)
+
+    advise_parser = sub.add_parser(
+        "advise", help="recommend a strategy for a workload profile"
+    )
+    advise_parser.add_argument(
+        "-P", "--update-probability", type=float, default=0.5
+    )
+    advise_parser.add_argument(
+        "-f", "--selectivity", type=float, default=0.001
+    )
+    advise_parser.add_argument("--sharing-factor", type=float, default=0.5)
+    advise_parser.add_argument("--model", type=int, default=1, choices=(1, 2))
+    advise_parser.add_argument(
+        "--uncertainty",
+        type=float,
+        default=0.0,
+        help="how far the true P may exceed the estimate (minimax mode)",
+    )
+    advise_parser.set_defaults(func=_cmd_advise)
+
+    sens_parser = sub.add_parser(
+        "sensitivity", help="tornado analysis of the cost model"
+    )
+    sens_parser.add_argument(
+        "-P", "--update-probability", type=float, default=0.5
+    )
+    sens_parser.add_argument("--model", type=int, default=1, choices=(1, 2))
+    sens_parser.add_argument("--top", type=int, default=15)
+    sens_parser.set_defaults(func=_cmd_sensitivity)
+
+    cmp_parser = sub.add_parser(
+        "compare", help="simulator vs analytical model, all strategies"
+    )
+    cmp_parser.add_argument("--model", type=int, default=1, choices=(1, 2))
+    cmp_parser.add_argument(
+        "-P",
+        "--update-probability",
+        type=float,
+        default=DEFAULT_PARAMS.update_probability,
+    )
+    cmp_parser.add_argument("--operations", type=int, default=400)
+    cmp_parser.add_argument("--seed", type=int, default=7)
+    cmp_parser.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The paper's contribution: query-processing strategies for database
+procedures.
+
+Four strategies answer "read the value of procedure P":
+
+- :class:`AlwaysRecompute` — run the stored, precompiled plan every time;
+- :class:`CacheAndInvalidate` — serve from a cached value guarded by
+  i-locks; recompute (and refresh the cache) only when invalidated;
+- :class:`UpdateCacheAVM` — keep the cache always current with non-shared
+  algebraic view maintenance (delta joins per procedure);
+- :class:`UpdateCacheRVM` — keep the cache current with a shared Rete
+  network (common subexpressions maintained once).
+
+A :class:`ProcedureManager` binds one strategy to a database, routes
+procedure definitions, accesses, and base-table updates, and attributes the
+charged simulated cost to the access / maintenance / base-update buckets the
+paper's per-access metric needs.
+"""
+
+from repro.core.procedure import DatabaseProcedure, ProcedureKind
+from repro.core.strategy import ProcedureStrategy, StrategyName
+from repro.core.always_recompute import AlwaysRecompute
+from repro.core.cache_invalidate import CacheAndInvalidate
+from repro.core.update_cache_avm import UpdateCacheAVM
+from repro.core.update_cache_rvm import UpdateCacheRVM
+from repro.core.hybrid import HybridStrategy
+from repro.core.manager import AccessResult, ProcedureManager, UpdateResult
+from repro.core.aggregates import GLOBAL_GROUP, GroupedAggregate
+from repro.core.delta import DeltaJoiner
+
+STRATEGY_CLASSES = {
+    AlwaysRecompute.strategy_name: AlwaysRecompute,
+    CacheAndInvalidate.strategy_name: CacheAndInvalidate,
+    UpdateCacheAVM.strategy_name: UpdateCacheAVM,
+    UpdateCacheRVM.strategy_name: UpdateCacheRVM,
+}
+
+__all__ = [
+    "DatabaseProcedure",
+    "ProcedureKind",
+    "ProcedureStrategy",
+    "StrategyName",
+    "AlwaysRecompute",
+    "CacheAndInvalidate",
+    "UpdateCacheAVM",
+    "UpdateCacheRVM",
+    "HybridStrategy",
+    "ProcedureManager",
+    "AccessResult",
+    "UpdateResult",
+    "STRATEGY_CLASSES",
+    "GroupedAggregate",
+    "GLOBAL_GROUP",
+    "DeltaJoiner",
+]

@@ -1,0 +1,120 @@
+"""Incrementally maintained aggregates over procedure results (extension).
+
+The paper's introduction lists "aggregation and generalization [SmS77]"
+among the features database procedures support, and §8 notes the Update
+Cache machinery doubles as "a materialized view facility". This module
+closes that loop for aggregate views: a :class:`GroupedAggregate`
+subscribes to a procedure's maintenance deltas (via
+:meth:`repro.core.UpdateCacheAVM.add_delta_observer`) and keeps per-group
+COUNT / SUM / AVG current without ever rescanning the result.
+
+COUNT, SUM, and AVG are *self-maintainable* under both inserts and deletes
+(the delta algebra is a group abelian sum); MIN/MAX are not — a deleted
+minimum requires a rescan — and are deliberately not offered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from repro.storage.tuples import Row, Schema
+
+_KINDS = ("count", "sum", "avg")
+
+GLOBAL_GROUP = "<all>"
+"""Group key used when no group field is given (a single global group)."""
+
+
+@dataclass
+class _GroupState:
+    count: int = 0
+    total: float = 0.0
+
+
+class GroupedAggregate:
+    """A per-group COUNT/SUM/AVG over a stream of row deltas.
+
+    Args:
+        schema: schema of the (full, unprojected) result rows.
+        kind: ``"count"``, ``"sum"``, or ``"avg"``.
+        value_field: the numeric field aggregated (required for sum/avg).
+        group_field: group-by field; ``None`` aggregates everything into
+            :data:`GLOBAL_GROUP`.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        kind: str,
+        value_field: Optional[str] = None,
+        group_field: Optional[str] = None,
+    ) -> None:
+        if kind not in _KINDS:
+            raise ValueError(
+                f"unsupported aggregate {kind!r}; supported: {_KINDS} "
+                "(MIN/MAX are not self-maintainable under deletes)"
+            )
+        if kind in ("sum", "avg") and value_field is None:
+            raise ValueError(f"{kind} needs a value_field")
+        self.schema = schema
+        self.kind = kind
+        self._value_pos = (
+            schema.index_of(value_field) if value_field is not None else None
+        )
+        self._group_pos = (
+            schema.index_of(group_field) if group_field is not None else None
+        )
+        self._groups: dict[Any, _GroupState] = {}
+
+    # -- maintenance -------------------------------------------------------
+
+    def _group_of(self, row: Row) -> Any:
+        if self._group_pos is None:
+            return GLOBAL_GROUP
+        return row[self._group_pos]
+
+    def rebuild(self, rows: Iterable[Row]) -> None:
+        """Initialise from a full result (definition time)."""
+        self._groups.clear()
+        self.apply(inserts=rows, deletes=())
+
+    def apply(self, inserts: Iterable[Row], deletes: Iterable[Row]) -> None:
+        """Fold one maintenance delta into the groups."""
+        for row, sign in ((r, +1) for r in inserts):
+            self._fold(row, sign)
+        for row in deletes:
+            self._fold(row, -1)
+
+    def _fold(self, row: Row, sign: int) -> None:
+        state = self._groups.setdefault(self._group_of(row), _GroupState())
+        state.count += sign
+        if self._value_pos is not None:
+            state.total += sign * row[self._value_pos]
+        if state.count < 0:
+            raise ValueError(
+                "aggregate drift: more deletes than inserts for a group"
+            )
+        if state.count == 0:
+            del self._groups[self._group_of(row)]
+
+    # -- reads ------------------------------------------------------------
+
+    def groups(self) -> list[Any]:
+        return sorted(self._groups, key=repr)
+
+    def value(self, group: Any = GLOBAL_GROUP) -> float:
+        """The aggregate for one group (0 for count/sum of empty groups;
+        raises for avg of an empty group)."""
+        state = self._groups.get(group)
+        if self.kind == "count":
+            return state.count if state else 0
+        if self.kind == "sum":
+            return state.total if state else 0.0
+        if state is None or state.count == 0:
+            raise ZeroDivisionError(f"avg of empty group {group!r}")
+        return state.total / state.count
+
+    def results(self) -> dict[Any, float]:
+        """All group values."""
+        return {group: self.value(group) for group in self._groups}

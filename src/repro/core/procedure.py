@@ -1,0 +1,76 @@
+"""Database procedures.
+
+A database procedure is "a collection of query language statements stored in
+a field of a record" — here, as in the paper's models, a single ``retrieve``
+query. The paper's two procedure types are selections (P1) and joins (P2);
+:class:`ProcedureKind` classifies a normalised query accordingly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.query.analysis import SPJQuery, normalize_spj
+from repro.query.expr import Expression
+from repro.storage.catalog import Catalog
+
+
+class ProcedureKind(enum.Enum):
+    """The paper's procedure taxonomy."""
+
+    P1 = "P1"  # single-relation selection
+    P2 = "P2"  # join query (2-way in model 1, 3-way in model 2)
+
+    @staticmethod
+    def of(query: SPJQuery) -> "ProcedureKind":
+        return ProcedureKind.P2 if query.joins else ProcedureKind.P1
+
+
+@dataclass
+class DatabaseProcedure:
+    """A named stored query plus its normalised form.
+
+    Attributes:
+        name: unique procedure identifier.
+        expression: the logical query as written.
+        query: the strategy-neutral normal form every strategy compiles from.
+    """
+
+    name: str
+    expression: Expression
+    query: SPJQuery = field(init=False, repr=False)
+
+    def bind(self, catalog: Catalog) -> "DatabaseProcedure":
+        """Normalise against ``catalog`` (called once at definition)."""
+        self.query = normalize_spj(self.expression, catalog)
+        return self
+
+    @property
+    def kind(self) -> ProcedureKind:
+        return ProcedureKind.of(self.query)
+
+    @property
+    def driver_relation(self) -> str:
+        return self.query.relations[0]
+
+    def combined_schema(self, catalog: Catalog):
+        """Schema of unprojected result rows (member relations' schemas
+        concatenated in join order)."""
+        schema = catalog.get(self.query.relations[0]).schema
+        for edge in self.query.joins:
+            schema = schema.concat(catalog.get(edge.inner_relation).schema)
+        return schema
+
+    def project_rows(self, rows: list, catalog: Catalog) -> list:
+        """Apply the procedure's projection (if any) to full result rows.
+
+        Maintenance layers (AVM stores, Rete memories) keep full rows so
+        deleted tuples stay identifiable; projection is applied here, at
+        access time.
+        """
+        if self.query.projection is None:
+            return rows
+        schema = self.combined_schema(catalog)
+        positions = [schema.index_of(name) for name in self.query.projection]
+        return [tuple(row[pos] for pos in positions) for row in rows]

@@ -1,0 +1,27 @@
+"""Per-figure experiment drivers.
+
+One driver per table/figure of the paper's evaluation (body-text numbering;
+see DESIGN.md for the appendix-caption offset). Each driver returns a
+:class:`FigureResult` carrying the series or region grid the paper plots,
+plus programmatic checks of the paper's qualitative claims about that
+figure. :mod:`repro.experiments.report` renders results as aligned text
+tables and ASCII region maps; the CLI (``python -m repro``) and the
+benchmark suite both consume the same registry.
+"""
+
+from repro.experiments.figures import (
+    FigureResult,
+    REGISTRY,
+    run_experiment,
+)
+from repro.experiments.report import render_result
+from repro.experiments.simcompare import simulate_figure_point, sim_model_comparison
+
+__all__ = [
+    "FigureResult",
+    "REGISTRY",
+    "run_experiment",
+    "render_result",
+    "simulate_figure_point",
+    "sim_model_comparison",
+]

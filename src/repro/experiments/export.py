@@ -1,0 +1,45 @@
+"""CSV export of regenerated figure data.
+
+Every curve figure exports one row per x-value with one column per
+strategy; region/closeness figures export one row per grid cell; tables
+export verbatim. Useful for replotting the paper's figures with external
+tools (`python -m repro export fig05 out.csv`).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.experiments.figures import FigureResult
+
+
+def to_csv(result: FigureResult) -> str:
+    """Render one experiment's data as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    if result.kind in ("curves", "sf_curves"):
+        names = list(result.series)
+        writer.writerow([result.x_label] + names)
+        for i, x in enumerate(result.x_values):
+            writer.writerow([x] + [result.series[name][i] for name in names])
+    elif result.kind in ("regions", "closeness"):
+        grid = result.grid
+        assert grid is not None
+        writer.writerow(["update_probability", "selectivity_f", "label"])
+        for i, p_value in enumerate(grid.p_values):
+            for j, f_value in enumerate(grid.f_values):
+                writer.writerow([p_value, f_value, grid.labels[i][j]])
+    elif result.kind == "table":
+        writer.writerow(result.table_header)
+        for row in result.table_rows:
+            writer.writerow(row)
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"cannot export result kind {result.kind!r}")
+    return buffer.getvalue()
+
+
+def write_csv(result: FigureResult, path: str) -> None:
+    """Write :func:`to_csv` output to ``path``."""
+    with open(path, "w", newline="") as handle:
+        handle.write(to_csv(result))

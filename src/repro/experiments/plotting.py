@@ -1,0 +1,80 @@
+"""ASCII charts for curve figures.
+
+The paper's appendix is all plots; this renders the regenerated series as
+terminal line charts (log-scaled y where the spread demands it), so the
+figures are *visible*, not just tabulated — no plotting library required.
+
+Marks: ``A`` Always Recompute, ``C`` Cache and Invalidate, ``a`` Update
+Cache AVM, ``r`` Update Cache RVM; ``*`` where series coincide.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.figures import FigureResult
+
+MARKS = {
+    "always_recompute": "A",
+    "cache_invalidate": "C",
+    "update_cache_avm": "a",
+    "update_cache_rvm": "r",
+}
+
+DEFAULT_WIDTH = 64
+DEFAULT_HEIGHT = 20
+
+
+def render_ascii_chart(
+    result: FigureResult,
+    width: int = DEFAULT_WIDTH,
+    height: int = DEFAULT_HEIGHT,
+) -> str:
+    """Render a curves/sf_curves figure as an ASCII line chart."""
+    if result.kind not in ("curves", "sf_curves"):
+        raise ValueError(f"cannot chart result kind {result.kind!r}")
+    xs = result.x_values
+    all_values = [v for series in result.series.values() for v in series]
+    lo, hi = min(all_values), max(all_values)
+    use_log = lo > 0 and hi / max(lo, 1e-12) > 50
+
+    def transform(value: float) -> float:
+        return math.log10(max(value, 1e-12)) if use_log else value
+
+    t_lo, t_hi = transform(lo), transform(hi)
+    span = (t_hi - t_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, series in result.series.items():
+        mark = MARKS.get(name, "?")
+        for i, value in enumerate(series):
+            col = round(i * (width - 1) / max(len(xs) - 1, 1))
+            row = height - 1 - round(
+                (transform(value) - t_lo) / span * (height - 1)
+            )
+            cell = grid[row][col]
+            grid[row][col] = mark if cell == " " else "*"
+
+    def y_label(row: int) -> str:
+        t_value = t_lo + (height - 1 - row) / (height - 1) * span
+        value = 10 ** t_value if use_log else t_value
+        return f"{value:10.0f}"
+
+    lines = []
+    for row in range(height):
+        label = y_label(row) if row % 4 == 0 or row == height - 1 else " " * 10
+        lines.append(f"{label} |" + "".join(grid[row]))
+    axis = " " * 10 + "+" + "-" * width
+    lines.append(axis)
+    x_lo, x_hi = xs[0], xs[-1]
+    lines.append(
+        " " * 11
+        + f"{x_lo:<10g}"
+        + f"{result.x_label:^{max(width - 20, 1)}s}"
+        + f"{x_hi:>10g}"
+    )
+    legend = "   ".join(
+        f"{MARKS[name]}={name}" for name in result.series if name in MARKS
+    )
+    lines.append(" " * 11 + legend + ("   (log y)" if use_log else ""))
+    return "\n".join(lines)

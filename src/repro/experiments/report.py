@@ -1,0 +1,109 @@
+"""Text rendering of experiment results.
+
+Renders the same rows/series the paper's figures show: aligned cost tables
+for curve figures, ASCII maps for region figures (``A`` = Always Recompute,
+``C`` = Cache and Invalidate, ``U`` = Update Cache; ``+``/``.`` for the
+closeness figures), and plain tables for the parameter/access-method
+tables.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureResult
+
+_SERIES_LABELS = {
+    "always_recompute": "AlwaysRecompute",
+    "cache_invalidate": "CacheAndInval",
+    "update_cache_avm": "UpdateCache-AVM",
+    "update_cache_rvm": "UpdateCache-RVM",
+}
+
+_REGION_CHARS = {
+    "always_recompute": "A",
+    "cache_invalidate": "C",
+    "update_cache": "U",
+    "ci_within": "+",
+    "ci_outside": ".",
+}
+
+
+def _format_table(header: tuple[str, ...], rows: list[tuple[str, ...]]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: tuple[str, ...]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+
+    lines = [fmt(header), fmt(tuple("-" * w for w in widths))]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def _render_curves(result: FigureResult) -> str:
+    names = list(result.series)
+    header = (result.x_label,) + tuple(
+        _SERIES_LABELS.get(name, name) for name in names
+    )
+    rows = []
+    for i, x in enumerate(result.x_values):
+        rows.append(
+            (f"{x:g}",)
+            + tuple(f"{result.series[name][i]:10.1f}" for name in names)
+        )
+    return _format_table(header, rows)
+
+
+def _render_grid(result: FigureResult) -> str:
+    grid = result.grid
+    assert grid is not None
+    header = ("P \\ f",) + tuple(f"{f:g}" for f in grid.f_values)
+    rows = []
+    for i, p in enumerate(grid.p_values):
+        rows.append(
+            (f"{p:g}",)
+            + tuple(
+                _REGION_CHARS.get(label, "?") for label in grid.labels[i]
+            )
+        )
+    legend = "  ".join(
+        f"{char} = {label}"
+        for label, char in _REGION_CHARS.items()
+        if any(char in "".join(r) for r in ("".join(row[1:]) for row in rows))
+    )
+    return _format_table(header, rows) + "\n" + legend
+
+
+def render_result(
+    result: FigureResult, show_checks: bool = True, chart: bool = False
+) -> str:
+    """Human-readable rendering of a regenerated figure/table.
+
+    ``chart=True`` appends an ASCII line chart for curve figures.
+    """
+    lines = [f"== {result.figure_id}: {result.title} =="]
+    if result.notes:
+        lines.extend(f"   {note}" for note in result.notes)
+    lines.append("")
+    if result.kind == "table":
+        lines.append(_format_table(result.table_header, result.table_rows))
+    elif result.kind in ("curves", "sf_curves"):
+        lines.append("   (costs in simulated ms per procedure access)")
+        lines.append(_render_curves(result))
+        if chart:
+            from repro.experiments.plotting import render_ascii_chart
+
+            lines.append("")
+            lines.append(render_ascii_chart(result))
+    elif result.kind in ("regions", "closeness"):
+        lines.append(f"   {result.x_label}")
+        lines.append(_render_grid(result))
+    else:  # pragma: no cover - defensive
+        lines.append(f"(unknown result kind {result.kind!r})")
+    if show_checks and result.checks:
+        lines.append("")
+        lines.append("paper-claim checks:")
+        for check in result.checks:
+            status = "PASS" if check.passed else "FAIL"
+            lines.append(f"  [{status}] {check.name}")
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Simulator-vs-model comparison.
+
+The paper's numbers are analytical. The executable simulator implements the
+actual strategies over a real (simulated-I/O) storage engine; this module
+runs both at the same parameter point — scaled down in ``N`` for wall-clock
+reasons, with the cost *clock* doing the measuring — and reports the pair,
+so the benches can assert that the model's orderings and shapes hold when
+the algorithms actually run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.api import STRATEGIES, cost_of
+from repro.model.params import ModelParams
+from repro.workload.runner import run_workload
+
+SIM_SCALE_PARAMS = ModelParams(
+    n_tuples=10_000,
+    num_p1=25,
+    num_p2=25,
+    selectivity_f=0.004,  # P1 values hold 40 tuples (one page) like f=.001 at N=100k scale
+    selectivity_f2=0.1,
+    tuples_per_update=10,
+)
+"""A laptop-scale parameter point used by simulation benches: same page
+counts per object as the paper's defaults, smaller universe."""
+
+
+@dataclass
+class ComparisonPoint:
+    """Model prediction vs simulated measurement for one strategy."""
+
+    strategy: str
+    model_ms: float
+    simulated_ms: float
+
+    @property
+    def ratio(self) -> float:
+        """simulated / model (1.0 = perfect agreement)."""
+        if self.model_ms == 0:
+            return float("inf") if self.simulated_ms else 1.0
+        return self.simulated_ms / self.model_ms
+
+
+def simulate_figure_point(
+    params: ModelParams,
+    strategy: str,
+    model: int = 1,
+    num_operations: int = 400,
+    seed: int = 7,
+) -> ComparisonPoint:
+    """Run one strategy in the simulator and pair it with the model."""
+    predicted = cost_of(strategy, params, model).total_ms
+    run = run_workload(
+        params,
+        strategy,
+        model=model,
+        num_operations=num_operations,
+        seed=seed,
+    )
+    return ComparisonPoint(
+        strategy=strategy,
+        model_ms=predicted,
+        simulated_ms=run.cost_per_access_ms,
+    )
+
+
+def sim_model_comparison(
+    params: ModelParams = SIM_SCALE_PARAMS,
+    model: int = 1,
+    num_operations: int = 400,
+    seed: int = 7,
+) -> list[ComparisonPoint]:
+    """All four strategies, simulator vs model, at one parameter point."""
+    return [
+        simulate_figure_point(
+            params, strategy, model=model, num_operations=num_operations, seed=seed
+        )
+        for strategy in STRATEGIES
+    ]
+
+
+def render_comparison(points: list[ComparisonPoint]) -> str:
+    """Aligned text table of a comparison."""
+    lines = [
+        f"{'strategy':24s} {'model ms':>10s} {'sim ms':>10s} {'sim/model':>10s}"
+    ]
+    for point in points:
+        lines.append(
+            f"{point.strategy:24s} {point.model_ms:10.1f} "
+            f"{point.simulated_ms:10.1f} {point.ratio:10.2f}"
+        )
+    return "\n".join(lines)

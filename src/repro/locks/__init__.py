@@ -1,0 +1,12 @@
+"""Rule indexing: invalidate locks (i-locks).
+
+The paper's Cache and Invalidate strategy relies on *rule indexing*
+[SSH86]: when a procedure's value is computed, persistent i-locks are set on
+everything the computation read — index intervals and probed keys. A later
+write that conflicts with an i-lock marks that procedure's cached value
+invalid.
+"""
+
+from repro.locks.ilocks import ILockTable
+
+__all__ = ["ILockTable"]

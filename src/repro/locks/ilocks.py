@@ -1,0 +1,84 @@
+"""The i-lock table.
+
+Stores, per procedure, the read footprint (:class:`repro.query.plan.
+LockSpec` list) of its last computation, and answers the conflict question:
+*which procedures' locks does this write break?* A write is described by the
+old and new values of the modified tuple — either value falling inside a
+locked range breaks the lock, matching the paper's accounting where each of
+the ``2l`` old/new tuple values has probability ``f`` of breaking a lock.
+
+Lock storage is grouped by relation so conflict checks scan only the locks
+that could possibly apply. The table itself is a memory-resident structure
+(the paper's recommended battery-backed-RAM / logged design); the cost of
+*recording* an invalidation is the strategy's ``C_inval`` parameter, charged
+by the caller, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.query.plan import LockSpec
+
+
+class ILockTable:
+    """Per-procedure read-footprint locks with conflict detection."""
+
+    def __init__(self) -> None:
+        self._by_procedure: dict[str, list[LockSpec]] = {}
+        self._by_relation: dict[str, dict[str, list[LockSpec]]] = {}
+
+    def set_locks(self, procedure: str, specs: Iterable[LockSpec]) -> None:
+        """Replace ``procedure``'s locks with ``specs`` (set at recompute)."""
+        self.clear_locks(procedure)
+        spec_list = list(specs)
+        self._by_procedure[procedure] = spec_list
+        for spec in spec_list:
+            self._by_relation.setdefault(spec.relation, {}).setdefault(
+                procedure, []
+            ).append(spec)
+
+    def clear_locks(self, procedure: str) -> None:
+        """Drop all locks held for ``procedure``."""
+        specs = self._by_procedure.pop(procedure, None)
+        if not specs:
+            return
+        for spec in specs:
+            relation_map = self._by_relation.get(spec.relation)
+            if relation_map is not None:
+                relation_map.pop(procedure, None)
+
+    def locks_of(self, procedure: str) -> list[LockSpec]:
+        """The locks currently held for ``procedure``."""
+        return list(self._by_procedure.get(procedure, ()))
+
+    def num_locks(self) -> int:
+        """Total locks across all procedures."""
+        return sum(len(specs) for specs in self._by_procedure.values())
+
+    def conflicting_procedures(
+        self,
+        relation: str,
+        changed_values: Iterable[dict[str, Any]],
+    ) -> set[str]:
+        """Procedures whose locks are broken by a write transaction.
+
+        Args:
+            relation: the written relation.
+            changed_values: field-value dicts — for an in-place update, one
+                dict for the old tuple and one for the new tuple, for every
+                modified tuple (the paper's ``2l`` values).
+        """
+        relation_map = self._by_relation.get(relation)
+        if not relation_map:
+            return set()
+        broken: set[str] = set()
+        value_list = list(changed_values)
+        for procedure, specs in relation_map.items():
+            if any(
+                spec.conflicts_with_write(relation, values)
+                for spec in specs
+                for values in value_list
+            ):
+                broken.add(procedure)
+        return broken

@@ -1,0 +1,64 @@
+"""The paper's analytical cost model.
+
+Closed-form expected cost per procedure access for every strategy, in both
+procedure models, exactly as derived in §4 (model 1) and §6 (model 2) of the
+paper, plus the Yao/Cardenas page-access estimator of Appendix A and the
+winner-region computations behind Figures 12-15 and 19.
+
+All functions take a :class:`ModelParams` (defaults = the paper's Figure 2)
+and return either a scalar cost in milliseconds or a :class:`CostBreakdown`
+exposing the named components the paper's tables list.
+"""
+
+from repro.model.params import ModelParams, DEFAULT_PARAMS
+from repro.model.yao import cardenas, yao, yao_exact
+from repro.model.costs import CostBreakdown, btree_height, pages
+from repro.model import model1, model2
+from repro.model.api import (
+    STRATEGIES,
+    cost_of,
+    strategy_costs,
+    sweep_update_probability,
+    sweep_sharing_factor,
+)
+from repro.model.regions import (
+    closeness_grid,
+    winner_grid,
+)
+from repro.model.advisor import Recommendation, implementation_stage, recommend
+from repro.model.crossovers import (
+    crossover_object_size,
+    crossover_sharing_factor,
+    crossover_update_probability,
+)
+from repro.model.sensitivity import Sensitivity, analyze as sensitivity_analyze
+from repro.model.space import space_of
+
+__all__ = [
+    "ModelParams",
+    "DEFAULT_PARAMS",
+    "yao",
+    "yao_exact",
+    "cardenas",
+    "CostBreakdown",
+    "btree_height",
+    "pages",
+    "model1",
+    "model2",
+    "STRATEGIES",
+    "cost_of",
+    "strategy_costs",
+    "sweep_update_probability",
+    "sweep_sharing_factor",
+    "winner_grid",
+    "closeness_grid",
+    "Recommendation",
+    "recommend",
+    "implementation_stage",
+    "crossover_update_probability",
+    "crossover_sharing_factor",
+    "crossover_object_size",
+    "Sensitivity",
+    "sensitivity_analyze",
+    "space_of",
+]

@@ -1,0 +1,120 @@
+"""Strategy advisor (extension).
+
+The paper's §8 closes with an open problem: "how to decide whether or not
+to maintain a cached copy of a given object ... How to make this decision
+when using Update Cache is an interesting problem for future study."
+
+This module implements the natural solution the paper's own model enables:
+evaluate the analytical cost of every strategy at the workload's parameter
+point and recommend the cheapest — with a *risk-adjusted* variant that
+implements the paper's observation that Cache and Invalidate is the "safer"
+choice when the update probability is uncertain, because Update Cache
+degrades severely if updates turn out to be frequent while CI merely
+plateaus near Always Recompute.
+
+It also encodes the paper's staged implementation advice (§8): Always
+Recompute first, Cache and Invalidate second, Update Cache last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.api import STRATEGIES, cost_of
+from repro.model.params import ModelParams
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's verdict for one workload."""
+
+    best: str
+    costs: dict[str, float]
+    risk_adjusted: str
+    rationale: list[str] = field(default_factory=list)
+
+    @property
+    def best_cost(self) -> float:
+        return self.costs[self.best]
+
+    def speedup_over(self, strategy: str) -> float:
+        """How many times cheaper the recommendation is than ``strategy``."""
+        return self.costs[strategy] / self.costs[self.best]
+
+
+def recommend(
+    params: ModelParams,
+    model: int = 1,
+    update_probability_uncertainty: float = 0.0,
+) -> Recommendation:
+    """Recommend a strategy for the given workload.
+
+    Args:
+        params: the workload's parameter point.
+        model: procedure model (1 or 2).
+        update_probability_uncertainty: how far the true update probability
+            might exceed the estimate (an absolute delta on ``P``). With
+            ``0.3``, a workload estimated at ``P = 0.2`` is also evaluated
+            at ``P = 0.5``, and the risk-adjusted pick minimises the *worst
+            case* over the two points — operationalising the paper's
+            "Cache and Invalidate is a much safer algorithm than Update
+            Cache if there is a possibility that update frequency will be
+            high".
+    """
+    if not 0 <= update_probability_uncertainty < 1:
+        raise ValueError("uncertainty must be in [0, 1)")
+    costs = {
+        name: cost_of(name, params, model).total_ms for name in STRATEGIES
+    }
+    best = min(costs, key=costs.__getitem__)
+
+    rationale = []
+    p_est = params.update_probability
+    rationale.append(
+        f"estimated update probability P = {p_est:.2f}; "
+        f"point-optimal strategy: {best} ({costs[best]:.0f} ms/access)"
+    )
+
+    if update_probability_uncertainty > 0:
+        p_high = min(0.95, p_est + update_probability_uncertainty)
+        high = params.with_update_probability(p_high)
+        worst_case = {
+            name: max(costs[name], cost_of(name, high, model).total_ms)
+            for name in STRATEGIES
+        }
+        risk_adjusted = min(worst_case, key=worst_case.__getitem__)
+        rationale.append(
+            f"with P possibly as high as {p_high:.2f}, the minimax pick is "
+            f"{risk_adjusted} (worst case {worst_case[risk_adjusted]:.0f} ms)"
+        )
+    else:
+        risk_adjusted = best
+
+    return Recommendation(
+        best=best,
+        costs=costs,
+        risk_adjusted=risk_adjusted,
+        rationale=rationale,
+    )
+
+
+IMPLEMENTATION_ORDER = (
+    "always_recompute",
+    "cache_invalidate",
+    "update_cache_avm",
+    "update_cache_rvm",
+)
+"""The paper's §8 staged implementation advice: simplest first; CI gives
+good small-object performance and degrades gracefully; Update Cache last,
+"if the programming effort can be justified" (and its view-maintenance code
+doubles as a materialized view facility)."""
+
+
+def implementation_stage(available_effort: int) -> tuple[str, ...]:
+    """Which strategies the paper advises implementing given an effort
+    budget of 1-4 'stages'."""
+    if not 1 <= available_effort <= len(IMPLEMENTATION_ORDER):
+        raise ValueError(
+            f"available_effort must be in [1, {len(IMPLEMENTATION_ORDER)}]"
+        )
+    return IMPLEMENTATION_ORDER[:available_effort]

@@ -1,0 +1,96 @@
+"""Uniform access to both models' cost functions, plus sweep helpers."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.model import model1, model2
+from repro.model.costs import CostBreakdown
+from repro.model.params import ModelParams
+
+STRATEGIES: tuple[str, ...] = (
+    "always_recompute",
+    "cache_invalidate",
+    "update_cache_avm",
+    "update_cache_rvm",
+)
+
+_TABLES: dict[int, dict[str, Callable[[ModelParams], CostBreakdown]]] = {
+    1: {
+        "always_recompute": model1.total_always_recompute,
+        "cache_invalidate": model1.total_cache_invalidate,
+        "update_cache_avm": model1.total_update_cache_avm,
+        "update_cache_rvm": model1.total_update_cache_rvm,
+    },
+    2: {
+        "always_recompute": model2.total_always_recompute,
+        "cache_invalidate": model2.total_cache_invalidate,
+        "update_cache_avm": model2.total_update_cache_avm,
+        "update_cache_rvm": model2.total_update_cache_rvm,
+    },
+}
+
+
+def cost_of(strategy: str, params: ModelParams, model: int = 1) -> CostBreakdown:
+    """Expected per-access cost of ``strategy`` under procedure ``model``."""
+    try:
+        table = _TABLES[model]
+    except KeyError:
+        raise ValueError(f"model must be 1 or 2, not {model!r}") from None
+    try:
+        fn = table[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
+        ) from None
+    return fn(params)
+
+
+def strategy_costs(
+    params: ModelParams, model: int = 1
+) -> dict[str, CostBreakdown]:
+    """All four strategies' breakdowns at one parameter point."""
+    return {name: cost_of(name, params, model) for name in STRATEGIES}
+
+
+def best_update_cache(params: ModelParams, model: int = 1) -> CostBreakdown:
+    """The cheaper Update Cache variant (the paper's figures plot "Update
+    Cache" as whichever of AVM/RVM wins at that point)."""
+    avm = cost_of("update_cache_avm", params, model)
+    rvm = cost_of("update_cache_rvm", params, model)
+    return avm if avm.total_ms <= rvm.total_ms else rvm
+
+
+def sweep_update_probability(
+    params: ModelParams,
+    p_values: list[float],
+    model: int = 1,
+    strategies: tuple[str, ...] = STRATEGIES,
+) -> dict[str, list[float]]:
+    """Cost-vs-P series: for each strategy, its cost at each update
+    probability (``q`` fixed, ``k`` derived). The x-axis of Figures 4-10
+    and 17."""
+    series: dict[str, list[float]] = {name: [] for name in strategies}
+    for p_value in p_values:
+        point = params.with_update_probability(p_value)
+        for name in strategies:
+            series[name].append(cost_of(name, point, model).total_ms)
+    return series
+
+
+def sweep_sharing_factor(
+    params: ModelParams,
+    sf_values: list[float],
+    model: int = 1,
+) -> dict[str, list[float]]:
+    """AVM-vs-RVM cost series over the sharing factor (Figures 11 and 18).
+    AVM ignores SF, so its series is flat."""
+    series: dict[str, list[float]] = {
+        "update_cache_avm": [],
+        "update_cache_rvm": [],
+    }
+    for sf in sf_values:
+        point = params.replace(sharing_factor=sf)
+        for name in series:
+            series[name].append(cost_of(name, point, model).total_ms)
+    return series

@@ -1,0 +1,60 @@
+"""Shared cost-model pieces: page math, B-tree height, cost breakdowns."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def pages(block_count: float) -> float:
+    """Whole pages occupied by an object of ``block_count`` (possibly
+    fractional) blocks: the paper's ``ceil(f * b)``. Zero stays zero."""
+    if block_count < 0:
+        raise ValueError("block_count must be >= 0")
+    if block_count == 0:
+        return 0.0
+    # Guard float noise: 0.1 * 0.1 * 2500 = 25.000000000000004 must not
+    # round up to 26 pages.
+    return float(math.ceil(block_count - 1e-9))
+
+
+def btree_height(n_entries: float, fanout: int) -> int:
+    """Height of a B-tree holding ``n_entries`` with the given fanout.
+
+    The OCR'd paper prints ``H1 = floor(log_{B/d} fN)``, which is 0 at the
+    defaults — degenerate. We use ``max(1, ceil(log_fanout n_entries))``
+    (see DESIGN.md); the term is a small additive constant common to every
+    recompute path, so the choice does not affect any comparison.
+    """
+    if fanout < 2:
+        raise ValueError("fanout must be >= 2")
+    if n_entries <= 1:
+        return 1
+    return max(1, math.ceil(math.log(n_entries, fanout)))
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """A total cost in ms plus its named components (the paper's tables)."""
+
+    strategy: str
+    total_ms: float
+    components: dict[str, float] = field(default_factory=dict)
+
+    def component(self, name: str) -> float:
+        return self.components[name]
+
+    def check_consistent(self, tolerance: float = 1e-6) -> None:
+        """Assert the components sum to the total (used by tests). Only
+        components not prefixed with ``"info."`` are summed; ``info.``
+        entries are diagnostic (probabilities, sizes)."""
+        summed = sum(
+            value
+            for name, value in self.components.items()
+            if not name.startswith("info.")
+        )
+        if abs(summed - self.total_ms) > tolerance * max(1.0, abs(self.total_ms)):
+            raise AssertionError(
+                f"{self.strategy}: components sum to {summed}, "
+                f"total is {self.total_ms}"
+            )

@@ -1,0 +1,99 @@
+"""Crossover finders: where strategy preference flips.
+
+The paper's narrative hinges on a handful of break-even points — "for a
+sharing factor of approximately 0.47, the two algorithms are equivalent",
+the P beyond which Update Cache loses to Cache and Invalidate, the P where
+caching stops beating recomputation. This module locates such points by
+bisection over the closed-form model, so benches and the advisor can talk
+about the *boundaries* of the design space rather than samples of it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.model.api import cost_of
+from repro.model.params import ModelParams
+
+_BISECTION_STEPS = 60
+
+
+def _bisect_sign_change(
+    fn: Callable[[float], float], lo: float, hi: float
+) -> Optional[float]:
+    """Root of ``fn`` in [lo, hi] given a sign change, else ``None``."""
+    f_lo, f_hi = fn(lo), fn(hi)
+    if f_lo == 0:
+        return lo
+    if f_hi == 0:
+        return hi
+    if (f_lo > 0) == (f_hi > 0):
+        return None
+    for _ in range(_BISECTION_STEPS):
+        mid = (lo + hi) / 2
+        f_mid = fn(mid)
+        if f_mid == 0:
+            return mid
+        if (f_mid > 0) == (f_lo > 0):
+            lo, f_lo = mid, f_mid
+        else:
+            hi = mid
+    return (lo + hi) / 2
+
+
+def crossover_update_probability(
+    strategy_a: str,
+    strategy_b: str,
+    params: ModelParams,
+    model: int = 1,
+    lo: float = 0.001,
+    hi: float = 0.99,
+) -> Optional[float]:
+    """The update probability where ``strategy_a``'s cost crosses
+    ``strategy_b``'s (``None`` if one dominates throughout [lo, hi])."""
+
+    def diff(p: float) -> float:
+        point = params.with_update_probability(p)
+        return (
+            cost_of(strategy_a, point, model).total_ms
+            - cost_of(strategy_b, point, model).total_ms
+        )
+
+    return _bisect_sign_change(diff, lo, hi)
+
+
+def crossover_sharing_factor(
+    params: ModelParams, model: int = 2
+) -> Optional[float]:
+    """The SF where RVM's cost meets AVM's (the paper's ~0.47 in model 2;
+    typically ``None`` or ~1.0 in model 1)."""
+
+    def diff(sf: float) -> float:
+        point = params.replace(sharing_factor=sf)
+        return (
+            cost_of("update_cache_rvm", point, model).total_ms
+            - cost_of("update_cache_avm", point, model).total_ms
+        )
+
+    return _bisect_sign_change(diff, 0.0, 1.0)
+
+
+def crossover_object_size(
+    strategy_a: str,
+    strategy_b: str,
+    params: ModelParams,
+    model: int = 1,
+    lo: float = 1e-5,
+    hi: float = 0.05,
+) -> Optional[float]:
+    """The selectivity ``f`` where the two strategies' costs meet at the
+    given parameters' update probability."""
+
+    def diff(f: float) -> float:
+        point = params.replace(selectivity_f=f)
+        return (
+            cost_of(strategy_a, point, model).total_ms
+            - cost_of(strategy_b, point, model).total_ms
+        )
+
+    return _bisect_sign_change(diff, lo, hi)

@@ -1,0 +1,282 @@
+"""Model 1 cost formulas (paper §4): P2 procedures are two-way joins.
+
+Every public function returns the expected cost *per procedure access* in
+milliseconds, as a :class:`repro.model.costs.CostBreakdown` whose components
+mirror the paper's cost tables. Maintenance components (paid per update) are
+already multiplied by ``k/q`` so they are per-access figures.
+"""
+
+from __future__ import annotations
+
+from repro.model.costs import CostBreakdown, btree_height, pages
+from repro.model.params import ModelParams
+from repro.model.yao import yao
+
+# ---------------------------------------------------------------------------
+# Query (recompute) costs
+# ---------------------------------------------------------------------------
+
+
+def cost_query_p1(p: ModelParams) -> float:
+    """``C_queryP1``: B-tree descent + data pages + per-tuple screens."""
+    f_n = p.selectivity_f * p.n_tuples
+    height = btree_height(f_n, p.btree_fanout)
+    return (
+        p.cpu_test_ms * f_n
+        + p.io_ms * pages(p.selectivity_f * p.blocks)
+        + p.io_ms * height
+    )
+
+
+def cost_query_p2(p: ModelParams) -> float:
+    """``C_queryP2`` (model 1): P1 scan plus a hash-probe join into R2.
+
+    ``Y1 = y(fR2*N, fR2*b, fN)`` pages of R2, plus ``C1`` per joined tuple.
+    """
+    f_n = p.selectivity_f * p.n_tuples
+    y1 = yao(p.r2_fraction * p.n_tuples, p.r2_fraction * p.blocks, f_n)
+    return cost_query_p1(p) + p.cpu_test_ms * f_n + p.io_ms * y1
+
+
+def cost_process_query(p: ModelParams) -> float:
+    """``C_ProcessQuery``: procedure-population-weighted recompute cost."""
+    return p.p1_fraction * cost_query_p1(p) + p.p2_fraction * cost_query_p2(p)
+
+
+def proc_size_pages(p: ModelParams) -> float:
+    """``ProcSize``: expected pages of a stored procedure value."""
+    p1_pages = pages(p.selectivity_f * p.blocks)
+    p2_pages = pages(p.f_star * p.blocks)
+    return p.p1_fraction * p1_pages + p.p2_fraction * p2_pages
+
+
+# ---------------------------------------------------------------------------
+# Always Recompute
+# ---------------------------------------------------------------------------
+
+
+def total_always_recompute(p: ModelParams) -> CostBreakdown:
+    """``TOT_Recompute1 = C_ProcessQuery``."""
+    query_p1 = cost_query_p1(p)
+    query_p2 = cost_query_p2(p)
+    total = p.p1_fraction * query_p1 + p.p2_fraction * query_p2
+    return CostBreakdown(
+        strategy="always_recompute",
+        total_ms=total,
+        components={
+            "recompute": total,
+            "info.query_p1": query_p1,
+            "info.query_p2": query_p2,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cache and Invalidate
+# ---------------------------------------------------------------------------
+
+
+def invalidation_probability(p: ModelParams) -> float:
+    """``IP``: probability a procedure's cache is invalid when accessed.
+
+    Uses the paper's locality split: ``Z`` of the procedures receive
+    ``1 - Z`` of the accesses. ``X``/``Y`` are the expected update counts
+    between successive accesses to a hot/cold procedure; each update exposes
+    ``2l`` old/new tuple values, each breaking an i-lock with probability
+    ``f``.
+    """
+    z = p.locality
+    n = p.num_objects
+    two_l = 2.0 * p.tuples_per_update
+    keep = 1.0 - p.selectivity_f
+    x = n * (z / (1.0 - z)) * p.updates_per_query
+    y = n * ((1.0 - z) / z) * p.updates_per_query
+    z1 = 1.0 - keep ** (two_l * x)
+    z2 = 1.0 - keep ** (two_l * y)
+    return (1.0 - z) * z1 + z * z2
+
+
+def invalidations_per_update(p: ModelParams) -> float:
+    """Expected procedures invalidated by one update:
+    ``(N1 + N2) * P_inval`` with ``P_inval = 1 - (1-f)^(2l)``."""
+    p_inval = 1.0 - (1.0 - p.selectivity_f) ** (2.0 * p.tuples_per_update)
+    return p.num_objects * p_inval
+
+
+def total_cache_invalidate(
+    p: ModelParams, process_query: float | None = None
+) -> CostBreakdown:
+    """``TOT_CacheInval = IP*T1 + (1 - IP)*T2 + T3``.
+
+    ``process_query`` lets model 2 reuse this function with its own
+    recompute cost.
+    """
+    if process_query is None:
+        process_query = cost_process_query(p)
+    size = proc_size_pages(p)
+    t1 = process_query + 2.0 * p.io_ms * size
+    t2 = p.io_ms * size
+    t3 = (
+        p.updates_per_query
+        * invalidations_per_update(p)
+        * p.inval_cost_ms
+    )
+    ip = invalidation_probability(p)
+    total = ip * t1 + (1.0 - ip) * t2 + t3
+    return CostBreakdown(
+        strategy="cache_invalidate",
+        total_ms=total,
+        components={
+            "recompute_amortized": ip * t1,
+            "cache_read_amortized": (1.0 - ip) * t2,
+            "invalidation": t3,
+            "info.T1": t1,
+            "info.T2": t2,
+            "info.IP": ip,
+            "info.proc_size_pages": size,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Update Cache — shared pieces
+# ---------------------------------------------------------------------------
+
+
+def _screen_p1(p: ModelParams) -> float:
+    """``C_screenP1 = N1 * C1 * f * l`` (per update)."""
+    return p.num_p1 * p.cpu_test_ms * p.selectivity_f * p.tuples_per_update
+
+
+def _refresh_p1(p: ModelParams) -> float:
+    """``C_refreshP1 = 2 * N1 * C2 * Y3`` (read + write each touched page)."""
+    y3 = _y3(p)
+    return 2.0 * p.num_p1 * p.io_ms * y3
+
+
+def _y3(p: ModelParams) -> float:
+    """``Y3 = y(fN, fb, 2fl)``: pages of a P1 value touched per update."""
+    f = p.selectivity_f
+    return yao(
+        f * p.n_tuples, f * p.blocks, 2.0 * f * p.tuples_per_update
+    )
+
+
+def _y4(p: ModelParams) -> float:
+    """``Y4 = y(f*N, f*b, 2f*l)``: pages of a P2 value touched per update."""
+    fs = p.f_star
+    return yao(
+        fs * p.n_tuples, fs * p.blocks, 2.0 * fs * p.tuples_per_update
+    )
+
+
+def _refresh_p2(p: ModelParams) -> float:
+    """``C_refreshP2 = 2 * N2 * C2 * Y4``."""
+    return 2.0 * p.num_p2 * p.io_ms * _y4(p)
+
+
+def cost_read(p: ModelParams) -> float:
+    """``C_read = C2 * ProcSize``: read a maintained value on access."""
+    return p.io_ms * proc_size_pages(p)
+
+
+# ---------------------------------------------------------------------------
+# Update Cache — AVM (non-shared)
+# ---------------------------------------------------------------------------
+
+
+def total_update_cache_avm(p: ModelParams) -> CostBreakdown:
+    """``TOT_non-shared1`` (paper §4.3)."""
+    screen_p1 = _screen_p1(p)
+    screen_p2 = p.num_p2 * p.cpu_test_ms * p.selectivity_f * p.tuples_per_update
+    refresh_p1 = _refresh_p1(p)
+    refresh_p2 = _refresh_p2(p)
+    overhead = (
+        p.overhead_ms
+        * 2.0
+        * p.selectivity_f
+        * p.tuples_per_update
+        * p.num_objects
+    )
+    y2 = yao(
+        p.r2_fraction * p.n_tuples,
+        p.r2_fraction * p.blocks,
+        2.0 * p.selectivity_f * p.tuples_per_update,
+    )
+    join = p.num_p2 * p.io_ms * y2
+    per_update = (
+        screen_p1 + screen_p2 + refresh_p1 + refresh_p2 + overhead + join
+    )
+    ratio = p.updates_per_query
+    read = cost_read(p)
+    return CostBreakdown(
+        strategy="update_cache_avm",
+        total_ms=read + ratio * per_update,
+        components={
+            "read": read,
+            "screen_p1": ratio * screen_p1,
+            "screen_p2": ratio * screen_p2,
+            "refresh_p1": ratio * refresh_p1,
+            "refresh_p2": ratio * refresh_p2,
+            "overhead": ratio * overhead,
+            "join": ratio * join,
+            "info.per_update": per_update,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Update Cache — RVM (shared)
+# ---------------------------------------------------------------------------
+
+
+def total_update_cache_rvm(p: ModelParams) -> CostBreakdown:
+    """``TOT_shared1`` (paper §4.4).
+
+    Only the unshared fraction ``1 - SF`` of P2 procedures pays screening
+    and left-α-memory refresh; every P2 pays the probe into its (private)
+    right α-memory, ``Y5 = y(f**N, f**b, 2fl)`` with ``f** = f2 * fR2``.
+    """
+    unshared = 1.0 - p.sharing_factor
+    screen_p1 = _screen_p1(p)
+    screen_p2 = (
+        p.num_p2
+        * unshared
+        * p.cpu_test_ms
+        * p.selectivity_f
+        * p.tuples_per_update
+    )
+    refresh_p1 = _refresh_p1(p)
+    refresh_alpha = p.num_p2 * unshared * 2.0 * p.io_ms * _y3(p)
+    refresh_p2 = _refresh_p2(p)
+    f_2star = p.selectivity_f2 * p.r2_fraction
+    y5 = yao(
+        f_2star * p.n_tuples,
+        f_2star * p.blocks,
+        2.0 * p.selectivity_f * p.tuples_per_update,
+    )
+    join_alpha = p.num_p2 * p.io_ms * y5
+    per_update = (
+        screen_p1
+        + screen_p2
+        + refresh_p1
+        + refresh_alpha
+        + refresh_p2
+        + join_alpha
+    )
+    ratio = p.updates_per_query
+    read = cost_read(p)
+    return CostBreakdown(
+        strategy="update_cache_rvm",
+        total_ms=read + ratio * per_update,
+        components={
+            "read": read,
+            "screen_p1": ratio * screen_p1,
+            "screen_p2_rete": ratio * screen_p2,
+            "refresh_p1": ratio * refresh_p1,
+            "refresh_alpha": ratio * refresh_alpha,
+            "refresh_p2": ratio * refresh_p2,
+            "join_alpha": ratio * join_alpha,
+            "info.per_update": per_update,
+        },
+    )

@@ -1,0 +1,121 @@
+"""Model 2 cost formulas (paper §6): P2 procedures are three-way joins.
+
+Only the pieces that differ from model 1 are redefined; everything else is
+delegated to :mod:`repro.model.model1`, as in the paper ("most of the
+formulas remain unchanged, so only the differences from model 1 are
+shown").
+"""
+
+from __future__ import annotations
+
+from repro.model import model1
+from repro.model.costs import CostBreakdown
+from repro.model.params import ModelParams
+from repro.model.yao import yao
+
+# ---------------------------------------------------------------------------
+# Always Recompute
+# ---------------------------------------------------------------------------
+
+
+def cost_query_p2(p: ModelParams) -> float:
+    """``C_queryP2'``: the model-1 two-way join plus a hash-probe join into
+    R3 — ``Y6 = y(fR3*N, fR3*b, fN)`` pages and ``C1`` per joined tuple."""
+    f_n = p.selectivity_f * p.n_tuples
+    y6 = yao(p.r3_fraction * p.n_tuples, p.r3_fraction * p.blocks, f_n)
+    return model1.cost_query_p2(p) + p.io_ms * y6 + p.cpu_test_ms * f_n
+
+
+def cost_process_query(p: ModelParams) -> float:
+    """``C_ProcessQuery`` with the three-way ``C_queryP2'``."""
+    return p.p1_fraction * model1.cost_query_p1(p) + p.p2_fraction * cost_query_p2(p)
+
+
+def total_always_recompute(p: ModelParams) -> CostBreakdown:
+    """``TOT_Recompute2``."""
+    query_p1 = model1.cost_query_p1(p)
+    query_p2 = cost_query_p2(p)
+    total = p.p1_fraction * query_p1 + p.p2_fraction * query_p2
+    return CostBreakdown(
+        strategy="always_recompute",
+        total_ms=total,
+        components={
+            "recompute": total,
+            "info.query_p1": query_p1,
+            "info.query_p2": query_p2,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cache and Invalidate
+# ---------------------------------------------------------------------------
+
+
+def total_cache_invalidate(p: ModelParams) -> CostBreakdown:
+    """``TOT_CacheInval2``: model 1 with ``C_queryP2`` replaced by
+    ``C_queryP2'`` (result sizes, hence ProcSize, are unchanged)."""
+    return model1.total_cache_invalidate(p, process_query=cost_process_query(p))
+
+
+# ---------------------------------------------------------------------------
+# Update Cache — AVM (non-shared)
+# ---------------------------------------------------------------------------
+
+
+def total_update_cache_avm(p: ModelParams) -> CostBreakdown:
+    """``TOT_non-shared2``: model 1 with ``C_join`` replaced by
+    ``C_join' = N2 * C2 * (Y2 + Y7)`` — the delta must be joined through
+    *both* R2 and R3."""
+    base = model1.total_update_cache_avm(p)
+    two_f_l = 2.0 * p.selectivity_f * p.tuples_per_update
+    y7 = yao(p.r3_fraction * p.n_tuples, p.r3_fraction * p.blocks, two_f_l)
+    extra_join = p.updates_per_query * p.num_p2 * p.io_ms * y7
+    components = dict(base.components)
+    components["join"] = components["join"] + extra_join
+    components["info.per_update"] = (
+        components["info.per_update"] + p.num_p2 * p.io_ms * y7
+    )
+    return CostBreakdown(
+        strategy="update_cache_avm",
+        total_ms=base.total_ms + extra_join,
+        components=components,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Update Cache — RVM (shared)
+# ---------------------------------------------------------------------------
+
+
+def total_update_cache_rvm(p: ModelParams) -> CostBreakdown:
+    """``TOT_shared2``: model 1 with ``C_join-α`` replaced by
+    ``C_join-β = N2 * C2 * Y8`` — the changed R1 tuples join *once* against
+    the precomputed ``σ_Cf2(R2) ⋈ R3`` β-memory of ``f2 * fR3 * N`` tuples.
+
+    This single-join advantage over AVM's two joins is why RVM wins in
+    model 2 once ``SF`` exceeds ≈ 0.47 (paper Figure 18).
+    """
+    base = model1.total_update_cache_rvm(p)
+    two_f_l = 2.0 * p.selectivity_f * p.tuples_per_update
+
+    f_2star = p.selectivity_f2 * p.r2_fraction
+    y5 = yao(f_2star * p.n_tuples, f_2star * p.blocks, two_f_l)
+    alpha_per_update = p.num_p2 * p.io_ms * y5
+
+    f_3star = p.selectivity_f2 * p.r3_fraction
+    y8 = yao(f_3star * p.n_tuples, f_3star * p.blocks, two_f_l)
+    beta_per_update = p.num_p2 * p.io_ms * y8
+
+    ratio = p.updates_per_query
+    components = dict(base.components)
+    components.pop("join_alpha")
+    components["join_beta"] = ratio * beta_per_update
+    components["info.per_update"] = (
+        base.components["info.per_update"] - alpha_per_update + beta_per_update
+    )
+    return CostBreakdown(
+        strategy="update_cache_rvm",
+        total_ms=base.total_ms + ratio * (beta_per_update - alpha_per_update),
+        components=components,
+    )

@@ -1,0 +1,143 @@
+"""Model parameters (paper Figure 2).
+
+Defaults are the paper's. Two defaults the OCR'd table omits are
+reconstructed from the surrounding text (see DESIGN.md): ``num_p1 = num_p2 =
+100`` and ``locality = 0.2``.
+
+The derived quantity ``b`` (total blocks of ``R1``) is ``N * S / B`` — the
+printed ``b = N/S`` is dimensionally wrong and contradicts every use of
+``f * b`` as a page count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """All parameters of the paper's cost model.
+
+    Attributes (paper symbol in parentheses):
+        n_tuples: tuples in ``R1`` (N).
+        tuple_bytes: bytes per tuple (S).
+        block_bytes: bytes per disk block (B).
+        index_entry_bytes: bytes per B-tree index record (d).
+        num_updates: update transactions in the workload window (k).
+        tuples_per_update: tuples modified in place per update (l).
+        num_queries: procedure accesses in the window (q).
+        selectivity_f: selectivity of ``C_f(R1)`` (f).
+        selectivity_f2: selectivity of ``C_f2(R2)`` (f2).
+        r2_fraction: ``|R2| / N`` (fR2).
+        r3_fraction: ``|R3| / N`` (fR3).
+        cpu_test_ms: CPU ms to screen one record (C1).
+        io_ms: ms per disk read or write (C2).
+        overhead_ms: ms per tuple of AVM delta-set bookkeeping (C3).
+        num_p1: number of type-P1 procedures (N1).
+        num_p2: number of type-P2 procedures (N2).
+        sharing_factor: fraction of P2 procedures sharing a P1's ``C_f``
+            subexpression (SF).
+        inval_cost_ms: cost to record one invalidation (C_inval).
+        locality: locality skew (Z): a fraction ``Z`` of procedures
+            receives a fraction ``1 - Z`` of accesses. Must be in (0, 1);
+            0.5 is the uniform case.
+    """
+
+    n_tuples: int = 100_000
+    tuple_bytes: int = 100
+    block_bytes: int = 4_000
+    index_entry_bytes: int = 20
+    num_updates: float = 100.0
+    tuples_per_update: float = 25.0
+    num_queries: float = 100.0
+    selectivity_f: float = 0.001
+    selectivity_f2: float = 0.1
+    r2_fraction: float = 0.1
+    r3_fraction: float = 0.1
+    cpu_test_ms: float = 1.0
+    io_ms: float = 30.0
+    overhead_ms: float = 1.0
+    num_p1: int = 100
+    num_p2: int = 100
+    sharing_factor: float = 0.5
+    inval_cost_ms: float = 0.0
+    locality: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.n_tuples <= 0:
+            raise ValueError("n_tuples must be positive")
+        if not 0 < self.selectivity_f <= 1:
+            raise ValueError("selectivity_f must be in (0, 1]")
+        if not 0 < self.selectivity_f2 <= 1:
+            raise ValueError("selectivity_f2 must be in (0, 1]")
+        if not 0 < self.locality < 1:
+            raise ValueError("locality Z must be in (0, 1)")
+        if not 0 <= self.sharing_factor <= 1:
+            raise ValueError("sharing_factor must be in [0, 1]")
+        if self.num_updates < 0 or self.num_queries <= 0:
+            raise ValueError("need num_updates >= 0 and num_queries > 0")
+        if self.num_p1 + self.num_p2 <= 0:
+            raise ValueError("need at least one procedure")
+        if min(self.tuples_per_update, self.inval_cost_ms) < 0:
+            raise ValueError("tuples_per_update and inval_cost_ms must be >= 0")
+
+    # -- derived quantities (paper notation in comments) ---------------------
+
+    @property
+    def blocks(self) -> float:
+        """Total blocks of ``R1`` (b = N*S/B; 2500 at defaults)."""
+        return self.n_tuples * self.tuple_bytes / self.block_bytes
+
+    @property
+    def btree_fanout(self) -> int:
+        """Index records per block (B/d; 200 at defaults)."""
+        return max(2, self.block_bytes // self.index_entry_bytes)
+
+    @property
+    def f_star(self) -> float:
+        """Total P2 selectivity (f* = f * f2)."""
+        return self.selectivity_f * self.selectivity_f2
+
+    @property
+    def updates_per_query(self) -> float:
+        """k / q."""
+        return self.num_updates / self.num_queries
+
+    @property
+    def update_probability(self) -> float:
+        """P = k / (k + q)."""
+        return self.num_updates / (self.num_updates + self.num_queries)
+
+    @property
+    def num_objects(self) -> int:
+        """n = N1 + N2."""
+        return self.num_p1 + self.num_p2
+
+    @property
+    def p1_fraction(self) -> float:
+        return self.num_p1 / self.num_objects
+
+    @property
+    def p2_fraction(self) -> float:
+        return self.num_p2 / self.num_objects
+
+    # -- construction helpers ---------------------------------------------------
+
+    def replace(self, **changes) -> "ModelParams":
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def with_update_probability(self, p: float) -> "ModelParams":
+        """A copy whose ``k`` gives update probability ``p`` at fixed ``q``.
+
+        ``p`` must be in [0, 1); ``p -> 1`` needs unbounded updates.
+        """
+        if not 0 <= p < 1:
+            raise ValueError("update probability must be in [0, 1)")
+        k = self.num_queries * p / (1 - p)
+        return self.replace(num_updates=k)
+
+
+DEFAULT_PARAMS = ModelParams()
+"""The paper's Figure 2 defaults."""

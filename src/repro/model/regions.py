@@ -1,0 +1,95 @@
+"""Winner-region and closeness-region grids (paper Figures 12-15, 19).
+
+The paper's region plots sweep update probability ``P`` against object size
+``f`` and shade, per grid cell, which algorithm is cheapest — with both
+Update Cache variants collapsed to "Update Cache" (the better of AVM/RVM) —
+or, for the closeness figures, whether Cache and Invalidate is within a
+chosen factor of the best Update Cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.api import cost_of
+from repro.model.params import ModelParams
+
+WINNER_LABELS = ("always_recompute", "cache_invalidate", "update_cache")
+
+
+@dataclass(frozen=True)
+class RegionGrid:
+    """A labelled 2-D grid over (P, f).
+
+    ``labels[i][j]`` corresponds to ``p_values[i]`` and ``f_values[j]``.
+    """
+
+    p_values: tuple[float, ...]
+    f_values: tuple[float, ...]
+    labels: tuple[tuple[str, ...], ...]
+
+    def label_at(self, i: int, j: int) -> str:
+        return self.labels[i][j]
+
+    def count(self, label: str) -> int:
+        return sum(row.count(label) for row in self.labels)
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.p_values) * len(self.f_values)
+
+    def fraction(self, label: str) -> float:
+        return self.count(label) / self.num_cells
+
+
+def _cell_costs(
+    params: ModelParams, p_value: float, f_value: float, model: int
+) -> dict[str, float]:
+    point = params.replace(selectivity_f=f_value).with_update_probability(
+        p_value
+    )
+    avm = cost_of("update_cache_avm", point, model).total_ms
+    rvm = cost_of("update_cache_rvm", point, model).total_ms
+    return {
+        "always_recompute": cost_of("always_recompute", point, model).total_ms,
+        "cache_invalidate": cost_of("cache_invalidate", point, model).total_ms,
+        "update_cache": min(avm, rvm),
+    }
+
+
+def winner_grid(
+    params: ModelParams,
+    p_values: list[float],
+    f_values: list[float],
+    model: int = 1,
+) -> RegionGrid:
+    """Which algorithm is cheapest at each (P, f) cell (Figures 12/13/19)."""
+    labels = []
+    for p_value in p_values:
+        row = []
+        for f_value in f_values:
+            costs = _cell_costs(params, p_value, f_value, model)
+            row.append(min(costs, key=costs.__getitem__))
+        labels.append(tuple(row))
+    return RegionGrid(tuple(p_values), tuple(f_values), tuple(labels))
+
+
+def closeness_grid(
+    params: ModelParams,
+    p_values: list[float],
+    f_values: list[float],
+    factor: float = 2.0,
+    model: int = 1,
+) -> RegionGrid:
+    """Where Cache and Invalidate is within ``factor`` of the best Update
+    Cache, or outright better (Figures 14/15). Labels: ``"ci_within"`` /
+    ``"ci_outside"``."""
+    labels = []
+    for p_value in p_values:
+        row = []
+        for f_value in f_values:
+            costs = _cell_costs(params, p_value, f_value, model)
+            within = costs["cache_invalidate"] <= factor * costs["update_cache"]
+            row.append("ci_within" if within else "ci_outside")
+        labels.append(tuple(row))
+    return RegionGrid(tuple(p_values), tuple(f_values), tuple(labels))

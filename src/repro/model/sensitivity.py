@@ -1,0 +1,105 @@
+"""One-at-a-time sensitivity analysis of the cost model (extension).
+
+The paper's conclusions hinge on which parameters move the strategy
+comparison: update probability and object size "primarily", sharing factor
+and join count for AVM-vs-RVM. This module quantifies that systematically:
+perturb one parameter at a time by a factor, recompute every strategy's
+cost, and report the relative swings — a tornado analysis over the paper's
+Figure-2 knobs. It both documents the model's behaviour and guards it: the
+test suite pins which parameters each strategy must (and must not) be
+sensitive to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.api import STRATEGIES, cost_of
+from repro.model.params import ModelParams
+
+SWEEPABLE = (
+    "selectivity_f",
+    "selectivity_f2",
+    "tuples_per_update",
+    "num_updates",
+    "locality",
+    "sharing_factor",
+    "io_ms",
+    "cpu_test_ms",
+    "inval_cost_ms",
+)
+"""Parameters the analysis perturbs (multiplicative; bounded fields are
+clamped to their legal range)."""
+
+_UNIT_BOUNDED = {"selectivity_f", "selectivity_f2", "locality", "sharing_factor"}
+
+
+@dataclass(frozen=True)
+class Sensitivity:
+    """Relative cost change of one strategy for one parameter swing."""
+
+    parameter: str
+    strategy: str
+    low_ratio: float  # cost(param/factor) / cost(baseline)
+    high_ratio: float  # cost(param*factor) / cost(baseline)
+
+    @property
+    def swing(self) -> float:
+        """Total relative swing across the perturbation range."""
+        return abs(self.high_ratio - self.low_ratio)
+
+
+def _perturb(params: ModelParams, name: str, factor: float) -> ModelParams:
+    value = getattr(params, name) * factor
+    if name in _UNIT_BOUNDED:
+        value = min(0.999, max(1e-9, value))
+    if name in ("num_updates", "inval_cost_ms"):
+        value = max(0.0, value)
+    return params.replace(**{name: value})
+
+
+def analyze(
+    params: ModelParams,
+    model: int = 1,
+    factor: float = 2.0,
+    parameters: tuple[str, ...] = SWEEPABLE,
+    strategies: tuple[str, ...] = STRATEGIES,
+) -> list[Sensitivity]:
+    """Tornado analysis: each parameter halved and doubled around
+    ``params``; returns per-(parameter, strategy) relative cost ratios,
+    sorted by descending swing."""
+    if factor <= 1.0:
+        raise ValueError("factor must exceed 1")
+    baseline = {
+        name: cost_of(name, params, model).total_ms for name in strategies
+    }
+    out: list[Sensitivity] = []
+    for parameter in parameters:
+        low = _perturb(params, parameter, 1.0 / factor)
+        high = _perturb(params, parameter, factor)
+        for strategy in strategies:
+            out.append(
+                Sensitivity(
+                    parameter=parameter,
+                    strategy=strategy,
+                    low_ratio=cost_of(strategy, low, model).total_ms
+                    / baseline[strategy],
+                    high_ratio=cost_of(strategy, high, model).total_ms
+                    / baseline[strategy],
+                )
+            )
+    out.sort(key=lambda s: s.swing, reverse=True)
+    return out
+
+
+def render_tornado(results: list[Sensitivity], top: int = 15) -> str:
+    """Aligned text table of the largest swings."""
+    lines = [
+        f"{'parameter':18s} {'strategy':20s} {'x0.5':>8s} {'x2':>8s} {'swing':>8s}"
+    ]
+    for item in results[:top]:
+        lines.append(
+            f"{item.parameter:18s} {item.strategy:20s} "
+            f"{item.low_ratio:8.2f} {item.high_ratio:8.2f} {item.swing:8.2f}"
+        )
+    return "\n".join(lines)

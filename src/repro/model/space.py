@@ -1,0 +1,85 @@
+"""Analytical storage-footprint model (extension).
+
+The paper prices time only; this module prices the space each strategy's
+auxiliary structures occupy, using the same page math as the cost model:
+
+- **Always Recompute** stores nothing.
+- **Cache and Invalidate** and **AVM** store one materialised result per
+  procedure: ``N1 * ceil(f*b) + N2 * ceil(f**b)`` pages.
+- **RVM** additionally stores the network's interior memories — one left
+  α-memory per *distinct* ``C_f`` (sharing collapses ``SF`` of the P2
+  α-memories into P1's) and one right memory per P2 (``σ_Cf2(R2)`` in
+  model 1; ``σ_Cf2(R2) ⋈ R3`` in model 2) — the storage price of its
+  maintenance speed.
+
+The simulated counterpart is ``RunResult.space_pages``; the space ablation
+bench confirms the shapes (AVM flat in SF, RVM decreasing, RVM > AVM).
+"""
+
+from __future__ import annotations
+
+from repro.model.costs import pages
+from repro.model.params import ModelParams
+
+
+def result_pages(p: ModelParams) -> float:
+    """Pages of materialised procedure results (one copy per procedure)."""
+    p1_pages = pages(p.selectivity_f * p.blocks)
+    p2_pages = pages(p.f_star * p.blocks)
+    return p.num_p1 * p1_pages + p.num_p2 * p2_pages
+
+
+def space_always_recompute(p: ModelParams) -> float:
+    """Always Recompute materialises nothing."""
+    return 0.0
+
+
+def space_cache_invalidate(p: ModelParams) -> float:
+    """One cached result per procedure (plus a negligible validity map)."""
+    return result_pages(p)
+
+
+def space_update_cache_avm(p: ModelParams) -> float:
+    """One maintained result per procedure; no interior structures."""
+    return result_pages(p)
+
+
+def space_update_cache_rvm(p: ModelParams, model: int = 1) -> float:
+    """Results plus the Rete network's interior memories.
+
+    P1 results double as the shared left α-memories, so only the unshared
+    fraction ``1 - SF`` of P2 procedures stores a private left α-memory of
+    ``ceil(f*b)`` pages. Every P2 stores a private right memory:
+    ``ceil(f2*fR2*b)`` pages of ``σ_Cf2(R2)`` in model 1, plus the
+    ``σ_Cf2(R2) ⋈ R3`` β-memory rows (``f2 * fR2 * N`` tuples) in model 2,
+    where the β replaces probing R3 at maintenance time.
+    """
+    if model not in (1, 2):
+        raise ValueError(f"model must be 1 or 2, not {model!r}")
+    total = result_pages(p)
+    left_alpha = pages(p.selectivity_f * p.blocks)
+    total += p.num_p2 * (1.0 - p.sharing_factor) * left_alpha
+    right_alpha = pages(p.selectivity_f2 * p.r2_fraction * p.blocks)
+    total += p.num_p2 * right_alpha
+    if model == 2:
+        # R3's unrestricted alpha plus the R2xR3 beta; both per-P2 since
+        # C_f2 differs per procedure (R3's alpha is shared via consing only
+        # when restrictions coincide — the model takes the private bound).
+        r3_alpha = pages(p.r3_fraction * p.blocks)
+        beta = pages(p.selectivity_f2 * p.r2_fraction * p.blocks)
+        total += p.num_p2 * (r3_alpha + beta)
+    return total
+
+
+def space_of(strategy: str, p: ModelParams, model: int = 1) -> float:
+    """Dispatch by strategy name (same names as the cost model)."""
+    table = {
+        "always_recompute": lambda: space_always_recompute(p),
+        "cache_invalidate": lambda: space_cache_invalidate(p),
+        "update_cache_avm": lambda: space_update_cache_avm(p),
+        "update_cache_rvm": lambda: space_update_cache_rvm(p, model),
+    }
+    try:
+        return table[strategy]()
+    except KeyError:
+        raise ValueError(f"unknown strategy {strategy!r}") from None

@@ -1,0 +1,80 @@
+"""The Yao function and Cardenas' approximation (paper Appendix A).
+
+``yao(n, m, k)`` estimates the expected number of blocks touched when ``k``
+records are accessed out of ``n`` records stored on ``m`` blocks. The paper
+uses Cardenas' approximation ``m * (1 - (1 - 1/m)^k)`` guarded by piecewise
+small-case rules:
+
+- ``k <= 1``: return ``k`` (a fractional expected record count touches a
+  fractional expected page count);
+- ``k > 1`` and ``m < 1``: the object fits in (part of) one page — return 1;
+- ``k > 1`` and ``m < U`` (``U = 2``): return ``min(k, m)``;
+- otherwise: Cardenas.
+
+``yao_exact`` implements Yao's exact hypergeometric formula for validation.
+"""
+
+from __future__ import annotations
+
+import math
+
+DEFAULT_SMALL_OBJECT_BOUND = 2.0
+"""The paper's ``U``: below this many pages, skip Cardenas."""
+
+
+def cardenas(m: float, k: float) -> float:
+    """Cardenas' approximation: expected blocks touched among ``m`` when
+    ``k`` records are drawn uniformly with replacement."""
+    if m <= 0:
+        return 0.0
+    return m * (1.0 - (1.0 - 1.0 / m) ** k)
+
+
+def yao(
+    n: float, m: float, k: float, upper: float = DEFAULT_SMALL_OBJECT_BOUND
+) -> float:
+    """The paper's piecewise page-access estimator ``y(n, m, k)``.
+
+    Args:
+        n: records in the file (unused by Cardenas but kept for the
+            classical signature and for :func:`yao_exact` comparisons).
+        m: blocks in the file (may be fractional: an expected size).
+        k: records accessed (may be fractional: an expected count).
+        upper: the small-object bound ``U``.
+    """
+    if k < 0 or m < 0 or n < 0:
+        raise ValueError("yao arguments must be non-negative")
+    if k <= 1:
+        return k
+    if m < 1:
+        return 1.0
+    if m < upper:
+        return min(k, m)
+    return cardenas(m, k)
+
+
+def yao_exact(n: int, m: int, k: int) -> float:
+    """Yao's exact formula: ``m * (1 - C(n - n/m, k) / C(n, k))``.
+
+    Requires integer arguments with ``m | n`` record/block structure
+    (``p = n/m`` records per block). Used in tests to bound the error of
+    :func:`cardenas` (small for blocking factors over ~10).
+    """
+    if min(n, m, k) < 0:
+        raise ValueError("yao_exact arguments must be non-negative")
+    if m == 0 or n == 0:
+        return 0.0
+    if k == 0:
+        return 0.0
+    if k > n:
+        raise ValueError("cannot access more records than exist")
+    p = n / m
+    if p != int(p):
+        raise ValueError("yao_exact needs an integral blocking factor n/m")
+    p = int(p)
+    # P(a given block untouched) = C(n - p, k) / C(n, k)
+    if n - p < k:
+        untouched = 0.0
+    else:
+        untouched = math.comb(n - p, k) / math.comb(n, k)
+    return m * (1.0 - untouched)

@@ -1,0 +1,62 @@
+"""Query processing: predicates, relational algebra, plans, optimizer.
+
+The paper's procedures are select-project-join (SPJ) queries over ``R1``,
+``R2``, ``R3``. This package compiles such queries (expressed as a small
+relational algebra) into physical plans — B-tree interval scans, sequential
+scans, index nested-loop joins — whose execution charges the shared cost
+clock exactly the I/Os and predicate tests the paper's formulas count.
+
+Plans are *statically optimized*: compiled once when a procedure is defined,
+then executed without further planning, matching the paper's assumption that
+"an optimized execution plan ... is compiled in advance and stored with the
+procedure".
+"""
+
+from repro.query.predicate import (
+    And,
+    Comparison,
+    Interval,
+    Predicate,
+    TruePredicate,
+)
+from repro.query.expr import Expression, Join, Project, RelationRef, Select
+from repro.query.plan import (
+    BTreeScanPlan,
+    HashLookupJoinPlan,
+    LockSpec,
+    Plan,
+    ProjectPlan,
+    SeqScanPlan,
+)
+from repro.query.executor import ExecutionContext, execute_plan
+from repro.query.optimizer import Optimizer, PlanningError
+from repro.query.stats import CostEstimator, FieldStats, RelationStats
+from repro.query.parser import ParseError, parse_retrieve
+
+__all__ = [
+    "And",
+    "Comparison",
+    "Interval",
+    "Predicate",
+    "TruePredicate",
+    "Expression",
+    "Join",
+    "Project",
+    "RelationRef",
+    "Select",
+    "Plan",
+    "SeqScanPlan",
+    "BTreeScanPlan",
+    "HashLookupJoinPlan",
+    "ProjectPlan",
+    "LockSpec",
+    "ExecutionContext",
+    "execute_plan",
+    "Optimizer",
+    "PlanningError",
+    "CostEstimator",
+    "RelationStats",
+    "FieldStats",
+    "parse_retrieve",
+    "ParseError",
+]

@@ -1,0 +1,146 @@
+"""Normalisation of SPJ expressions.
+
+Both compilers in this system — the physical-plan optimizer (used by Always
+Recompute, Cache and Invalidate, and AVM) and the Rete network builder (used
+by RVM) — consume the same normal form: an ordered list of base relations,
+the restriction predicates owned by each, and the chain of equijoin edges
+connecting them. :func:`normalize_spj` produces it from an algebra tree.
+
+Field names must be globally unique across the joined relations so that
+restriction ownership is unambiguous; the synthetic workload's schemas
+guarantee this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.query.expr import Expression, Join, Project, RelationRef, Select
+from repro.query.predicate import Predicate, conjoin
+from repro.storage.catalog import Catalog
+
+
+class NormalizationError(ValueError):
+    """Raised when an expression is not a supported SPJ shape."""
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """``outer.outer_field = inner.inner_field`` where ``outer`` is the
+    already-joined prefix and ``inner`` is the relation being attached."""
+
+    outer_field: str
+    inner_relation: str
+    inner_field: str
+
+
+@dataclass
+class SPJQuery:
+    """The normal form of a procedure's query.
+
+    Attributes:
+        relations: base relations in join order; ``relations[0]`` drives.
+        restrictions: per-relation single-relation predicate terms.
+        joins: one edge per relation after the first, in attach order.
+        residuals: predicate terms spanning multiple relations (rare; the
+            paper's procedures have none).
+        projection: output fields, or ``None`` for ``retrieve (*.all)``.
+    """
+
+    relations: list[str]
+    restrictions: dict[str, list[Predicate]] = field(default_factory=dict)
+    joins: list[JoinEdge] = field(default_factory=list)
+    residuals: list[Predicate] = field(default_factory=list)
+    projection: tuple[str, ...] | None = None
+
+    def restriction_of(self, relation: str) -> Predicate:
+        """The conjunction of ``relation``'s restriction terms."""
+        return conjoin(self.restrictions.get(relation, []))
+
+    @property
+    def num_joins(self) -> int:
+        return len(self.joins)
+
+
+def _field_owner(catalog: Catalog, field_name: str, relations: list[str]) -> str:
+    owners = [
+        name
+        for name in relations
+        if catalog.get(name).schema.has_field(field_name)
+    ]
+    if len(owners) != 1:
+        raise NormalizationError(
+            f"field {field_name!r} owned by {owners or 'no relation'}; "
+            "join field names must be globally unique"
+        )
+    return owners[0]
+
+
+def normalize_spj(expr: Expression, catalog: Catalog) -> SPJQuery:
+    """Normalise a left-deep SPJ expression (raises
+    :class:`NormalizationError` for unsupported shapes, including repeated
+    relations — self-joins are out of scope for this reproduction)."""
+    query = SPJQuery(relations=[])
+
+    # Projection must be outermost; peel it before walking.
+    if isinstance(expr, Project):
+        query.projection = expr.fields
+        expr = expr.child
+
+    def classify(pred: Predicate) -> None:
+        for term in pred.conjuncts():
+            owners = {
+                _field_owner(catalog, f, query.relations) for f in term.fields()
+            }
+            if len(owners) == 1:
+                query.restrictions.setdefault(owners.pop(), []).append(term)
+            else:
+                query.residuals.append(term)
+
+    def walk(node: Expression) -> None:
+        if isinstance(node, Project):
+            raise NormalizationError(
+                "projection must be the outermost expression node"
+            )
+        if isinstance(node, RelationRef):
+            if node.name not in catalog:
+                raise NormalizationError(f"unknown relation {node.name!r}")
+            if node.name in query.relations:
+                raise NormalizationError(
+                    f"relation {node.name!r} appears twice (self-joins "
+                    "are unsupported)"
+                )
+            query.relations.append(node.name)
+            return
+        if isinstance(node, Select):
+            walk(node.child)
+            classify(node.predicate)
+            return
+        if isinstance(node, Join):
+            walk(node.left)
+            inner = node.right
+            inner_pred: Predicate | None = None
+            if isinstance(inner, Select):
+                inner_pred = inner.predicate
+                inner = inner.child
+            if not isinstance(inner, RelationRef):
+                raise NormalizationError(
+                    "only left-deep join trees are supported"
+                )
+            walk(inner)
+            if inner_pred is not None:
+                classify(inner_pred)
+            query.joins.append(
+                JoinEdge(
+                    outer_field=node.left_field,
+                    inner_relation=inner.name,
+                    inner_field=node.right_field,
+                )
+            )
+            return
+        raise NormalizationError(
+            f"unknown expression node {type(node).__name__}"
+        )
+
+    walk(expr)
+    return query

@@ -1,0 +1,55 @@
+"""Plan execution context and helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.query.plan import LockSpec, Plan
+from repro.sim import CostClock
+from repro.storage.catalog import Catalog
+from repro.storage.tuples import Row
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a plan needs to run.
+
+    Attributes:
+        catalog: name -> relation resolution.
+        clock: the shared cost clock (CPU charges are made here; page I/O is
+            charged by the storage layer, which holds the same clock).
+        lock_sink: when set, operators append a :class:`LockSpec` for
+            everything they read — the i-lock footprint of the execution.
+    """
+
+    catalog: Catalog
+    clock: CostClock
+    lock_sink: Optional[list[LockSpec]] = None
+
+
+@dataclass
+class ExecutionResult:
+    """Rows plus the cost charged to produce them."""
+
+    rows: list[Row]
+    cost_ms: float
+    locks: list[LockSpec] = field(default_factory=list)
+
+
+def execute_plan(
+    plan: Plan,
+    catalog: Catalog,
+    clock: CostClock,
+    collect_locks: bool = False,
+) -> ExecutionResult:
+    """Run ``plan`` and report rows, cost, and (optionally) read footprint."""
+    sink: Optional[list[LockSpec]] = [] if collect_locks else None
+    ctx = ExecutionContext(catalog=catalog, clock=clock, lock_sink=sink)
+    before = clock.snapshot()
+    rows = plan.execute(ctx)
+    return ExecutionResult(
+        rows=rows,
+        cost_ms=clock.elapsed_since(before),
+        locks=sink if sink is not None else [],
+    )

@@ -1,0 +1,106 @@
+"""Relational-algebra expressions.
+
+The logical form of a database procedure's query. The paper's two procedure
+types are::
+
+    P1:  Select(R1, C_f)
+    P2 (model 1):  Select(Join(R1, R2, a=b), C_f and C_f2)
+    P2 (model 2):  Select(Join(Join(R1, R2, a=b), R3, c=d), C_f and C_f2)
+
+Expressions are immutable and hashable so the Rete builder can detect shared
+subexpressions structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.predicate import Predicate
+
+
+class Expression:
+    """Base class for algebra nodes."""
+
+    def relations(self) -> set[str]:
+        """Names of all base relations referenced."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RelationRef(Expression):
+    """A base relation by name."""
+
+    name: str
+
+    def relations(self) -> set[str]:
+        return {self.name}
+
+
+@dataclass(frozen=True)
+class Select(Expression):
+    """Restriction: rows of ``child`` satisfying ``predicate``.
+
+    Field names in the predicate refer to the child's output schema (base
+    relation fields; join outputs concatenate schemas, right-side clashes
+    suffixed ``_r``).
+    """
+
+    child: Expression
+    predicate: Predicate
+
+    def relations(self) -> set[str]:
+        return self.child.relations()
+
+
+@dataclass(frozen=True)
+class Project(Expression):
+    """Projection: the named fields of ``child``'s output, in order.
+
+    The paper's procedures "retrieve (R1.fields, R2.fields)"; projection
+    restricts which columns the procedure returns. It must be the
+    *outermost* node of a procedure expression — maintenance layers store
+    full rows (so deletions stay identifiable) and project on access.
+    """
+
+    child: Expression
+    fields: tuple[str, ...]
+
+    def __init__(self, child: Expression, fields) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "fields", tuple(fields))
+        if not self.fields:
+            raise ValueError("projection needs at least one field")
+        if len(set(self.fields)) != len(self.fields):
+            raise ValueError(f"duplicate projected fields in {self.fields}")
+
+    def relations(self) -> set[str]:
+        return self.child.relations()
+
+
+@dataclass(frozen=True)
+class Join(Expression):
+    """Equijoin: ``left.left_field = right.right_field``."""
+
+    left: Expression
+    right: Expression
+    left_field: str
+    right_field: str
+
+    def relations(self) -> set[str]:
+        return self.left.relations() | self.right.relations()
+
+
+def describe(expr: Expression) -> str:
+    """A compact human-readable rendering (used in plan explanations)."""
+    if isinstance(expr, RelationRef):
+        return expr.name
+    if isinstance(expr, Select):
+        return f"sigma[{expr.predicate!r}]({describe(expr.child)})"
+    if isinstance(expr, Project):
+        return f"pi[{', '.join(expr.fields)}]({describe(expr.child)})"
+    if isinstance(expr, Join):
+        return (
+            f"({describe(expr.left)} |><| {describe(expr.right)} "
+            f"on {expr.left_field}={expr.right_field})"
+        )
+    raise TypeError(f"unknown expression node {type(expr).__name__}")

@@ -1,0 +1,267 @@
+"""A QUEL-style ``retrieve`` parser.
+
+The paper writes database procedures in INGRES QUEL::
+
+    retrieve (R1.all)
+    where C_f(R1)
+
+    retrieve (R1.fields, R2.fields)
+    where R1.a = R2.b
+    and C_f(R1) and C_f2(R2)
+
+This module parses that surface syntax into the algebra the rest of the
+system consumes, so procedures can be defined as strings::
+
+    parse_retrieve('retrieve (EMP.all, DEPT.all) '
+                   'where EMP.dept = DEPT.dname '
+                   'and EMP.job = "Programmer" and DEPT.floor = 1')
+
+Grammar (case-insensitive keywords)::
+
+    query   := "retrieve" "(" target ("," target)* ")" ["where" term ("and" term)*]
+    target  := NAME "." "all" | NAME "." NAME
+    term    := operand OP operand
+    operand := NAME "." NAME | NUMBER | STRING
+    OP      := < | <= | = | != | >= | >
+
+Relations join left-deep in order of first appearance; each relation after
+the first must be connected to an earlier one by an equality join term.
+Constant terms become selection predicates; if any target is a specific
+field, the whole query is wrapped in a projection.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.query.expr import Expression, Join, Project, RelationRef, Select
+from repro.query.predicate import And, Comparison, Predicate, conjoin
+
+
+class ParseError(ValueError):
+    """Raised for malformed ``retrieve`` statements."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>"[^"]*"|'[^']*')
+      | (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<op><=|>=|!=|=|<|>)
+      | (?P<punct>[().,])
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: Any
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise ParseError(
+                    f"unexpected character {text[pos]!r} at offset {pos}"
+                )
+            break
+        pos = match.end()
+        kind = match.lastgroup
+        raw = match.group(kind)
+        if kind == "string":
+            tokens.append(_Token("literal", raw[1:-1]))
+        elif kind == "number":
+            value = float(raw) if "." in raw else int(raw)
+            tokens.append(_Token("literal", value))
+        elif kind == "name":
+            tokens.append(_Token("name", raw))
+        else:
+            tokens.append(_Token(kind, raw))
+    return tokens
+
+
+@dataclass(frozen=True)
+class _FieldRef:
+    relation: str
+    field: str
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def _peek(self) -> Optional[_Token]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of statement")
+        self.pos += 1
+        return token
+
+    def _expect(self, kind: str, value: Any = None) -> _Token:
+        token = self._next()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise ParseError(
+                f"expected {value or kind}, got {token.value!r}"
+            )
+        return token
+
+    def _keyword(self, word: str) -> bool:
+        token = self._peek()
+        if (
+            token is not None
+            and token.kind == "name"
+            and token.value.lower() == word
+        ):
+            self.pos += 1
+            return True
+        return False
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> tuple[list[_FieldRef | str], list]:
+        if not self._keyword("retrieve"):
+            raise ParseError("statement must start with 'retrieve'")
+        self._expect("punct", "(")
+        targets = [self._target()]
+        while self._peek() and self._peek().value == ",":
+            self._next()
+            targets.append(self._target())
+        self._expect("punct", ")")
+        terms = []
+        if self._keyword("where"):
+            terms.append(self._term())
+            while self._keyword("and"):
+                terms.append(self._term())
+        if self._peek() is not None:
+            raise ParseError(f"trailing input at {self._peek().value!r}")
+        return targets, terms
+
+    def _target(self):
+        relation = self._expect("name").value
+        self._expect("punct", ".")
+        field = self._expect("name").value
+        if field.lower() == "all":
+            return relation  # whole-relation target
+        return _FieldRef(relation, field)
+
+    def _operand(self):
+        token = self._next()
+        if token.kind == "literal":
+            return token.value
+        if token.kind == "name":
+            self._expect("punct", ".")
+            field = self._expect("name").value
+            return _FieldRef(token.value, field)
+        raise ParseError(f"expected operand, got {token.value!r}")
+
+    def _term(self):
+        left = self._operand()
+        op = self._expect("op").value
+        right = self._operand()
+        return (left, op, right)
+
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+
+
+def parse_retrieve(text: str) -> Expression:
+    """Parse a ``retrieve`` statement into an algebra expression."""
+    targets, terms = _Parser(_tokenize(text)).parse()
+
+    # Relations in order of first appearance in the target list.
+    relations: list[str] = []
+    projected: list[str] = []
+    project_needed = False
+    for target in targets:
+        if isinstance(target, str):
+            if target not in relations:
+                relations.append(target)
+        else:
+            if target.relation not in relations:
+                relations.append(target.relation)
+            projected.append(target.field)
+            project_needed = True
+    if not relations:
+        raise ParseError("no relations in target list")
+    if project_needed and len(projected) != len(targets):
+        raise ParseError(
+            "mix of .all and specific fields in the target list is not "
+            "supported; project every field explicitly or none"
+        )
+
+    # Split qualification terms into join edges and selections.
+    joins: list[tuple[str, str, str, str]] = []  # (lrel, lfield, rrel, rfield)
+    selections: list[Predicate] = []
+    for left, op, right in terms:
+        left_is_field = isinstance(left, _FieldRef)
+        right_is_field = isinstance(right, _FieldRef)
+        if left_is_field and right_is_field:
+            if left.relation == right.relation:
+                raise ParseError(
+                    "same-relation field comparisons are not supported"
+                )
+            if op != "=":
+                raise ParseError("join terms must use '='")
+            for ref in (left, right):
+                if ref.relation not in relations:
+                    raise ParseError(
+                        f"relation {ref.relation!r} appears in the "
+                        "qualification but not the target list"
+                    )
+            joins.append((left.relation, left.field, right.relation, right.field))
+        elif left_is_field or right_is_field:
+            if not left_is_field:  # constant OP field -> flip
+                left, right, op = right, left, _FLIP[op]
+            if left.relation not in relations:
+                raise ParseError(
+                    f"relation {left.relation!r} appears in the "
+                    "qualification but not the target list"
+                )
+            selections.append(Comparison(left.field, op, right))
+        else:
+            raise ParseError("constant-to-constant comparisons are useless")
+
+    # Build the left-deep join tree in appearance order.
+    expr: Expression = RelationRef(relations[0])
+    attached = {relations[0]}
+    pending = list(joins)
+    for relation in relations[1:]:
+        edge = None
+        for candidate in pending:
+            lrel, lfield, rrel, rfield = candidate
+            if rrel == relation and lrel in attached:
+                edge = (lfield, rfield)
+            elif lrel == relation and rrel in attached:
+                edge = (rfield, lfield)
+            if edge is not None:
+                pending.remove(candidate)
+                break
+        if edge is None:
+            raise ParseError(
+                f"relation {relation!r} is not connected to the preceding "
+                "relations by a join term"
+            )
+        expr = Join(expr, RelationRef(relation), edge[0], edge[1])
+        attached.add(relation)
+    if pending:
+        raise ParseError("extra join terms between already-joined relations")
+
+    if selections:
+        expr = Select(expr, conjoin(selections))
+    if project_needed:
+        expr = Project(expr, tuple(projected))
+    return expr

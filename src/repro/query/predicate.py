@@ -1,0 +1,256 @@
+"""Selection predicates.
+
+Predicates are immutable descriptions; :meth:`Predicate.bind` compiles one
+against a schema into a fast positional matcher. The paper's restriction
+terms ``C_f(R_i)`` are range conditions with a chosen selectivity, modelled
+here by :class:`Interval`; generic comparisons and conjunctions cover the
+Rete t-const conditions (``attribute op constant`` with op in
+``{<, >, <=, >=, =, !=}``).
+
+Interval extraction (:meth:`Predicate.interval_on`) serves two consumers:
+the optimizer (to drive a B-tree interval scan) and the i-lock manager (the
+paper's rule indexing sets locks on "index intervals inspected").
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.storage.tuples import Row, Schema
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    "=": operator.eq,
+    "!=": operator.ne,
+    ">=": operator.ge,
+    ">": operator.gt,
+}
+
+BoundMatcher = Callable[[Row], bool]
+
+
+@dataclass(frozen=True)
+class KeyInterval:
+    """A (possibly unbounded, possibly degenerate) key range on one field."""
+
+    field: str
+    lo: Optional[Any] = None
+    hi: Optional[Any] = None
+    lo_inclusive: bool = True
+    hi_inclusive: bool = True
+
+    def contains(self, value: Any) -> bool:
+        """Whether ``value`` lies inside this key range."""
+        if self.lo is not None:
+            if self.lo_inclusive and value < self.lo:
+                return False
+            if not self.lo_inclusive and value <= self.lo:
+                return False
+        if self.hi is not None:
+            if self.hi_inclusive and value > self.hi:
+                return False
+            if not self.hi_inclusive and value >= self.hi:
+                return False
+        return True
+
+    def overlaps(self, other: "KeyInterval") -> bool:
+        """True when the two ranges share at least one point (same field)."""
+        if self.field != other.field:
+            return False
+        for left, right in ((self, other), (other, self)):
+            if left.hi is not None and right.lo is not None:
+                if left.hi < right.lo:
+                    return False
+                if left.hi == right.lo and not (
+                    left.hi_inclusive and right.lo_inclusive
+                ):
+                    return False
+        return True
+
+    @staticmethod
+    def point(field: str, value: Any) -> "KeyInterval":
+        return KeyInterval(field, lo=value, hi=value)
+
+    @staticmethod
+    def everything(field: str) -> "KeyInterval":
+        return KeyInterval(field)
+
+
+class Predicate:
+    """Base class for all predicates."""
+
+    def matches(self, row: Row, schema: Schema) -> bool:
+        """Test one row (name resolution per call; prefer :meth:`bind`)."""
+        raise NotImplementedError
+
+    def bind(self, schema: Schema) -> BoundMatcher:
+        """Compile to a positional matcher (resolves field names once)."""
+        raise NotImplementedError
+
+    def interval_on(self, field: str) -> Optional[KeyInterval]:
+        """The key range this predicate restricts ``field`` to, if it is a
+        simple range restriction on that field; ``None`` otherwise."""
+        return None
+
+    def conjuncts(self) -> list["Predicate"]:
+        """This predicate as a list of top-level AND terms."""
+        return [self]
+
+    def fields(self) -> set[str]:
+        """Names of all fields the predicate inspects."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Matches every row (the empty qualification)."""
+
+    def matches(self, row: Row, schema: Schema) -> bool:
+        return True
+
+    def bind(self, schema: Schema) -> BoundMatcher:
+        return lambda row: True
+
+    def conjuncts(self) -> list[Predicate]:
+        return []
+
+    def fields(self) -> set[str]:
+        return set()
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``field op constant`` — the Rete t-const node condition."""
+
+    field: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def matches(self, row: Row, schema: Schema) -> bool:
+        return _OPS[self.op](schema.value(row, self.field), self.value)
+
+    def bind(self, schema: Schema) -> BoundMatcher:
+        pos = schema.index_of(self.field)
+        fn = _OPS[self.op]
+        value = self.value
+        return lambda row: fn(row[pos], value)
+
+    def interval_on(self, field: str) -> Optional[KeyInterval]:
+        if field != self.field:
+            return None
+        if self.op == "=":
+            return KeyInterval.point(self.field, self.value)
+        if self.op == "<":
+            return KeyInterval(self.field, hi=self.value, hi_inclusive=False)
+        if self.op == "<=":
+            return KeyInterval(self.field, hi=self.value)
+        if self.op == ">":
+            return KeyInterval(self.field, lo=self.value, lo_inclusive=False)
+        if self.op == ">=":
+            return KeyInterval(self.field, lo=self.value)
+        return None  # "!=" is not a contiguous range
+
+    def fields(self) -> set[str]:
+        return {self.field}
+
+
+@dataclass(frozen=True)
+class Interval(Predicate):
+    """``lo <= field < hi`` (bounds configurable) — the paper's ``C_f``.
+
+    The workload generator materialises a restriction of selectivity ``f``
+    as an interval covering a fraction ``f`` of the field's domain.
+    """
+
+    field: str
+    lo: Optional[Any] = None
+    hi: Optional[Any] = None
+    lo_inclusive: bool = True
+    hi_inclusive: bool = False
+
+    def _interval(self) -> KeyInterval:
+        return KeyInterval(
+            self.field, self.lo, self.hi, self.lo_inclusive, self.hi_inclusive
+        )
+
+    def matches(self, row: Row, schema: Schema) -> bool:
+        return self._interval().contains(schema.value(row, self.field))
+
+    def bind(self, schema: Schema) -> BoundMatcher:
+        pos = schema.index_of(self.field)
+        interval = self._interval()
+        return lambda row: interval.contains(row[pos])
+
+    def interval_on(self, field: str) -> Optional[KeyInterval]:
+        if field != self.field:
+            return None
+        return self._interval()
+
+    def fields(self) -> set[str]:
+        return {self.field}
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    terms: tuple[Predicate, ...]
+
+    def __init__(self, *terms: Predicate) -> None:
+        flat: list[Predicate] = []
+        for term in terms:
+            if isinstance(term, And):
+                flat.extend(term.terms)
+            elif not isinstance(term, TruePredicate):
+                flat.append(term)
+        object.__setattr__(self, "terms", tuple(flat))
+
+    def matches(self, row: Row, schema: Schema) -> bool:
+        return all(term.matches(row, schema) for term in self.terms)
+
+    def bind(self, schema: Schema) -> BoundMatcher:
+        matchers = [term.bind(schema) for term in self.terms]
+        if not matchers:
+            return lambda row: True
+        if len(matchers) == 1:
+            return matchers[0]
+        return lambda row: all(m(row) for m in matchers)
+
+    def interval_on(self, field: str) -> Optional[KeyInterval]:
+        hits = [
+            iv
+            for term in self.terms
+            if (iv := term.interval_on(field)) is not None
+        ]
+        if len(hits) == 1:
+            return hits[0]
+        return None  # refuse to intersect; the optimizer treats extras as residual
+
+    def conjuncts(self) -> list[Predicate]:
+        out: list[Predicate] = []
+        for term in self.terms:
+            out.extend(term.conjuncts())
+        return out
+
+    def fields(self) -> set[str]:
+        out: set[str] = set()
+        for term in self.terms:
+            out |= term.fields()
+        return out
+
+
+def conjoin(terms: list[Predicate]) -> Predicate:
+    """Build the conjunction of ``terms`` (``TruePredicate`` when empty)."""
+    terms = [t for t in terms if not isinstance(t, TruePredicate)]
+    if not terms:
+        return TruePredicate()
+    if len(terms) == 1:
+        return terms[0]
+    return And(*terms)

@@ -1,0 +1,43 @@
+"""Recoverable invalidation recording.
+
+The paper (§3) weighs three ways Cache and Invalidate can durably record
+that a cached procedure value became invalid:
+
+1. **page flag** — "read the first page of the object, set a flag on it
+   ... and write it back. This requires an amount of time equal to 2*C2
+   (60 ms) per invalidation";
+2. **write-ahead log** — keep the validity map in memory and "use
+   conventional write-ahead log recovery and log the identifiers of
+   invalidated procedures [Gra78]. If the data structure is checkpointed
+   periodically, it can be recovered by playing the latest part of the log
+   against the last checkpoint";
+3. **battery-backed memory** — "essentially zero [cost] compared to the
+   cost of reading and writing a page".
+
+This package implements all three as :class:`InvalidationScheme` policies
+pluggable into :class:`repro.core.CacheAndInvalidate`, including a real
+append-only :class:`WriteAheadLog` with LSNs, fuzzy checkpoints, crash
+simulation, and replay recovery for the WAL scheme.
+"""
+
+from repro.recovery.wal import LogRecord, RecordKind, WriteAheadLog
+from repro.recovery.validity import RecoverableValidityMap
+from repro.recovery.schemes import (
+    BatteryBackedScheme,
+    InvalidationScheme,
+    PageFlagScheme,
+    WalScheme,
+    scheme_from_name,
+)
+
+__all__ = [
+    "WriteAheadLog",
+    "LogRecord",
+    "RecordKind",
+    "RecoverableValidityMap",
+    "InvalidationScheme",
+    "BatteryBackedScheme",
+    "PageFlagScheme",
+    "WalScheme",
+    "scheme_from_name",
+]

@@ -1,0 +1,165 @@
+"""Invalidation-recording schemes for Cache and Invalidate.
+
+Each scheme answers one question — *how much does it cost to durably record
+one procedure invalidation, and one revalidation?* — plus, for the WAL
+scheme, how state survives a crash. The three schemes are exactly the
+paper's §3 options; `repro.core.CacheAndInvalidate` accepts any of them.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.recovery.validity import RecoverableValidityMap
+from repro.recovery.wal import WriteAheadLog
+from repro.sim import CostClock
+
+
+class InvalidationScheme(abc.ABC):
+    """Durable valid/invalid bookkeeping policy."""
+
+    name: str
+
+    @abc.abstractmethod
+    def register(self, procedure: str) -> None:
+        """Introduce a procedure (initially invalid; definition-time)."""
+
+    @abc.abstractmethod
+    def is_valid(self, procedure: str) -> bool:
+        ...
+
+    @abc.abstractmethod
+    def mark_invalid(self, procedure: str) -> None:
+        """Record an invalidation, charging the scheme's cost."""
+
+    @abc.abstractmethod
+    def mark_valid(self, procedure: str) -> None:
+        """Record that the cache was refreshed."""
+
+
+class BatteryBackedScheme(InvalidationScheme):
+    """The paper's battery-backed-RAM design: transitions are free
+    (``C_inval`` ~ 0) and never lost."""
+
+    name = "battery"
+
+    def __init__(self) -> None:
+        self._valid: dict[str, bool] = {}
+
+    def register(self, procedure: str) -> None:
+        if procedure in self._valid:
+            raise ValueError(f"{procedure!r} already registered")
+        self._valid[procedure] = False
+
+    def is_valid(self, procedure: str) -> bool:
+        return self._valid[procedure]
+
+    def mark_invalid(self, procedure: str) -> None:
+        self._valid[procedure] = False
+
+    def mark_valid(self, procedure: str) -> None:
+        self._valid[procedure] = True
+
+
+class PageFlagScheme(InvalidationScheme):
+    """The paper's naive design: a validity flag on the cached object's
+    first page — every transition reads and rewrites that page
+    (``C_inval = 2 * C2`` = 60 ms at defaults)."""
+
+    name = "page_flag"
+
+    def __init__(self, clock: CostClock) -> None:
+        self.clock = clock
+        self._valid: dict[str, bool] = {}
+
+    def register(self, procedure: str) -> None:
+        if procedure in self._valid:
+            raise ValueError(f"{procedure!r} already registered")
+        self._valid[procedure] = False
+
+    def is_valid(self, procedure: str) -> bool:
+        return self._valid[procedure]
+
+    def _flip(self, procedure: str, value: bool) -> None:
+        self.clock.charge_read(1)
+        self.clock.charge_write(1)
+        self._valid[procedure] = value
+
+    def mark_invalid(self, procedure: str) -> None:
+        self._flip(procedure, False)
+
+    def mark_valid(self, procedure: str) -> None:
+        # The refresh rewrites the first page anyway; the flag rides along.
+        self._valid[procedure] = True
+
+
+class WalScheme(InvalidationScheme):
+    """The paper's logged design: transitions append to a write-ahead log
+    and the map is periodically checkpointed. Supports crash/recover.
+
+    Args:
+        clock: shared cost clock.
+        checkpoint_every: checkpoint after this many logged transitions
+            (0 disables automatic checkpoints).
+        force_on_invalidate: harden each invalidation immediately (safe
+            default) or let it ride group commit.
+    """
+
+    name = "wal"
+
+    def __init__(
+        self,
+        clock: CostClock,
+        checkpoint_every: int = 0,
+        records_per_page: int = 200,
+        force_on_invalidate: bool = True,
+    ) -> None:
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        self.clock = clock
+        self.wal = WriteAheadLog(clock, records_per_page=records_per_page)
+        self.map = RecoverableValidityMap(
+            clock, self.wal, force_on_invalidate=force_on_invalidate
+        )
+        self.checkpoint_every = checkpoint_every
+        self._since_checkpoint = 0
+        self._registered: list[str] = []
+
+    def register(self, procedure: str) -> None:
+        self.map.register(procedure, valid=False)
+        self._registered.append(procedure)
+
+    def is_valid(self, procedure: str) -> bool:
+        return self.map.is_valid(procedure)
+
+    def _maybe_checkpoint(self) -> None:
+        self._since_checkpoint += 1
+        if self.checkpoint_every and self._since_checkpoint >= self.checkpoint_every:
+            self.map.checkpoint()
+            self._since_checkpoint = 0
+
+    def mark_invalid(self, procedure: str) -> None:
+        self.map.mark_invalid(procedure)
+        self._maybe_checkpoint()
+
+    def mark_valid(self, procedure: str) -> None:
+        self.map.mark_valid(procedure)
+        self._maybe_checkpoint()
+
+    def crash_and_recover(self) -> None:
+        """Simulate a crash and rebuild the map from checkpoint + log."""
+        self.map.crash()
+        self.map.recover(self._registered)
+
+
+def scheme_from_name(
+    name: str, clock: CostClock, **kwargs
+) -> InvalidationScheme:
+    """Factory: ``"battery"`` | ``"page_flag"`` | ``"wal"``."""
+    if name == "battery":
+        return BatteryBackedScheme()
+    if name == "page_flag":
+        return PageFlagScheme(clock)
+    if name == "wal":
+        return WalScheme(clock, **kwargs)
+    raise ValueError(f"unknown invalidation scheme {name!r}")

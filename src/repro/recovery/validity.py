@@ -1,0 +1,144 @@
+"""The recoverable validity map.
+
+Tracks, per procedure, whether its cached value is valid — the data
+structure §3 of the paper wants kept "in high-speed memory with an entry
+for each procedure". Durability comes from write-ahead logging every
+transition plus periodic checkpoints:
+
+- ``mark_invalid``/``mark_valid`` log the transition *before* applying it
+  (write-ahead rule), then update the in-memory map;
+- ``checkpoint`` flushes the log, writes a snapshot of the map (one page
+  per ``entries_per_page`` entries, charged), and truncates the log;
+- ``recover`` rebuilds the map from the last checkpoint snapshot plus the
+  replay of surviving log records.
+
+Crash semantics: transitions whose log records were still in the WAL tail
+are lost. For invalidations that is *unsafe* (a lost invalidation would
+serve a stale cache), so ``mark_invalid`` forces the log by default —
+matching real systems, which must harden an invalidation before answering
+any query that depends on it. ``mark_valid`` may be lost harmlessly: the
+procedure merely recomputes once more after recovery.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.recovery.wal import RecordKind, WriteAheadLog
+from repro.sim import CostClock
+
+
+class RecoverableValidityMap:
+    """Per-procedure valid/invalid bits with WAL + checkpoint durability.
+
+    Args:
+        clock: charged for checkpoint snapshot writes (log I/O is charged
+            by the WAL itself).
+        wal: the backing write-ahead log.
+        entries_per_page: snapshot density for checkpoint I/O accounting.
+        force_on_invalidate: flush the log on every invalidation (safe,
+            default) or allow invalidations to ride group commit (faster,
+            but a crash may lose them — exposed for the ablation bench).
+    """
+
+    def __init__(
+        self,
+        clock: CostClock,
+        wal: WriteAheadLog,
+        entries_per_page: int = 200,
+        force_on_invalidate: bool = True,
+    ) -> None:
+        self.clock = clock
+        self.wal = wal
+        self.entries_per_page = entries_per_page
+        self.force_on_invalidate = force_on_invalidate
+        self._valid: dict[str, bool] = {}
+        self._checkpoint_snapshot: dict[str, bool] = {}
+        self._checkpoint_lsn = 0
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, procedure: str, valid: bool = False) -> None:
+        """Introduce a procedure (definition-time; not logged)."""
+        if procedure in self._valid:
+            raise ValueError(f"{procedure!r} already registered")
+        self._valid[procedure] = valid
+
+    def is_valid(self, procedure: str) -> bool:
+        return self._valid[procedure]
+
+    def procedures(self) -> list[str]:
+        return sorted(self._valid)
+
+    def valid_count(self) -> int:
+        return sum(self._valid.values())
+
+    # -- logged transitions -----------------------------------------------------
+
+    def mark_invalid(self, procedure: str) -> None:
+        """Record an invalidation durably, then apply it."""
+        if procedure not in self._valid:
+            raise KeyError(f"unknown procedure {procedure!r}")
+        self.wal.append(RecordKind.INVALIDATE, procedure)
+        if self.force_on_invalidate:
+            self.wal.flush()
+        self._valid[procedure] = False
+
+    def mark_valid(self, procedure: str) -> None:
+        """Record a revalidation (cache refreshed); may ride group commit."""
+        if procedure not in self._valid:
+            raise KeyError(f"unknown procedure {procedure!r}")
+        self.wal.append(RecordKind.VALIDATE, procedure)
+        self._valid[procedure] = True
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Snapshot the map; returns the checkpoint LSN."""
+        lsn = self.wal.flush()
+        snapshot = dict(self._valid)
+        pages = max(1, math.ceil(len(snapshot) / self.entries_per_page))
+        self.clock.charge_write(pages)
+        record = self.wal.append(RecordKind.CHECKPOINT, snapshot)
+        self.wal.flush()
+        self._checkpoint_snapshot = snapshot
+        self._checkpoint_lsn = record.lsn
+        self.wal.truncate_before(lsn)
+        return record.lsn
+
+    # -- crash / recovery -----------------------------------------------------------
+
+    def crash(self) -> int:
+        """Lose the in-memory map and the WAL tail; returns lost records."""
+        lost = self.wal.crash()
+        self._valid = {}
+        return lost
+
+    def recover(self, registered: Iterable[str]) -> None:
+        """Rebuild the map: start from the checkpoint snapshot (reading it
+        back, charged), then replay surviving log records. Procedures in
+        ``registered`` but absent from snapshot+log recover as *invalid* —
+        the conservative default (a spurious recompute, never a stale
+        read)."""
+        snapshot = dict(self._checkpoint_snapshot)
+        pages = max(1, math.ceil(max(len(snapshot), 1) / self.entries_per_page))
+        self.clock.charge_read(pages)
+        state = {name: False for name in registered}
+        for name, valid in snapshot.items():
+            if name in state:
+                state[name] = valid
+        for record in self.wal.records_after(self._checkpoint_lsn):
+            if record.kind is RecordKind.INVALIDATE:
+                if record.payload in state:
+                    state[record.payload] = False
+            elif record.kind is RecordKind.VALIDATE:
+                if record.payload in state:
+                    state[record.payload] = True
+            # CHECKPOINT records after our snapshot LSN would carry a newer
+            # snapshot; adopt it wholesale.
+            elif record.kind is RecordKind.CHECKPOINT:
+                for name, valid in record.payload.items():
+                    if name in state:
+                        state[name] = valid
+        self._valid = state

@@ -1,0 +1,39 @@
+"""The Rete discrimination network (RVM substrate).
+
+Implements the network of [Han87b] / [For82] used by the paper's *shared*
+Update Cache strategy: a root node broadcasts ±tokens describing base-table
+changes; t-const nodes test ``attribute op constant`` conditions; α-memories
+materialise selection results; and-nodes join tokens against the opposite
+memory; β-memories materialise join results. Memory contents are page-backed
+(:class:`repro.storage.MaterializedStore`), so maintaining and reading them
+charges the same I/O the paper's cost model counts.
+
+Shared subexpressions are detected structurally: building two procedures
+whose plans contain an identical subnetwork (same relation, same predicate,
+same join spec) reuses the existing nodes — this is how a type-P1 procedure's
+α-memory serves as the shared left input of SF of the type-P2 procedures.
+"""
+
+from repro.rete.tokens import Token
+from repro.rete.discrimination import ConstantTestIndex
+from repro.rete.nodes import (
+    AlphaMemoryNode,
+    AndNode,
+    BetaMemoryNode,
+    MemoryNode,
+    ReteNode,
+    TConstNode,
+)
+from repro.rete.network import ReteNetwork
+
+__all__ = [
+    "Token",
+    "ConstantTestIndex",
+    "ReteNode",
+    "TConstNode",
+    "MemoryNode",
+    "AlphaMemoryNode",
+    "BetaMemoryNode",
+    "AndNode",
+    "ReteNetwork",
+]

@@ -1,0 +1,60 @@
+"""Rete tokens.
+
+A token is a tagged row: ``+`` for an inserted tuple, ``-`` for a deleted
+tuple. Modifications are represented as a delete followed by an insert,
+exactly as the paper describes. Tokens produced by and-nodes carry the
+concatenation of the joined rows and inherit the tag of the triggering
+token.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.storage.tuples import Row
+
+
+class Tag(enum.Enum):
+    """Token polarity."""
+
+    INSERT = "+"
+    DELETE = "-"
+
+    def __str__(self) -> str:  # pragma: no cover - display only
+        return self.value
+
+
+@dataclass(frozen=True)
+class Token:
+    """A tagged row flowing through the network."""
+
+    tag: Tag
+    row: Row
+
+    @staticmethod
+    def insert(row: Row) -> "Token":
+        return Token(Tag.INSERT, row)
+
+    @staticmethod
+    def delete(row: Row) -> "Token":
+        return Token(Tag.DELETE, row)
+
+    @property
+    def is_insert(self) -> bool:
+        return self.tag is Tag.INSERT
+
+    def combined_with(self, other_row: Row, other_on_right: bool = True) -> "Token":
+        """A join-result token: this token's row concatenated with a row
+        from the opposite memory, preserving this token's tag."""
+        if other_on_right:
+            return Token(self.tag, self.row + other_row)
+        return Token(self.tag, other_row + self.row)
+
+
+def deltas_to_tokens(inserts: list[Row], deletes: list[Row]) -> list[Token]:
+    """Tokens for an update transaction: deletes first, then inserts, so a
+    modified tuple's old value leaves memories before its new value lands."""
+    out = [Token.delete(row) for row in deletes]
+    out.extend(Token.insert(row) for row in inserts)
+    return out

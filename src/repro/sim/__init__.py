@@ -1,0 +1,19 @@
+"""Simulated cost accounting.
+
+The paper measures every strategy in milliseconds of 1987-era hardware time:
+``C1`` per predicate test, ``C2`` per disk read or write, and ``C3`` per tuple
+of delta-set bookkeeping. The simulator charges the same constants to a
+:class:`CostClock` instead of measuring wall-clock time, so simulated results
+are directly comparable to the analytical model's output.
+"""
+
+from repro.sim.clock import CostClock, CostParams, CostSnapshot
+from repro.sim.metrics import MetricSet, RunningStat
+
+__all__ = [
+    "CostClock",
+    "CostParams",
+    "CostSnapshot",
+    "MetricSet",
+    "RunningStat",
+]

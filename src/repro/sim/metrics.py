@@ -1,0 +1,110 @@
+"""Lightweight metric aggregation for simulation runs.
+
+The workload runner reports the paper's headline quantity — expected cost per
+procedure access — plus distributional detail (mean / min / max / stddev) that
+the analytical model cannot provide. :class:`RunningStat` implements Welford's
+online algorithm so arbitrarily long runs use constant memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class RunningStat:
+    """Online mean/variance accumulator (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the statistic."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self._mean if self._count else 0.0
+
+    @property
+    def total(self) -> float:
+        return self._mean * self._count
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0.0 with fewer than two observations)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation (``inf`` when empty)."""
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation (``-inf`` when empty)."""
+        return self._max
+
+    def merge(self, other: "RunningStat") -> None:
+        """Fold another accumulator into this one (parallel Welford merge)."""
+        if other._count == 0:
+            return
+        if self._count == 0:
+            self._count = other._count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            return
+        combined = self._count + other._count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self._count * other._count / combined
+        self._mean += delta * other._count / combined
+        self._count = combined
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"RunningStat(n={self._count}, mean={self.mean:.3f})"
+
+
+@dataclass
+class MetricSet:
+    """A named collection of :class:`RunningStat` accumulators."""
+
+    stats: dict[str, RunningStat] = field(default_factory=dict)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` under ``name``, creating the stat on first use."""
+        self.stats.setdefault(name, RunningStat()).add(value)
+
+    def get(self, name: str) -> RunningStat:
+        """Return the stat for ``name`` (an empty one if never observed)."""
+        return self.stats.get(name, RunningStat())
+
+    def names(self) -> list[str]:
+        return sorted(self.stats)
+
+    def as_means(self) -> dict[str, float]:
+        """Map each metric name to its mean — the usual summary view."""
+        return {name: stat.mean for name, stat in self.stats.items()}

@@ -1,0 +1,76 @@
+"""Hash indexes.
+
+``R2`` and ``R3`` carry "hashed primary indexes" on their join attributes
+(paper §3). The paper charges a hash probe only for the *data pages* it
+touches — probing ``k`` keys of a relation with ``n`` tuples on ``m`` pages
+costs ``y(n, m, k)`` page reads (the Yao function), i.e. one read per
+distinct heap page holding a matching tuple. The hash directory itself is
+assumed memory-resident and free.
+
+We model exactly that: the directory is an in-memory ``dict`` from key to
+RIDs, and the join operators batch-fetch the matching heap pages (each
+distinct page once per query), which makes the *measured* page count a draw
+from the same distribution the Yao function gives the expectation of.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.storage.page import RID
+
+
+class HashIndex:
+    """An equality index: key -> set of RIDs.
+
+    Args:
+        name: diagnostic name (e.g. ``"R2.b"``).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._buckets: dict[Any, list[RID]] = {}
+        self._num_entries = 0
+
+    @property
+    def num_entries(self) -> int:
+        return self._num_entries
+
+    @property
+    def num_keys(self) -> int:
+        return len(self._buckets)
+
+    def insert(self, key: Any, rid: RID) -> None:
+        """Register ``rid`` under ``key``."""
+        bucket = self._buckets.setdefault(key, [])
+        if rid in bucket:
+            raise ValueError(f"duplicate hash entry ({key!r}, {rid})")
+        bucket.append(rid)
+        self._num_entries += 1
+
+    def delete(self, key: Any, rid: RID) -> bool:
+        """Remove one entry; returns whether it existed."""
+        bucket = self._buckets.get(key)
+        if not bucket or rid not in bucket:
+            return False
+        bucket.remove(rid)
+        if not bucket:
+            del self._buckets[key]
+        self._num_entries -= 1
+        return True
+
+    def probe(self, key: Any) -> list[RID]:
+        """RIDs of tuples whose indexed field equals ``key``.
+
+        Directory access only — data-page I/O is charged when the caller
+        fetches the returned RIDs from the heap.
+        """
+        return list(self._buckets.get(key, ()))
+
+    def items(self) -> Iterator[tuple[Any, RID]]:
+        for key, bucket in self._buckets.items():
+            for rid in bucket:
+                yield key, rid
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._buckets

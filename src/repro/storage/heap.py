@@ -1,0 +1,162 @@
+"""Heap files: unordered tuple storage with stable RIDs.
+
+A heap file stores a relation's tuples in slotted pages. Tuples per page is
+``B // S`` (40 at the paper's defaults). Updates are in-place — the paper's
+update transactions "modify ``l`` tuples of ``R1`` in place" — so a tuple's
+RID never changes and indexes stay valid across value updates of non-key
+fields.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.storage.buffer import BufferPool
+from repro.storage.page import Page, RID
+from repro.storage.tuples import Row, Schema
+
+
+class HeapFile:
+    """One relation's tuple storage.
+
+    Args:
+        name: file name in the disk manager (usually the relation name).
+        schema: the relation's schema; fixes the per-page tuple capacity.
+        buffer: buffer pool used for all page access (charges the clock).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        buffer: BufferPool,
+        fill_factor: float = 1.0,
+    ) -> None:
+        if not 0 < fill_factor <= 1:
+            raise ValueError("fill_factor must be in (0, 1]")
+        self.name = name
+        self.schema = schema
+        self.buffer = buffer
+        disk = buffer.disk
+        self.tuples_per_page = max(1, disk.block_bytes // schema.tuple_bytes)
+        # Regular inserts stop at fill_factor * capacity, reserving in-page
+        # slack so clustered relocation (insert_near) can keep moved tuples
+        # next to their key neighbours — standard practice for clustered
+        # tables. insert_near may fill pages to true capacity.
+        self.fill_threshold = max(1, int(self.tuples_per_page * fill_factor))
+        if not disk.has_file(name):
+            disk.create_file(name)
+        self._num_rows = 0
+        # Page numbers known to have at least one free slot. Metadata only —
+        # a real system would keep this in a free-space map page.
+        self._free_pages: set[int] = set()
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def num_pages(self) -> int:
+        return self.buffer.disk.num_pages(self.name)
+
+    def insert(self, row: Row) -> RID:
+        """Store ``row`` and return its RID (one read + one write, or a
+        single formatting write when a fresh page is allocated)."""
+        row = self.schema.make_row(row)
+        page_no = None
+        for candidate in sorted(self._free_pages):
+            candidate_page = self.buffer.disk.peek_page(self.name, candidate)
+            if len(candidate_page) < self.fill_threshold:
+                page_no = candidate
+                break
+        if page_no is not None:
+            page = self.buffer.fetch(self.name, page_no)
+        else:
+            page = self.buffer.disk.allocate_page(self.name, self.tuples_per_page)
+            page_no = page.page_no
+            self._free_pages.add(page_no)
+        slot_no = page.insert(row)
+        if page.is_full:
+            self._free_pages.discard(page_no)
+        self.buffer.mark_dirty(self.name, page_no)
+        self._num_rows += 1
+        return RID(page_no, slot_no)
+
+    def insert_near(self, row: Row, preferred_page_no: int) -> RID:
+        """Insert ``row`` into ``preferred_page_no`` when it has space,
+        falling back to a normal insert. Used to keep a relation clustered
+        on its primary key when updates move a tuple's key: the new version
+        is placed next to its key neighbours."""
+        row = self.schema.make_row(row)
+        if 0 <= preferred_page_no < self.num_pages:
+            page = self.buffer.fetch(self.name, preferred_page_no)
+            if not page.is_full:
+                slot_no = page.insert(row)
+                if page.is_full:
+                    self._free_pages.discard(preferred_page_no)
+                else:
+                    self._free_pages.add(preferred_page_no)
+                self.buffer.mark_dirty(self.name, preferred_page_no)
+                self._num_rows += 1
+                return RID(preferred_page_no, slot_no)
+        return self.insert(row)
+
+    def bulk_load(self, rows: Iterable[Row]) -> list[RID]:
+        """Insert many rows; same accounting as repeated :meth:`insert`."""
+        return [self.insert(row) for row in rows]
+
+    def read(self, rid: RID) -> Row:
+        """Fetch the row at ``rid`` (one page read)."""
+        page = self.buffer.fetch(self.name, rid.page_no)
+        return page.read(rid.slot_no)
+
+    def update(self, rid: RID, new_row: Row) -> Row:
+        """Overwrite the row at ``rid`` in place; returns the old row."""
+        new_row = self.schema.make_row(new_row)
+        page = self.buffer.fetch(self.name, rid.page_no)
+        old_row = page.read(rid.slot_no)
+        page.overwrite(rid.slot_no, new_row)
+        self.buffer.mark_dirty(self.name, rid.page_no)
+        return old_row
+
+    def delete(self, rid: RID) -> Row:
+        """Remove and return the row at ``rid``."""
+        page = self.buffer.fetch(self.name, rid.page_no)
+        old_row = page.delete(rid.slot_no)
+        self.buffer.mark_dirty(self.name, rid.page_no)
+        self._free_pages.add(rid.page_no)
+        self._num_rows -= 1
+        return old_row
+
+    def scan(self) -> Iterator[tuple[RID, Row]]:
+        """Full scan: reads every page once, yielding ``(rid, row)``."""
+        for page_no in range(self.num_pages):
+            page = self.buffer.fetch(self.name, page_no)
+            for slot_no, row in page.rows():
+                yield RID(page_no, slot_no), row
+
+    def find_first(
+        self, matches: Callable[[Row], bool]
+    ) -> Optional[tuple[RID, Row]]:
+        """Scan until the first row satisfying ``matches`` (or ``None``)."""
+        for rid, row in self.scan():
+            if matches(row):
+                return rid, row
+        return None
+
+    def scan_uncharged(self) -> Iterator[tuple[RID, Row]]:
+        """Full scan without I/O accounting.
+
+        For build-time work only (populating Rete memories when a procedure
+        is defined) — the paper treats plan/network construction as a
+        one-time cost outside the per-access analysis.
+        """
+        disk = self.buffer.disk
+        for page_no in range(self.num_pages):
+            page = disk.peek_page(self.name, page_no)
+            for slot_no, row in page.rows():
+                yield RID(page_no, slot_no), row
+
+    def _page_uncharged(self, page_no: int) -> Page:
+        """Direct page access without I/O accounting — tests only."""
+        return self.buffer.disk.peek_page(self.name, page_no)

@@ -1,0 +1,91 @@
+"""Slotted pages and record identifiers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.storage.tuples import Row
+
+
+@dataclass(frozen=True, order=True)
+class RID:
+    """A record identifier: (page number, slot number) within a file."""
+
+    page_no: int
+    slot_no: int
+
+
+class PageFullError(RuntimeError):
+    """Raised when inserting into a page with no free slot."""
+
+
+class Page:
+    """A fixed-capacity slotted page of rows.
+
+    Capacity is ``block_bytes // tuple_bytes`` — the paper's blocking factor
+    (40 tuples per 4 000-byte block at the default 100-byte tuples). Deleted
+    slots become holes that later inserts may reuse, so update-in-place keeps
+    RIDs stable, as the paper's in-place update model requires.
+    """
+
+    __slots__ = ("page_no", "capacity", "_slots", "_live")
+
+    def __init__(self, page_no: int, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("page capacity must be positive")
+        self.page_no = page_no
+        self.capacity = capacity
+        self._slots: list[Optional[Row]] = [None] * capacity
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    @property
+    def is_full(self) -> bool:
+        return self._live >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return self._live == 0
+
+    def insert(self, row: Row) -> int:
+        """Place ``row`` in the first free slot; return the slot number."""
+        if self.is_full:
+            raise PageFullError(f"page {self.page_no} is full")
+        for slot_no, existing in enumerate(self._slots):
+            if existing is None:
+                self._slots[slot_no] = row
+                self._live += 1
+                return slot_no
+        raise PageFullError(f"page {self.page_no} has inconsistent occupancy")
+
+    def read(self, slot_no: int) -> Row:
+        """Return the row in ``slot_no``; raises ``KeyError`` on empty slots."""
+        row = self._slots[slot_no]
+        if row is None:
+            raise KeyError(f"slot {slot_no} of page {self.page_no} is empty")
+        return row
+
+    def overwrite(self, slot_no: int, row: Row) -> None:
+        """Replace the row in an occupied slot (update-in-place)."""
+        if self._slots[slot_no] is None:
+            raise KeyError(f"slot {slot_no} of page {self.page_no} is empty")
+        self._slots[slot_no] = row
+
+    def delete(self, slot_no: int) -> Row:
+        """Remove and return the row in ``slot_no``."""
+        row = self.read(slot_no)
+        self._slots[slot_no] = None
+        self._live -= 1
+        return row
+
+    def rows(self) -> Iterator[tuple[int, Row]]:
+        """Yield ``(slot_no, row)`` for every occupied slot, in slot order."""
+        for slot_no, row in enumerate(self._slots):
+            if row is not None:
+                yield slot_no, row
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"Page(no={self.page_no}, live={self._live}/{self.capacity})"

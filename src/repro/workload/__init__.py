@@ -1,0 +1,27 @@
+"""Synthetic databases, procedure populations, and operation streams.
+
+Builds the paper's experimental universe: relation ``R1`` (B-tree-clustered
+on its selection attribute) plus ``R2``/``R3`` (hash-indexed on their join
+attributes), ``N1`` type-P1 and ``N2`` type-P2 stored procedures with the
+prescribed selectivities and sharing factor, and a randomized stream of
+update transactions (``l`` in-place modifications of ``R1``) and procedure
+accesses with ``Z``-skewed locality. The runner executes a stream under any
+strategy and reports the paper's metric: expected cost per procedure access.
+"""
+
+from repro.workload.database import SyntheticDatabase, build_database
+from repro.workload.procedures import ProcedurePopulation, build_procedures
+from repro.workload.generator import Operation, OperationKind, generate_operations
+from repro.workload.runner import RunResult, run_workload
+
+__all__ = [
+    "SyntheticDatabase",
+    "build_database",
+    "ProcedurePopulation",
+    "build_procedures",
+    "Operation",
+    "OperationKind",
+    "generate_operations",
+    "RunResult",
+    "run_workload",
+]

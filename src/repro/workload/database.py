@@ -1,0 +1,133 @@
+"""Synthetic database construction.
+
+Schemas (field names are globally unique, as the query layer requires):
+
+- ``R1(id1, sel, a)`` — ``N`` tuples; ``sel`` uniform over ``[0, N)`` and
+  **clustered** (tuples inserted in ``sel`` order) to model the paper's
+  "B-tree primary index on the field used by the selection predicate";
+  ``a`` is a uniform foreign key into ``R2.b``.
+- ``R2(id2, b, sel2, c)`` — ``fR2 * N`` tuples; ``b`` is the (hash-indexed)
+  join key; ``sel2`` uniform over ``[0, |R2| domain)``; ``c`` a uniform
+  foreign key into ``R3.d``.
+- ``R3(id3, d, pay)`` — ``fR3 * N`` tuples; ``d`` is the (hash-indexed)
+  join key.
+
+The foreign-key design makes a P2 procedure's expected cardinality
+``f * f2 * N``, matching the paper's ``f* N`` assumption.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.model.params import ModelParams
+from repro.sim import CostClock, CostParams
+from repro.storage import (
+    BufferPool,
+    Catalog,
+    DiskManager,
+    Field,
+    Relation,
+    Schema,
+)
+from repro.storage.page import RID
+
+R1_SCHEMA_FIELDS = [Field("id1"), Field("sel"), Field("a")]
+R2_SCHEMA_FIELDS = [Field("id2"), Field("b"), Field("sel2"), Field("c")]
+R3_SCHEMA_FIELDS = [Field("id3"), Field("d"), Field("pay")]
+
+
+@dataclass
+class SyntheticDatabase:
+    """A built database plus the shared simulation machinery."""
+
+    params: ModelParams
+    clock: CostClock
+    disk: DiskManager
+    buffer: BufferPool
+    catalog: Catalog
+    r1: Relation
+    r2: Relation
+    r3: Relation
+    r1_rids: list[RID]
+    r2_rids: list[RID]
+    r3_rids: list[RID]
+    sel_domain: int
+    sel2_domain: int
+
+    @property
+    def relations(self) -> dict[str, Relation]:
+        return {"R1": self.r1, "R2": self.r2, "R3": self.r3}
+
+
+def build_database(
+    params: ModelParams,
+    seed: int = 0,
+    buffer_capacity: int = 0,
+) -> SyntheticDatabase:
+    """Construct and populate the three relations with their paper-specified
+    access methods. The clock is reset afterwards, so loading cost never
+    leaks into measurements."""
+    clock = CostClock(
+        CostParams(
+            c1=params.cpu_test_ms, c2=params.io_ms, c3=params.overhead_ms
+        )
+    )
+    disk = DiskManager(clock, block_bytes=params.block_bytes)
+    buffer = BufferPool(disk, capacity=buffer_capacity)
+    catalog = Catalog(buffer)
+    rng = random.Random(seed)
+
+    n1 = params.n_tuples
+    n2 = max(1, round(params.r2_fraction * params.n_tuples))
+    n3 = max(1, round(params.r3_fraction * params.n_tuples))
+    sel_domain = n1
+    sel2_domain = max(1, n2)
+
+    r3 = catalog.create_relation(
+        "R3", Schema(R3_SCHEMA_FIELDS, tuple_bytes=params.tuple_bytes)
+    )
+    r3_rids = []
+    for m in range(n3):
+        r3_rids.append(r3.insert((m, m, rng.randrange(1_000_000))))
+    r3.create_hash_index("d")
+
+    r2 = catalog.create_relation(
+        "R2", Schema(R2_SCHEMA_FIELDS, tuple_bytes=params.tuple_bytes)
+    )
+    r2_rids = []
+    for j in range(n2):
+        r2_rids.append(
+            r2.insert((j, j, rng.randrange(sel2_domain), rng.randrange(n3)))
+        )
+    r2.create_hash_index("b")
+
+    # R1 loads at 90% fill so clustered relocation has in-page slack.
+    r1 = catalog.create_relation(
+        "R1",
+        Schema(R1_SCHEMA_FIELDS, tuple_bytes=params.tuple_bytes),
+        fill_factor=0.9,
+    )
+    sel_values = sorted(rng.randrange(sel_domain) for _ in range(n1))
+    r1_rids = []
+    for i, sel in enumerate(sel_values):
+        r1_rids.append(r1.insert((i, sel, rng.randrange(n2))))
+    r1.create_btree_index("sel", fanout=params.btree_fanout)
+
+    clock.reset()
+    return SyntheticDatabase(
+        params=params,
+        clock=clock,
+        disk=disk,
+        buffer=buffer,
+        catalog=catalog,
+        r1=r1,
+        r2=r2,
+        r3=r3,
+        r1_rids=r1_rids,
+        r2_rids=r2_rids,
+        r3_rids=r3_rids,
+        sel_domain=sel_domain,
+        sel2_domain=sel2_domain,
+    )

@@ -1,0 +1,114 @@
+"""Operation stream generation.
+
+An operation is either an **update transaction** (modify ``l`` tuples of
+``R1`` in place) or a **procedure access** (read one procedure's whole
+value). Each operation is an update with probability ``P = k / (k + q)``.
+
+Access locality follows the paper's skew: a fraction ``Z`` of the
+procedures (the *hot set*) receives a fraction ``1 - Z`` of the accesses;
+the rest share the remaining ``Z``. ``Z = 0.5`` is uniform; the paper's
+default is ``Z = 0.2`` (a 20/80 skew), and ``Z = 0.05`` models high
+locality.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.model.params import ModelParams
+
+
+class OperationKind(enum.Enum):
+    """The two operation types of the paper's workload."""
+
+    UPDATE = "update"
+    ACCESS = "access"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One workload step: an update transaction or a procedure access."""
+
+    kind: OperationKind
+    procedure: Optional[str] = None  # set for accesses
+    tuples_to_modify: int = 0  # set for updates
+    relation: str = "R1"  # which relation an update hits
+
+    @staticmethod
+    def update(tuples_to_modify: int, relation: str = "R1") -> "Operation":
+        return Operation(
+            OperationKind.UPDATE,
+            tuples_to_modify=tuples_to_modify,
+            relation=relation,
+        )
+
+    @staticmethod
+    def access(procedure: str) -> "Operation":
+        return Operation(OperationKind.ACCESS, procedure=procedure)
+
+
+class LocalityChooser:
+    """Z-skewed procedure selection.
+
+    The hot set is a fixed random subset of ``ceil(Z * n)`` procedures;
+    each access hits the hot set with probability ``1 - Z`` and is uniform
+    within its set.
+    """
+
+    def __init__(
+        self, names: list[str], locality: float, rng: random.Random
+    ) -> None:
+        if not names:
+            raise ValueError("need at least one procedure")
+        if not 0 < locality < 1:
+            raise ValueError("locality Z must be in (0, 1)")
+        self.locality = locality
+        shuffled = list(names)
+        rng.shuffle(shuffled)
+        hot_count = min(len(names), max(1, math.ceil(locality * len(names))))
+        self.hot = shuffled[:hot_count]
+        self.cold = shuffled[hot_count:] or self.hot
+
+    def choose(self, rng: random.Random) -> str:
+        pool = self.hot if rng.random() < (1.0 - self.locality) else self.cold
+        return pool[rng.randrange(len(pool))]
+
+
+def generate_operations(
+    params: ModelParams,
+    procedure_names: list[str],
+    num_operations: int,
+    seed: int = 0,
+    update_weights: Optional[dict[str, float]] = None,
+) -> Iterator[Operation]:
+    """Yield ``num_operations`` operations with the parameterised mix.
+
+    ``update_weights`` distributes update transactions across relations
+    (e.g. ``{"R1": 0.7, "R2": 0.3}``). The paper's workload — and the
+    default — sends every update to ``R1``; §8 flags the relative update
+    frequency of different relations as "an important factor that was not
+    analyzed", which the mixed-update benches explore.
+    """
+    if num_operations < 0:
+        raise ValueError("num_operations must be >= 0")
+    if update_weights is None:
+        update_weights = {"R1": 1.0}
+    total_weight = sum(update_weights.values())
+    if total_weight <= 0 or any(w < 0 for w in update_weights.values()):
+        raise ValueError("update_weights must be non-negative, sum > 0")
+    relations = sorted(update_weights)
+    weights = [update_weights[name] / total_weight for name in relations]
+    rng = random.Random(seed + 2)
+    chooser = LocalityChooser(procedure_names, params.locality, rng)
+    p_update = params.update_probability
+    l_tuples = int(round(params.tuples_per_update))
+    for _ in range(num_operations):
+        if rng.random() < p_update:
+            relation = rng.choices(relations, weights=weights, k=1)[0]
+            yield Operation.update(l_tuples, relation=relation)
+        else:
+            yield Operation.access(chooser.choose(rng))

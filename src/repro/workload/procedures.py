@@ -1,0 +1,97 @@
+"""Procedure population generation.
+
+Builds ``N1`` type-P1 and ``N2`` type-P2 procedures over a synthetic
+database:
+
+- every P1 is ``retrieve (R1.all) where C_f(R1)`` — an interval of
+  selectivity ``f`` on ``R1.sel``;
+- every P2 joins ``R1`` to ``R2`` (model 1) or to ``R2`` and ``R3``
+  (model 2), restricted by its own ``C_f(R1)`` and a private ``C_f2(R2)``;
+- a fraction ``SF`` of the P2 procedures reuses the ``C_f`` interval of an
+  existing P1 procedure — under RVM this makes their left α-memory a shared
+  subexpression, which is exactly the paper's sharing factor.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.model.params import ModelParams
+from repro.query.expr import Expression, Join, RelationRef, Select
+from repro.query.predicate import And, Interval
+from repro.workload.database import SyntheticDatabase
+
+
+@dataclass
+class ProcedurePopulation:
+    """Named procedure expressions plus bookkeeping for assertions."""
+
+    definitions: list[tuple[str, Expression]] = field(default_factory=list)
+    p1_names: list[str] = field(default_factory=list)
+    p2_names: list[str] = field(default_factory=list)
+    shared_p2_names: list[str] = field(default_factory=list)
+
+    @property
+    def names(self) -> list[str]:
+        return [name for name, _expr in self.definitions]
+
+    @property
+    def size(self) -> int:
+        return len(self.definitions)
+
+
+def _interval(rng: random.Random, domain: int, selectivity: float) -> Interval:
+    """A random half-open interval on a uniform integer domain with the
+    requested selectivity (width ``selectivity * domain``, at least 1)."""
+    width = max(1, round(selectivity * domain))
+    lo = rng.randrange(max(1, domain - width + 1))
+    return Interval("sel", lo, lo + width)
+
+
+def _interval2(rng: random.Random, domain: int, selectivity: float) -> Interval:
+    width = max(1, round(selectivity * domain))
+    lo = rng.randrange(max(1, domain - width + 1))
+    return Interval("sel2", lo, lo + width)
+
+
+def build_procedures(
+    db: SyntheticDatabase,
+    params: ModelParams,
+    model: int = 1,
+    seed: int = 0,
+) -> ProcedurePopulation:
+    """Generate the procedure population for ``model`` (1: 2-way P2 joins;
+    2: 3-way)."""
+    if model not in (1, 2):
+        raise ValueError(f"model must be 1 or 2, not {model!r}")
+    rng = random.Random(seed + 1)
+    population = ProcedurePopulation()
+
+    p1_intervals: list[Interval] = []
+    for i in range(params.num_p1):
+        name = f"P1_{i:04d}"
+        cf = _interval(rng, db.sel_domain, params.selectivity_f)
+        p1_intervals.append(cf)
+        expr: Expression = Select(RelationRef("R1"), cf)
+        population.definitions.append((name, expr))
+        population.p1_names.append(name)
+
+    num_shared = round(params.sharing_factor * params.num_p2)
+    for i in range(params.num_p2):
+        name = f"P2_{i:04d}"
+        shares = i < num_shared and p1_intervals
+        if shares:
+            cf = p1_intervals[i % len(p1_intervals)]
+            population.shared_p2_names.append(name)
+        else:
+            cf = _interval(rng, db.sel_domain, params.selectivity_f)
+        cf2 = _interval2(rng, db.sel2_domain, params.selectivity_f2)
+        joined: Expression = Join(RelationRef("R1"), RelationRef("R2"), "a", "b")
+        if model == 2:
+            joined = Join(joined, RelationRef("R3"), "c", "d")
+        expr = Select(joined, And(cf, cf2))
+        population.definitions.append((name, expr))
+        population.p2_names.append(name)
+
+    return population

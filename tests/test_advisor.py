@@ -1,0 +1,97 @@
+"""Unit tests for the strategy advisor (paper §8's open problem)."""
+
+import pytest
+
+from repro.model import ModelParams, implementation_stage, recommend
+from repro.model.api import STRATEGIES
+
+DEFAULTS = ModelParams()
+
+
+class TestPointRecommendation:
+    def test_covers_all_strategies(self):
+        rec = recommend(DEFAULTS)
+        assert set(rec.costs) == set(STRATEGIES)
+        assert rec.best in STRATEGIES
+        assert rec.best_cost == min(rec.costs.values())
+
+    def test_read_dominated_picks_update_cache(self):
+        rec = recommend(DEFAULTS.with_update_probability(0.05))
+        assert rec.best in ("update_cache_avm", "update_cache_rvm")
+
+    def test_update_dominated_picks_recompute(self):
+        rec = recommend(DEFAULTS.with_update_probability(0.9))
+        assert rec.best == "always_recompute"
+
+    def test_model2_shared_picks_rvm(self):
+        rec = recommend(
+            DEFAULTS.replace(sharing_factor=0.9).with_update_probability(0.3),
+            model=2,
+        )
+        assert rec.best == "update_cache_rvm"
+
+    def test_speedup_over(self):
+        rec = recommend(DEFAULTS.with_update_probability(0.1))
+        assert rec.speedup_over("always_recompute") > 1.0
+        assert rec.speedup_over(rec.best) == pytest.approx(1.0)
+
+    def test_rationale_present(self):
+        rec = recommend(DEFAULTS)
+        assert rec.rationale
+        assert "P = 0.50" in rec.rationale[0]
+
+
+class TestRiskAdjustment:
+    def test_zero_uncertainty_keeps_point_pick(self):
+        rec = recommend(DEFAULTS.with_update_probability(0.2))
+        assert rec.risk_adjusted == rec.best
+
+    def test_uncertainty_flips_small_object_pick_to_ci(self):
+        """The paper's safety argument: for small objects at low estimated
+        P, Update Cache is point-optimal but CI wins the minimax once P may
+        spike."""
+        params = DEFAULTS.replace(
+            selectivity_f=0.0001, locality=0.05
+        ).with_update_probability(0.1)
+        point = recommend(params)
+        assert point.best in ("update_cache_avm", "update_cache_rvm")
+        hedged = recommend(params, update_probability_uncertainty=0.3)
+        assert hedged.risk_adjusted == "cache_invalidate"
+
+    def test_risk_adjustment_never_picks_worse_worst_case(self):
+        params = DEFAULTS.with_update_probability(0.3)
+        rec = recommend(params, update_probability_uncertainty=0.4)
+        from repro.model import cost_of
+
+        high = params.with_update_probability(0.7)
+
+        def worst(name):
+            return max(
+                cost_of(name, params).total_ms, cost_of(name, high).total_ms
+            )
+
+        assert worst(rec.risk_adjusted) == min(
+            worst(name) for name in STRATEGIES
+        )
+
+    def test_invalid_uncertainty_rejected(self):
+        with pytest.raises(ValueError):
+            recommend(DEFAULTS, update_probability_uncertainty=1.0)
+        with pytest.raises(ValueError):
+            recommend(DEFAULTS, update_probability_uncertainty=-0.1)
+
+
+class TestImplementationStages:
+    def test_paper_order(self):
+        assert implementation_stage(1) == ("always_recompute",)
+        assert implementation_stage(2) == (
+            "always_recompute",
+            "cache_invalidate",
+        )
+        assert len(implementation_stage(4)) == 4
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            implementation_stage(0)
+        with pytest.raises(ValueError):
+            implementation_stage(5)

@@ -1,0 +1,116 @@
+"""Unit tests for SPJ normalisation."""
+
+import pytest
+
+from repro.query.analysis import NormalizationError, normalize_spj
+from repro.query.expr import Join, RelationRef, Select, describe
+from repro.query.predicate import And, Comparison, Interval
+
+
+class TestNormalizeSelect:
+    def test_p1_shape(self, tiny_joined_catalog):
+        expr = Select(RelationRef("R1"), Interval("sel", 0, 100))
+        query = normalize_spj(expr, tiny_joined_catalog)
+        assert query.relations == ["R1"]
+        assert query.joins == []
+        assert len(query.restrictions["R1"]) == 1
+        assert query.residuals == []
+
+    def test_bare_relation(self, tiny_joined_catalog):
+        query = normalize_spj(RelationRef("R2"), tiny_joined_catalog)
+        assert query.relations == ["R2"]
+        assert query.restriction_of("R2").matches((1, 2, 3, 4), None) or True
+
+    def test_unknown_relation(self, tiny_joined_catalog):
+        with pytest.raises(NormalizationError):
+            normalize_spj(RelationRef("R9"), tiny_joined_catalog)
+
+
+class TestNormalizeJoins:
+    def test_two_way_join(self, tiny_joined_catalog):
+        expr = Select(
+            Join(RelationRef("R1"), RelationRef("R2"), "a", "b"),
+            And(Interval("sel", 0, 100), Interval("sel2", 0, 30)),
+        )
+        query = normalize_spj(expr, tiny_joined_catalog)
+        assert query.relations == ["R1", "R2"]
+        assert query.num_joins == 1
+        edge = query.joins[0]
+        assert (edge.outer_field, edge.inner_relation, edge.inner_field) == (
+            "a",
+            "R2",
+            "b",
+        )
+        assert "R1" in query.restrictions and "R2" in query.restrictions
+
+    def test_three_way_join(self, tiny_joined_catalog):
+        expr = Select(
+            Join(
+                Join(RelationRef("R1"), RelationRef("R2"), "a", "b"),
+                RelationRef("R3"),
+                "c",
+                "d",
+            ),
+            Interval("sel", 0, 100),
+        )
+        query = normalize_spj(expr, tiny_joined_catalog)
+        assert query.relations == ["R1", "R2", "R3"]
+        assert query.num_joins == 2
+
+    def test_inner_select_restriction_classified(self, tiny_joined_catalog):
+        expr = Join(
+            RelationRef("R1"),
+            Select(RelationRef("R2"), Interval("sel2", 0, 10)),
+            "a",
+            "b",
+        )
+        query = normalize_spj(expr, tiny_joined_catalog)
+        assert len(query.restrictions["R2"]) == 1
+
+    def test_self_join_rejected(self, tiny_joined_catalog):
+        expr = Join(RelationRef("R1"), RelationRef("R1"), "a", "a")
+        with pytest.raises(NormalizationError):
+            normalize_spj(expr, tiny_joined_catalog)
+
+    def test_right_deep_join_rejected(self, tiny_joined_catalog):
+        expr = Join(
+            RelationRef("R1"),
+            Join(RelationRef("R2"), RelationRef("R3"), "c", "d"),
+            "a",
+            "b",
+        )
+        with pytest.raises(NormalizationError):
+            normalize_spj(expr, tiny_joined_catalog)
+
+    def test_ambiguous_field_rejected(self, catalog):
+        from repro.storage import Field, Schema
+
+        catalog.create_relation("X", Schema([Field("k")]))
+        catalog.create_relation("Y", Schema([Field("k")]))
+        expr = Select(
+            Join(RelationRef("X"), RelationRef("Y"), "k", "k"),
+            Comparison("k", "=", 1),
+        )
+        with pytest.raises(NormalizationError):
+            normalize_spj(expr, catalog)
+
+
+class TestExpressionHelpers:
+    def test_relations_sets(self):
+        expr = Join(RelationRef("A"), RelationRef("B"), "x", "y")
+        assert expr.relations() == {"A", "B"}
+        assert Select(expr, Comparison("x", "=", 1)).relations() == {"A", "B"}
+
+    def test_describe_renders_all_nodes(self):
+        expr = Select(
+            Join(RelationRef("A"), RelationRef("B"), "x", "y"),
+            Comparison("x", "=", 1),
+        )
+        text = describe(expr)
+        assert "A" in text and "B" in text and "|><|" in text and "sigma" in text
+
+    def test_expressions_are_hashable(self):
+        a = Select(RelationRef("R1"), Interval("sel", 0, 10))
+        b = Select(RelationRef("R1"), Interval("sel", 0, 10))
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,135 @@
+"""Unit tests for the B+-tree index."""
+
+import random
+
+import pytest
+
+from repro.storage import BPlusTree
+from repro.storage.page import RID
+
+
+def rid(i: int) -> RID:
+    return RID(i // 10, i % 10)
+
+
+@pytest.fixture
+def tree(buffer):
+    return BPlusTree("T", buffer, fanout=4)
+
+
+class TestBasicOperations:
+    def test_empty_tree(self, tree):
+        assert tree.num_entries == 0
+        assert tree.height == 1
+        assert tree.search(5) == []
+
+    def test_insert_and_search(self, tree):
+        tree.insert(5, rid(1))
+        assert tree.search(5) == [rid(1)]
+        assert tree.search(6) == []
+
+    def test_duplicate_keys_supported(self, tree):
+        tree.insert(5, rid(1))
+        tree.insert(5, rid(2))
+        assert sorted(tree.search(5)) == sorted([rid(1), rid(2)])
+
+    def test_exact_duplicate_entry_rejected(self, tree):
+        tree.insert(5, rid(1))
+        with pytest.raises(ValueError):
+            tree.insert(5, rid(1))
+
+    def test_delete_existing(self, tree):
+        tree.insert(5, rid(1))
+        assert tree.delete(5, rid(1)) is True
+        assert tree.search(5) == []
+        assert tree.num_entries == 0
+
+    def test_delete_missing_returns_false(self, tree):
+        assert tree.delete(5, rid(1)) is False
+
+    def test_small_fanout_rejected(self, buffer):
+        with pytest.raises(ValueError):
+            BPlusTree("T2", buffer, fanout=2)
+
+
+class TestGrowth:
+    def test_splits_grow_height(self, tree):
+        for i in range(64):
+            tree.insert(i, rid(i))
+        assert tree.height >= 3
+        tree.check_invariants()
+        for i in range(64):
+            assert tree.search(i) == [rid(i)]
+
+    def test_reverse_insertion_order(self, tree):
+        for i in reversed(range(64)):
+            tree.insert(i, rid(i))
+        tree.check_invariants()
+        assert [k for k, _ in tree.range_scan()] == sorted(range(64))
+
+    def test_random_insertion_order(self, tree):
+        keys = list(range(100))
+        random.Random(3).shuffle(keys)
+        for i in keys:
+            tree.insert(i, rid(i))
+        tree.check_invariants()
+        assert tree.num_entries == 100
+
+
+class TestRangeScan:
+    @pytest.fixture
+    def populated(self, tree):
+        for i in range(50):
+            tree.insert(i * 2, rid(i))  # even keys 0..98
+        return tree
+
+    def test_closed_range(self, populated):
+        keys = [k for k, _ in populated.range_scan(10, 20)]
+        assert keys == [10, 12, 14, 16, 18, 20]
+
+    def test_open_lower_bound(self, populated):
+        keys = [k for k, _ in populated.range_scan(10, 20, lo_inclusive=False)]
+        assert keys == [12, 14, 16, 18, 20]
+
+    def test_open_upper_bound(self, populated):
+        keys = [k for k, _ in populated.range_scan(10, 20, hi_inclusive=False)]
+        assert keys == [10, 12, 14, 16, 18]
+
+    def test_unbounded_low(self, populated):
+        keys = [k for k, _ in populated.range_scan(None, 6)]
+        assert keys == [0, 2, 4, 6]
+
+    def test_unbounded_high(self, populated):
+        keys = [k for k, _ in populated.range_scan(94, None)]
+        assert keys == [94, 96, 98]
+
+    def test_full_scan_sorted(self, populated):
+        keys = [k for k, _ in populated.range_scan()]
+        assert keys == sorted(keys)
+        assert len(keys) == 50
+
+    def test_range_between_keys(self, populated):
+        assert [k for k, _ in populated.range_scan(11, 11)] == []
+
+    def test_empty_range(self, populated):
+        assert list(populated.range_scan(200, 300)) == []
+
+
+class TestCostAccounting:
+    def test_descent_charges_height_reads(self, buffer, clock):
+        tree = BPlusTree("TC", buffer, fanout=4)
+        for i in range(64):
+            tree.insert(i, rid(i))
+        height = tree.height
+        clock.reset()
+        tree.search(10)
+        # One read per level plus possibly one leaf-chain hop.
+        assert height <= clock.disk_reads <= height + 1
+
+    def test_check_invariants_counts_entries(self, tree):
+        for i in range(20):
+            tree.insert(i, rid(i))
+        for i in range(0, 20, 2):
+            tree.delete(i, rid(i))
+        tree.check_invariants()
+        assert tree.num_entries == 10

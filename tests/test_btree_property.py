@@ -1,0 +1,71 @@
+"""Property-based tests: the B+-tree behaves like a sorted multimap."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import CostClock
+from repro.storage import BPlusTree, BufferPool, DiskManager
+from repro.storage.page import RID
+
+
+def _fresh_tree(fanout: int) -> BPlusTree:
+    clock = CostClock()
+    disk = DiskManager(clock)
+    return BPlusTree("P", BufferPool(disk), fanout=fanout)
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete"]),
+        st.integers(0, 30),  # key — small domain forces duplicates
+        st.integers(0, 5),  # rid discriminator
+    ),
+    max_size=200,
+)
+
+
+@given(ops=ops_strategy, fanout=st.sampled_from([4, 5, 8]))
+@settings(max_examples=150, deadline=None)
+def test_random_ops_match_reference_multimap(ops, fanout):
+    tree = _fresh_tree(fanout)
+    reference: set[tuple[int, RID]] = set()
+    for action, key, disc in ops:
+        entry = (key, RID(disc, 0))
+        if action == "insert":
+            if entry in reference:
+                continue
+            tree.insert(key, entry[1])
+            reference.add(entry)
+        else:
+            expected = entry in reference
+            assert tree.delete(key, entry[1]) is expected
+            reference.discard(entry)
+    tree.check_invariants()
+    assert tree.num_entries == len(reference)
+    scanned = [(k, r) for k, r in tree.range_scan()]
+    assert scanned == sorted(reference, key=lambda e: (e[0], e[1]))
+
+
+@given(
+    keys=st.lists(st.integers(-1000, 1000), min_size=1, max_size=150),
+    bounds=st.tuples(st.integers(-1000, 1000), st.integers(-1000, 1000)),
+)
+@settings(max_examples=100, deadline=None)
+def test_range_scan_matches_filter(keys, bounds):
+    lo, hi = min(bounds), max(bounds)
+    tree = _fresh_tree(4)
+    for i, key in enumerate(keys):
+        tree.insert(key, RID(i, 0))
+    got = [k for k, _rid in tree.range_scan(lo, hi)]
+    expected = sorted(k for k in keys if lo <= k <= hi)
+    assert got == expected
+
+
+@given(keys=st.lists(st.integers(0, 100), min_size=1, max_size=120))
+@settings(max_examples=100, deadline=None)
+def test_search_finds_all_duplicates(keys):
+    tree = _fresh_tree(4)
+    for i, key in enumerate(keys):
+        tree.insert(key, RID(i, 0))
+    for key in set(keys):
+        assert len(tree.search(key)) == keys.count(key)

@@ -1,0 +1,121 @@
+"""Property tests for the buffer pool and heap file.
+
+The load-bearing invariants: an LRU pool never serves stale data, never
+loses a dirty write, and never charges more I/O than the pass-through
+configuration; heap files preserve the multiset of rows under arbitrary
+mutation scripts.
+"""
+
+from collections import Counter, OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import CostClock
+from repro.storage import BufferPool, DiskManager, Field, HeapFile, Schema
+
+NUM_PAGES = 6
+
+
+def _disk(clock, pages=NUM_PAGES):
+    disk = DiskManager(clock)
+    disk.create_file("f")
+    for _ in range(pages):
+        disk.allocate_page("f", 4, charge=False)
+    return disk
+
+
+access_script = st.lists(
+    st.tuples(st.integers(0, NUM_PAGES - 1), st.booleans()),  # (page, dirty?)
+    max_size=80,
+)
+
+
+@given(script=access_script, capacity=st.integers(1, NUM_PAGES + 2))
+@settings(max_examples=150, deadline=None)
+def test_lru_reference_model(script, capacity):
+    """The pool's hit/miss and write-back behaviour matches a reference
+    LRU simulation exactly."""
+    clock = CostClock()
+    disk = _disk(clock)
+    pool = BufferPool(disk, capacity=capacity)
+
+    frames: OrderedDict[int, bool] = OrderedDict()  # page -> dirty
+    expected_reads = 0
+    expected_writes = 0
+    for page_no, make_dirty in script:
+        if page_no in frames:
+            frames.move_to_end(page_no)
+        else:
+            expected_reads += 1
+            frames[page_no] = False
+            frames.move_to_end(page_no)
+            while len(frames) > capacity:
+                _victim, dirty = frames.popitem(last=False)
+                if dirty:
+                    expected_writes += 1
+        pool.fetch("f", page_no)
+        if make_dirty:
+            pool.mark_dirty("f", page_no)
+            if page_no in frames:
+                frames[page_no] = True
+
+    assert clock.disk_reads == expected_reads
+    assert clock.disk_writes == expected_writes
+    expected_flush = sum(frames.values())
+    assert pool.flush_all() == expected_flush
+
+
+@given(script=access_script, capacity=st.integers(1, NUM_PAGES + 2))
+@settings(max_examples=100, deadline=None)
+def test_buffering_never_costs_more_than_passthrough(script, capacity):
+    clock_buffered = CostClock()
+    pool = BufferPool(_disk(clock_buffered), capacity=capacity)
+    clock_raw = CostClock()
+    raw = BufferPool(_disk(clock_raw), capacity=0)
+    for page_no, make_dirty in script:
+        for target in (pool, raw):
+            target.fetch("f", page_no)
+            if make_dirty:
+                target.mark_dirty("f", page_no)
+    pool.flush_all()
+    assert clock_buffered.elapsed_ms <= clock_raw.elapsed_ms
+
+
+heap_script = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 50)),
+        st.tuples(st.just("delete"), st.integers(0, 30)),
+        st.tuples(st.just("update"), st.integers(0, 30)),
+    ),
+    max_size=80,
+)
+
+
+@given(script=heap_script)
+@settings(max_examples=150, deadline=None)
+def test_heap_tracks_reference_multiset(script):
+    clock = CostClock()
+    disk = DiskManager(clock)
+    heap = HeapFile(
+        "H", Schema([Field("v")], tuple_bytes=1000), BufferPool(disk)
+    )
+    live: dict = {}  # rid -> row
+    counter = 0
+    for action, value in script:
+        if action == "insert":
+            rid = heap.insert((value,))
+            assert rid not in live
+            live[rid] = (value,)
+            counter += 1
+        elif action == "delete" and live:
+            rid = sorted(live)[value % len(live)]
+            assert heap.delete(rid) == live.pop(rid)
+        elif action == "update" and live:
+            rid = sorted(live)[value % len(live)]
+            heap.update(rid, (value + 1000,))
+            live[rid] = (value + 1000,)
+    assert heap.num_rows == len(live)
+    scanned = dict(heap.scan())
+    assert scanned == live
+    assert Counter(scanned.values()) == Counter(live.values())

@@ -1,0 +1,94 @@
+"""Tests for the crossover finders — including the paper's named
+break-even points."""
+
+import pytest
+
+from repro.model import ModelParams, cost_of
+from repro.model.crossovers import (
+    crossover_object_size,
+    crossover_sharing_factor,
+    crossover_update_probability,
+)
+
+DEFAULTS = ModelParams()
+
+
+class TestSharingCrossover:
+    def test_model2_near_paper_value(self):
+        sf = crossover_sharing_factor(DEFAULTS, model=2)
+        assert sf is not None
+        assert 0.40 <= sf <= 0.55  # paper: ~0.47
+
+    def test_model1_at_or_beyond_full_sharing(self):
+        sf = crossover_sharing_factor(DEFAULTS, model=1)
+        # RVM only catches AVM at (essentially) SF = 1 in model 1.
+        assert sf is None or sf > 0.95
+
+    def test_crossover_is_a_true_root(self):
+        sf = crossover_sharing_factor(DEFAULTS, model=2)
+        point = DEFAULTS.replace(sharing_factor=sf)
+        avm = cost_of("update_cache_avm", point, 2).total_ms
+        rvm = cost_of("update_cache_rvm", point, 2).total_ms
+        assert rvm == pytest.approx(avm, rel=1e-6)
+
+
+class TestUpdateProbabilityCrossovers:
+    def test_uc_overtakes_ci_at_high_p(self):
+        p = crossover_update_probability(
+            "update_cache_avm", "cache_invalidate", DEFAULTS
+        )
+        assert p is not None and 0.6 <= p <= 0.85
+        below = DEFAULTS.with_update_probability(p - 0.05)
+        above = DEFAULTS.with_update_probability(min(p + 0.05, 0.98))
+        assert (
+            cost_of("update_cache_avm", below).total_ms
+            < cost_of("cache_invalidate", below).total_ms
+        )
+        assert (
+            cost_of("update_cache_avm", above).total_ms
+            > cost_of("cache_invalidate", above).total_ms
+        )
+
+    def test_uc_overtakes_recompute(self):
+        p = crossover_update_probability(
+            "update_cache_avm", "always_recompute", DEFAULTS
+        )
+        assert p is not None and 0.5 <= p <= 0.95
+
+    def test_dominated_pair_returns_none(self):
+        # CI never beats AR by more than the plateau margin and never
+        # crosses it downward-to-upward twice in [0.001, 0.4]; pick a pair
+        # with a strict order: UC < CI for all of [0.01, 0.4].
+        p = crossover_update_probability(
+            "update_cache_avm", "cache_invalidate", DEFAULTS, lo=0.01, hi=0.4
+        )
+        assert p is None
+
+
+class TestObjectSizeCrossover:
+    def test_ci_vs_uc_small_object_boundary_under_locality(self):
+        """Figure 13's CI region lives below f ~ 0.002 under Z=0.05; the
+        crossover finder locates that boundary. (There is a *second*
+        boundary at large f where CI wins again because UC maintenance
+        explodes; bisection needs a bracket containing exactly one.)"""
+        point = DEFAULTS.replace(locality=0.05).with_update_probability(0.6)
+        f = crossover_object_size(
+            "cache_invalidate", "update_cache_avm", point, lo=1e-4, hi=5e-3
+        )
+        assert f is not None
+        assert 5e-4 <= f <= 2e-3  # the paper's "f < 0.002" region edge
+
+    def test_second_boundary_at_large_objects(self):
+        point = DEFAULTS.replace(locality=0.05).with_update_probability(0.6)
+        f = crossover_object_size(
+            "update_cache_avm", "cache_invalidate", point, lo=5e-3, hi=0.05
+        )
+        assert f is not None and f > 5e-3
+
+    def test_none_when_dominated(self):
+        # At P=0.05 UC dominates CI across the entire f range probed.
+        point = DEFAULTS.with_update_probability(0.05)
+        f = crossover_object_size(
+            "update_cache_avm", "cache_invalidate", point, lo=5e-4, hi=0.05
+        )
+        assert f is None

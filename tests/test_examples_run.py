@@ -1,0 +1,41 @@
+"""Integration insurance: every shipped example must run clean.
+
+Each example is executed as a subprocess (the way a user would run it) and
+must exit 0 with its headline output present.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": "Analytical cost per procedure access",
+    "form_objects.py": "Update Cache, shared (RVM)",
+    "strategy_advisor.py": "staged implementation plan",
+    "reproduce_figures.py": "All checks passed",
+    "crash_recovery.py": "0 stale answers served",
+    "paper_walkthrough.py": "PROGS1 after the insert",
+}
+
+
+def test_every_example_is_covered_here():
+    shipped = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert shipped == set(EXPECTED_MARKERS), (
+        "example list drifted; update EXPECTED_MARKERS"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_MARKERS))
+def test_example_runs_clean(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_MARKERS[name] in result.stdout

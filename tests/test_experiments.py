@@ -1,0 +1,113 @@
+"""Tests for the experiment drivers, report rendering, and CLI."""
+
+import pytest
+
+from repro.experiments import REGISTRY, render_result, run_experiment
+from repro.experiments.figures import P_SWEEP, SF_SWEEP
+
+
+class TestRegistry:
+    def test_covers_every_paper_table_and_figure(self):
+        expected = {
+            "table_fig2",
+            "table_access_methods",
+            "fig04",
+            "fig05",
+            "fig06",
+            "fig07",
+            "fig08",
+            "fig09",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig17",
+            "fig18",
+            "fig19",
+        }
+        assert set(REGISTRY) == expected
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig99")
+
+
+@pytest.mark.parametrize("figure_id", sorted(REGISTRY))
+class TestEveryExperiment:
+    def test_all_paper_claims_hold(self, figure_id):
+        result = run_experiment(figure_id)
+        assert result.checks, f"{figure_id} asserts nothing"
+        assert result.all_checks_pass, (
+            f"{figure_id} failed: {result.failed_checks()}"
+        )
+
+    def test_renders_without_error(self, figure_id):
+        result = run_experiment(figure_id)
+        text = render_result(result)
+        assert result.figure_id in text
+        assert "PASS" in text
+
+    def test_result_shape(self, figure_id):
+        result = run_experiment(figure_id)
+        if result.kind == "curves":
+            assert result.x_values == P_SWEEP
+            assert set(result.series) == {
+                "always_recompute",
+                "cache_invalidate",
+                "update_cache_avm",
+                "update_cache_rvm",
+            }
+            for series in result.series.values():
+                assert len(series) == len(P_SWEEP)
+        elif result.kind == "sf_curves":
+            assert result.x_values == SF_SWEEP
+            assert set(result.series) == {
+                "update_cache_avm",
+                "update_cache_rvm",
+            }
+        elif result.kind in ("regions", "closeness"):
+            assert result.grid is not None
+        else:
+            assert result.kind == "table"
+            assert result.table_rows
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig05" in out
+
+    def test_run_figure(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "fig05"]) == 0
+        out = capsys.readouterr().out
+        assert "fig05" in out and "PASS" in out
+
+    def test_run_table(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "table_fig2"]) == 0
+        assert "100000" in capsys.readouterr().out
+
+    def test_simulate_smoke(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "simulate",
+                "--strategy",
+                "cache_invalidate",
+                "--operations",
+                "30",
+                "-P",
+                "0.3",
+            ]
+        )
+        assert code == 0
+        assert "cost per access" in capsys.readouterr().out

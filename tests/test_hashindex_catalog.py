@@ -1,0 +1,155 @@
+"""Unit tests for hash indexes and the catalog/relation layer."""
+
+import pytest
+
+from repro.storage import Catalog, Field, HashIndex, Schema
+from repro.storage.page import RID
+
+
+class TestHashIndex:
+    def test_insert_probe(self):
+        index = HashIndex("H")
+        index.insert(5, RID(0, 0))
+        index.insert(5, RID(0, 1))
+        assert sorted(index.probe(5)) == [RID(0, 0), RID(0, 1)]
+        assert index.probe(6) == []
+        assert index.num_entries == 2
+        assert index.num_keys == 1
+        assert 5 in index
+
+    def test_duplicate_entry_rejected(self):
+        index = HashIndex("H")
+        index.insert(5, RID(0, 0))
+        with pytest.raises(ValueError):
+            index.insert(5, RID(0, 0))
+
+    def test_delete(self):
+        index = HashIndex("H")
+        index.insert(5, RID(0, 0))
+        assert index.delete(5, RID(0, 0)) is True
+        assert index.delete(5, RID(0, 0)) is False
+        assert index.probe(5) == []
+        assert 5 not in index
+
+    def test_items(self):
+        index = HashIndex("H")
+        index.insert(1, RID(0, 0))
+        index.insert(2, RID(0, 1))
+        assert sorted(index.items()) == [(1, RID(0, 0)), (2, RID(0, 1))]
+
+
+class TestRelationIndexMaintenance:
+    @pytest.fixture
+    def relation(self, catalog):
+        rel = catalog.create_relation(
+            "R", Schema([Field("id"), Field("k"), Field("v")], tuple_bytes=100)
+        )
+        for i in range(50):
+            rel.insert((i, i % 10, i))
+        rel.create_btree_index("k", fanout=4)
+        rel.create_hash_index("v")
+        return rel
+
+    def test_backfill_on_creation(self, relation):
+        assert relation.btree_indexes["k"].num_entries == 50
+        assert relation.hash_indexes["v"].num_entries == 50
+
+    def test_duplicate_index_rejected(self, relation):
+        with pytest.raises(ValueError):
+            relation.create_btree_index("k")
+        with pytest.raises(ValueError):
+            relation.create_hash_index("v")
+
+    def test_index_on_unknown_field_rejected(self, relation):
+        with pytest.raises(Exception):
+            relation.create_btree_index("nope")
+
+    def test_insert_maintains_indexes(self, relation):
+        rid = relation.insert((100, 3, 100))
+        assert rid in relation.btree_indexes["k"].search(3)
+        assert relation.hash_indexes["v"].probe(100) == [rid]
+
+    def test_delete_maintains_indexes(self, relation):
+        rid = relation.insert((100, 3, 100))
+        relation.delete(rid)
+        assert rid not in relation.btree_indexes["k"].search(3)
+        assert relation.hash_indexes["v"].probe(100) == []
+
+    def test_update_moves_only_changed_index_entries(self, relation):
+        rid = relation.insert((100, 3, 100))
+        relation.update(rid, (100, 7, 100))
+        assert rid not in relation.btree_indexes["k"].search(3)
+        assert rid in relation.btree_indexes["k"].search(7)
+        assert relation.hash_indexes["v"].probe(100) == [rid]
+
+    def test_fetch_batched_reads_distinct_pages_once(self, relation, clock):
+        rids = [rid for rid, _row in relation.scan()]
+        same_page = [r for r in rids if r.page_no == 0][:3]
+        clock.reset()
+        rows = relation.fetch_batched(same_page)
+        assert len(rows) == 3
+        assert clock.disk_reads == 1
+
+    def test_fetch_batched_preserves_duplicates(self, relation):
+        rid = next(r for r, _row in relation.scan())
+        out = relation.fetch_batched([rid, rid])
+        assert len(out) == 2
+
+
+class TestClusteredUpdate:
+    @pytest.fixture
+    def relation(self, catalog):
+        rel = catalog.create_relation(
+            "RC",
+            Schema([Field("id"), Field("k")], tuple_bytes=1000),
+            fill_factor=0.75,
+        )
+        for i in range(40):
+            rel.insert((i, i * 10))  # clustered: page ~ key order
+        rel.create_btree_index("k", fanout=4)
+        return rel
+
+    def test_same_key_updates_in_place(self, relation):
+        rid = next(r for r, row in relation.scan() if row[0] == 5)
+        old, new_rid = relation.update_clustered(rid, (5, 50), "k")
+        assert old == (5, 50)
+        assert new_rid == rid
+
+    def test_key_change_relocates_near_neighbors(self, relation):
+        rid = next(r for r, row in relation.scan() if row[0] == 0)  # key 0
+        neighbor = next(r for r, row in relation.scan() if row[0] == 39)
+        _old, new_rid = relation.update_clustered(rid, (0, 391), "k")
+        assert new_rid != rid
+        # Key 391 sits next to key 390's page.
+        assert abs(new_rid.page_no - neighbor.page_no) <= 1
+
+    def test_relocation_maintains_indexes(self, relation):
+        rid = next(r for r, row in relation.scan() if row[0] == 0)
+        _old, new_rid = relation.update_clustered(rid, (0, 391), "k")
+        index = relation.btree_indexes["k"]
+        assert index.search(0) == []
+        assert index.search(391) == [new_rid]
+        index.check_invariants()
+
+    def test_row_count_stable_across_relocation(self, relation):
+        before = relation.num_rows
+        rid = next(r for r, _row in relation.scan())
+        relation.update_clustered(rid, (0, 999), "k")
+        assert relation.num_rows == before
+
+
+class TestCatalog:
+    def test_create_and_get(self, catalog):
+        rel = catalog.create_relation("A", Schema([Field("x")]))
+        assert catalog.get("A") is rel
+        assert "A" in catalog
+        assert catalog.names() == ["A"]
+
+    def test_duplicate_relation_rejected(self, catalog):
+        catalog.create_relation("A", Schema([Field("x")]))
+        with pytest.raises(ValueError):
+            catalog.create_relation("A", Schema([Field("x")]))
+
+    def test_unknown_relation_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.get("missing")

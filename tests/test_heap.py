@@ -1,0 +1,140 @@
+"""Unit tests for heap files."""
+
+import pytest
+
+from repro.storage import HeapFile, Schema, Field
+from repro.storage.page import RID
+
+
+@pytest.fixture
+def schema():
+    # 4000-byte blocks / 1000-byte tuples = 4 tuples per page.
+    return Schema([Field("id"), Field("v")], tuple_bytes=1000)
+
+
+@pytest.fixture
+def heap(schema, buffer):
+    return HeapFile("H", schema, buffer)
+
+
+class TestHeapBasics:
+    def test_insert_read_roundtrip(self, heap):
+        rid = heap.insert((1, 10))
+        assert heap.read(rid) == (1, 10)
+        assert heap.num_rows == 1
+
+    def test_capacity_derives_from_widths(self, heap):
+        assert heap.tuples_per_page == 4
+
+    def test_pages_grow_as_needed(self, heap):
+        for i in range(9):
+            heap.insert((i, i))
+        assert heap.num_pages == 3  # 4 + 4 + 1
+
+    def test_insert_validates_schema(self, heap):
+        with pytest.raises(Exception):
+            heap.insert(("bad", "types", "extra"))
+
+    def test_update_in_place_keeps_rid(self, heap):
+        rid = heap.insert((1, 10))
+        old = heap.update(rid, (1, 99))
+        assert old == (1, 10)
+        assert heap.read(rid) == (1, 99)
+
+    def test_delete_frees_slot(self, heap):
+        rid = heap.insert((1, 10))
+        assert heap.delete(rid) == (1, 10)
+        assert heap.num_rows == 0
+        rid2 = heap.insert((2, 20))
+        assert rid2 == rid  # hole reused
+
+    def test_scan_yields_all_rows(self, heap):
+        rows = [(i, i * 2) for i in range(10)]
+        for row in rows:
+            heap.insert(row)
+        assert sorted(row for _rid, row in heap.scan()) == rows
+
+    def test_scan_uncharged_is_free(self, heap, clock):
+        for i in range(10):
+            heap.insert((i, i))
+        clock.reset()
+        assert len(list(heap.scan_uncharged())) == 10
+        assert clock.elapsed_ms == 0.0
+
+    def test_find_first(self, heap):
+        for i in range(10):
+            heap.insert((i, i))
+        hit = heap.find_first(lambda row: row[0] == 7)
+        assert hit is not None and hit[1] == (7, 7)
+        assert heap.find_first(lambda row: row[0] == 99) is None
+
+
+class TestHeapCostAccounting:
+    def test_insert_into_fresh_page_charges_one_write(self, heap, clock):
+        clock.reset()
+        heap.insert((1, 1))
+        # allocate (1 write) — the insert lands on the fresh in-memory page
+        # and is flushed with mark_dirty (1 more write in pass-through mode).
+        assert clock.disk_writes == 2
+        assert clock.disk_reads == 0
+
+    def test_insert_into_existing_page_reads_then_writes(self, heap, clock):
+        heap.insert((1, 1))
+        clock.reset()
+        heap.insert((2, 2))
+        assert clock.disk_reads == 1
+        assert clock.disk_writes == 1
+
+    def test_scan_charges_one_read_per_page(self, heap, clock):
+        for i in range(9):
+            heap.insert((i, i))
+        clock.reset()
+        list(heap.scan())
+        assert clock.disk_reads == 3
+
+    def test_update_charges_read_and_write(self, heap, clock):
+        rid = heap.insert((1, 1))
+        clock.reset()
+        heap.update(rid, (1, 2))
+        assert clock.disk_reads == 1
+        assert clock.disk_writes == 1
+
+
+class TestFillFactorAndClustering:
+    def test_fill_factor_reserves_slack(self, buffer):
+        schema = Schema([Field("id")], tuple_bytes=1000)
+        heap = HeapFile("FF", schema, buffer, fill_factor=0.5)
+        for i in range(4):
+            heap.insert((i,))
+        # 4-capacity pages filled only to 2 by regular inserts.
+        assert heap.num_pages == 2
+
+    def test_invalid_fill_factor_rejected(self, buffer):
+        schema = Schema([Field("id")], tuple_bytes=1000)
+        with pytest.raises(ValueError):
+            HeapFile("FF2", schema, buffer, fill_factor=0.0)
+        with pytest.raises(ValueError):
+            HeapFile("FF3", schema, buffer, fill_factor=1.5)
+
+    def test_insert_near_uses_preferred_page_with_space(self, buffer):
+        schema = Schema([Field("id")], tuple_bytes=1000)
+        heap = HeapFile("NEAR", schema, buffer, fill_factor=0.5)
+        for i in range(4):
+            heap.insert((i,))
+        rid = heap.insert_near((99,), preferred_page_no=0)
+        assert rid.page_no == 0
+
+    def test_insert_near_falls_back_when_preferred_full(self, buffer):
+        schema = Schema([Field("id")], tuple_bytes=1000)
+        heap = HeapFile("NEAR2", schema, buffer)
+        for i in range(4):
+            heap.insert((i,))  # page 0 now truly full
+        rid = heap.insert_near((99,), preferred_page_no=0)
+        assert rid.page_no != 0
+
+    def test_insert_near_out_of_range_falls_back(self, buffer):
+        schema = Schema([Field("id")], tuple_bytes=1000)
+        heap = HeapFile("NEAR3", schema, buffer)
+        rid = heap.insert_near((1,), preferred_page_no=42)
+        assert isinstance(rid, RID)
+        assert heap.read(rid) == (1,)

@@ -1,0 +1,231 @@
+"""Tests for the hybrid per-procedure strategy."""
+
+import random
+
+import pytest
+
+from repro.core import HybridStrategy, ProcedureManager
+from repro.core.strategy import StrategyName
+from repro.query import Interval, Join, RelationRef, Select
+from repro.query.predicate import And
+
+P1_EXPR = Select(RelationRef("R1"), Interval("sel", 100, 300))
+P1B_EXPR = Select(RelationRef("R1"), Interval("sel", 400, 600))
+P2_EXPR = Select(
+    Join(RelationRef("R1"), RelationRef("R2"), "a", "b"),
+    And(Interval("sel", 100, 300), Interval("sel2", 0, 30)),
+)
+
+
+def brute_p1(catalog, lo, hi):
+    return sorted(
+        row
+        for _r, row in catalog.get("R1").heap.scan_uncharged()
+        if lo <= row[1] < hi
+    )
+
+
+class TestRouting:
+    def test_mapping_assignment(self, tiny_joined_catalog, clock, buffer):
+        strategy = HybridStrategy(
+            tiny_joined_catalog,
+            buffer,
+            clock,
+            assign={"HOT": StrategyName.UPDATE_CACHE_AVM},
+            default=StrategyName.ALWAYS_RECOMPUTE,
+        )
+        manager = ProcedureManager(strategy)
+        manager.define_procedure("HOT", P1_EXPR)
+        manager.define_procedure("COLD", P1B_EXPR)
+        assert strategy.route_of("HOT") is StrategyName.UPDATE_CACHE_AVM
+        assert strategy.route_of("COLD") is StrategyName.ALWAYS_RECOMPUTE
+        assert strategy.routing_report() == {
+            "update_cache_avm": 1,
+            "always_recompute": 1,
+        }
+
+    def test_callable_assignment(self, tiny_joined_catalog, clock, buffer):
+        strategy = HybridStrategy(
+            tiny_joined_catalog,
+            buffer,
+            clock,
+            assign=lambda proc: (
+                StrategyName.UPDATE_CACHE_RVM
+                if proc.kind.value == "P2"
+                else StrategyName.CACHE_INVALIDATE
+            ),
+        )
+        manager = ProcedureManager(strategy)
+        manager.define_procedure("A", P1_EXPR)
+        manager.define_procedure("B", P2_EXPR)
+        assert strategy.route_of("A") is StrategyName.CACHE_INVALIDATE
+        assert strategy.route_of("B") is StrategyName.UPDATE_CACHE_RVM
+
+    def test_string_names_accepted(self, tiny_joined_catalog, clock, buffer):
+        strategy = HybridStrategy(
+            tiny_joined_catalog, buffer, clock,
+            assign=lambda proc: "update_cache_avm",
+        )
+        manager = ProcedureManager(strategy)
+        manager.define_procedure("A", P1_EXPR)
+        assert strategy.route_of("A") is StrategyName.UPDATE_CACHE_AVM
+
+    def test_self_routing_rejected(self, tiny_joined_catalog, clock, buffer):
+        with pytest.raises(ValueError):
+            HybridStrategy(
+                tiny_joined_catalog, buffer, clock,
+                default=StrategyName.HYBRID,
+            )
+        strategy = HybridStrategy(
+            tiny_joined_catalog, buffer, clock,
+            assign=lambda proc: StrategyName.HYBRID,
+        )
+        manager = ProcedureManager(strategy)
+        with pytest.raises(ValueError):
+            manager.define_procedure("A", P1_EXPR)
+
+    def test_sub_strategy_kwargs(self, tiny_joined_catalog, clock, buffer):
+        strategy = HybridStrategy(
+            tiny_joined_catalog,
+            buffer,
+            clock,
+            assign={"A": StrategyName.CACHE_INVALIDATE},
+            sub_strategy_kwargs={
+                StrategyName.CACHE_INVALIDATE: {"c_inval": 60.0}
+            },
+        )
+        manager = ProcedureManager(strategy)
+        manager.define_procedure("A", P1_EXPR)
+        assert strategy._subs[StrategyName.CACHE_INVALIDATE].c_inval == 60.0
+
+
+class TestCorrectness:
+    def test_all_routes_stay_consistent_under_updates(
+        self, tiny_joined_catalog, clock, buffer
+    ):
+        strategy = HybridStrategy(
+            tiny_joined_catalog,
+            buffer,
+            clock,
+            assign={
+                "A": StrategyName.UPDATE_CACHE_AVM,
+                "B": StrategyName.CACHE_INVALIDATE,
+                "C": StrategyName.UPDATE_CACHE_RVM,
+            },
+            default=StrategyName.ALWAYS_RECOMPUTE,
+        )
+        manager = ProcedureManager(strategy)
+        manager.define_procedure("A", P1_EXPR)
+        manager.define_procedure("B", P1B_EXPR)
+        manager.define_procedure("C", P2_EXPR)
+        manager.define_procedure("D", P1_EXPR)  # default route, same query
+        rng = random.Random(13)
+        r1 = tiny_joined_catalog.get("R1")
+        for _ in range(8):
+            rids = [rid for rid, _row in r1.heap.scan_uncharged()]
+            changes = []
+            for rid in rng.sample(rids, 6):
+                old = r1.heap.read(rid)
+                changes.append((rid, (old[0], rng.randrange(1000), old[2])))
+            manager.update("R1", changes)
+        assert sorted(manager.access("A").rows) == brute_p1(
+            tiny_joined_catalog, 100, 300
+        )
+        assert sorted(manager.access("B").rows) == brute_p1(
+            tiny_joined_catalog, 400, 600
+        )
+        assert sorted(manager.access("D").rows) == sorted(
+            manager.access("A").rows
+        )
+
+    def test_maintenance_cost_only_for_maintained_routes(
+        self, tiny_joined_catalog, clock, buffer
+    ):
+        """A hybrid with everything routed to Always Recompute must do no
+        maintenance work at all."""
+        strategy = HybridStrategy(
+            tiny_joined_catalog, buffer, clock,
+            default=StrategyName.ALWAYS_RECOMPUTE,
+        )
+        manager = ProcedureManager(strategy)
+        manager.define_procedure("A", P1_EXPR)
+        r1 = tiny_joined_catalog.get("R1")
+        rid, old = next(iter(r1.heap.scan_uncharged()))
+        manager.update("R1", [(rid, (old[0], 150, old[2]))])
+        assert manager.maintenance_cost_ms == 0.0
+
+
+class TestHybridBeatsPureStrategies:
+    def test_hot_cold_split_wins_on_skewed_access(
+        self, tiny_joined_catalog, clock, buffer
+    ):
+        """With one hot procedure and many cold ones under moderate update
+        probability, maintaining only the hot one beats both pure policies."""
+        expressions = {
+            f"P{i}": Select(RelationRef("R1"), Interval("sel", i * 90, i * 90 + 60))
+            for i in range(10)
+        }
+        hot = "P0"
+
+        def run(assignment_default, hot_route):
+            import random as _random
+
+            # Fresh world per run for fairness.
+            from repro.sim import CostClock
+            from repro.storage import BufferPool, Catalog, DiskManager, Field, Schema
+
+            local_clock = CostClock(clock.params)
+            disk = DiskManager(local_clock)
+            local_buffer = BufferPool(disk)
+
+            catalog = Catalog(local_buffer)
+            rng = _random.Random(4)
+            r1 = catalog.create_relation(
+                "R1",
+                Schema([Field("id1"), Field("sel"), Field("a")], 100),
+                fill_factor=0.9,
+            )
+            sels = sorted(rng.randrange(1000) for _ in range(2000))
+            rids = [
+                r1.insert((i, sel, rng.randrange(60)))
+                for i, sel in enumerate(sels)
+            ]
+            r1.create_btree_index("sel")
+            local_clock.reset()
+
+            strategy = HybridStrategy(
+                catalog,
+                local_buffer,
+                local_clock,
+                assign={hot: hot_route} if hot_route else None,
+                default=assignment_default,
+            )
+            manager = ProcedureManager(strategy)
+            for name, expr in expressions.items():
+                manager.define_procedure(name, expr)
+            for name in expressions:
+                manager.access(name)
+            manager.reset_counters()
+            for step in range(120):
+                if step % 3 == 0:
+                    changes = []
+                    for rid in rng.sample(rids, 5):
+                        old = r1.heap.read(rid)
+                        changes.append(
+                            (rid, (old[0], rng.randrange(1000), old[2]))
+                        )
+                    manager.update("R1", changes)
+                elif step % 12 == 1:
+                    cold = f"P{rng.randrange(1, 10)}"
+                    manager.access(cold)
+                else:
+                    manager.access(hot)
+            return manager.cost_per_access()
+
+        pure_recompute = run(StrategyName.ALWAYS_RECOMPUTE, None)
+        pure_maintain = run(StrategyName.UPDATE_CACHE_AVM, None)
+        hybrid = run(
+            StrategyName.ALWAYS_RECOMPUTE, StrategyName.UPDATE_CACHE_AVM
+        )
+        assert hybrid < pure_recompute
+        assert hybrid < pure_maintain

@@ -1,0 +1,99 @@
+"""Unit tests for the i-lock table (rule indexing)."""
+
+from repro.locks import ILockTable
+from repro.query.plan import LockSpec
+from repro.query.predicate import KeyInterval
+
+
+def interval_lock(lo, hi):
+    return LockSpec("R1", KeyInterval("sel", lo, hi, True, False))
+
+
+class TestLockLifecycle:
+    def test_set_and_read_back(self):
+        table = ILockTable()
+        table.set_locks("P", [interval_lock(0, 10)])
+        assert table.locks_of("P") == [interval_lock(0, 10)]
+        assert table.num_locks() == 1
+
+    def test_set_replaces_previous_locks(self):
+        table = ILockTable()
+        table.set_locks("P", [interval_lock(0, 10)])
+        table.set_locks("P", [interval_lock(50, 60)])
+        assert table.locks_of("P") == [interval_lock(50, 60)]
+        assert not table.conflicting_procedures("R1", [{"sel": 5}])
+
+    def test_clear(self):
+        table = ILockTable()
+        table.set_locks("P", [interval_lock(0, 10)])
+        table.clear_locks("P")
+        assert table.locks_of("P") == []
+        assert table.num_locks() == 0
+        table.clear_locks("P")  # idempotent
+
+    def test_unknown_procedure_has_no_locks(self):
+        assert ILockTable().locks_of("ghost") == []
+
+
+class TestConflictDetection:
+    def test_value_inside_interval_conflicts(self):
+        table = ILockTable()
+        table.set_locks("P", [interval_lock(10, 20)])
+        assert table.conflicting_procedures("R1", [{"sel": 15}]) == {"P"}
+
+    def test_value_outside_interval_does_not_conflict(self):
+        table = ILockTable()
+        table.set_locks("P", [interval_lock(10, 20)])
+        assert table.conflicting_procedures("R1", [{"sel": 25}]) == set()
+        assert table.conflicting_procedures("R1", [{"sel": 20}]) == set()  # half-open
+
+    def test_old_or_new_value_breaks_lock(self):
+        """The paper's 2l accounting: both the before- and after-image can
+        break a lock."""
+        table = ILockTable()
+        table.set_locks("P", [interval_lock(10, 20)])
+        # old inside, new outside
+        assert table.conflicting_procedures(
+            "R1", [{"sel": 15}, {"sel": 99}]
+        ) == {"P"}
+        # old outside, new inside
+        assert table.conflicting_procedures(
+            "R1", [{"sel": 99}, {"sel": 15}]
+        ) == {"P"}
+
+    def test_other_relation_never_conflicts(self):
+        table = ILockTable()
+        table.set_locks("P", [interval_lock(10, 20)])
+        assert table.conflicting_procedures("R2", [{"sel": 15}]) == set()
+
+    def test_whole_relation_lock_conflicts_with_everything(self):
+        table = ILockTable()
+        table.set_locks("P", [LockSpec("R1", None)])
+        assert table.conflicting_procedures("R1", [{"anything": 1}]) == {"P"}
+
+    def test_point_lock(self):
+        table = ILockTable()
+        table.set_locks("P", [LockSpec("R2", KeyInterval.point("b", 7))])
+        assert table.conflicting_procedures("R2", [{"b": 7}]) == {"P"}
+        assert table.conflicting_procedures("R2", [{"b": 8}]) == set()
+
+    def test_missing_field_in_write_does_not_conflict(self):
+        table = ILockTable()
+        table.set_locks("P", [interval_lock(10, 20)])
+        assert table.conflicting_procedures("R1", [{"other": 15}]) == set()
+
+    def test_multiple_procedures(self):
+        table = ILockTable()
+        table.set_locks("A", [interval_lock(0, 10)])
+        table.set_locks("B", [interval_lock(5, 15)])
+        table.set_locks("C", [interval_lock(90, 95)])
+        assert table.conflicting_procedures("R1", [{"sel": 7}]) == {"A", "B"}
+
+    def test_procedure_with_multiple_locks(self):
+        table = ILockTable()
+        table.set_locks(
+            "P",
+            [interval_lock(0, 10), LockSpec("R2", KeyInterval.point("b", 3))],
+        )
+        assert table.conflicting_procedures("R2", [{"b": 3}]) == {"P"}
+        assert table.conflicting_procedures("R1", [{"sel": 3}]) == {"P"}

@@ -1,0 +1,128 @@
+"""End-to-end integration tests: simulator vs analytical model.
+
+These are the reproduction's load-bearing tests: when the four strategies
+actually execute against the storage engine, the *orderings and shapes* the
+paper derives analytically must emerge from the measured costs.
+"""
+
+import pytest
+
+from repro.experiments.simcompare import (
+    SIM_SCALE_PARAMS,
+    render_comparison,
+    sim_model_comparison,
+    simulate_figure_point,
+)
+from repro.model import cost_of
+from repro.workload import run_workload
+
+
+@pytest.fixture(scope="module")
+def default_point_results():
+    """All four strategies, simulated at the scaled default point."""
+    return {
+        point.strategy: point
+        for point in sim_model_comparison(
+            SIM_SCALE_PARAMS, model=1, num_operations=300, seed=13
+        )
+    }
+
+
+class TestSimulatorMatchesModelShape:
+    def test_every_strategy_within_2x_of_model(self, default_point_results):
+        for name, point in default_point_results.items():
+            assert 0.5 <= point.ratio <= 2.0, (
+                f"{name}: sim {point.simulated_ms:.0f} vs model "
+                f"{point.model_ms:.0f}"
+            )
+
+    def test_update_cache_beats_recompute_at_p_half(self, default_point_results):
+        ar = default_point_results["always_recompute"].simulated_ms
+        for name in ("update_cache_avm", "update_cache_rvm"):
+            assert default_point_results[name].simulated_ms < ar
+
+    def test_render_comparison(self, default_point_results):
+        text = render_comparison(list(default_point_results.values()))
+        assert "always_recompute" in text and "sim/model" in text
+
+
+class TestSimulatedTradeoffDirections:
+    """The paper's qualitative conclusions, measured rather than derived."""
+
+    def test_low_p_favors_caching_over_recompute(self):
+        params = SIM_SCALE_PARAMS.with_update_probability(0.1)
+        ar = run_workload(params, "always_recompute", num_operations=200, seed=4)
+        ci = run_workload(params, "cache_invalidate", num_operations=200, seed=4)
+        uc = run_workload(params, "update_cache_avm", num_operations=200, seed=4)
+        assert ci.cost_per_access_ms < ar.cost_per_access_ms
+        assert uc.cost_per_access_ms < ar.cost_per_access_ms
+
+    def test_high_p_punishes_update_cache(self):
+        params = SIM_SCALE_PARAMS.with_update_probability(0.85)
+        ar = run_workload(params, "always_recompute", num_operations=200, seed=4)
+        uc = run_workload(params, "update_cache_avm", num_operations=200, seed=4)
+        ci = run_workload(params, "cache_invalidate", num_operations=200, seed=4)
+        assert uc.cost_per_access_ms > ci.cost_per_access_ms
+        # CI plateaus near AR rather than exploding.
+        assert ci.cost_per_access_ms < 1.6 * ar.cost_per_access_ms
+
+    def test_costly_invalidation_hurts_ci(self):
+        params = SIM_SCALE_PARAMS.with_update_probability(0.5)
+        free = run_workload(params, "cache_invalidate", num_operations=200, seed=4)
+        costly = run_workload(
+            params.replace(inval_cost_ms=60.0),
+            "cache_invalidate",
+            num_operations=200,
+            seed=4,
+        )
+        assert costly.cost_per_access_ms > free.cost_per_access_ms
+
+    def test_model2_rvm_beats_avm_with_high_sharing(self):
+        params = SIM_SCALE_PARAMS.replace(
+            sharing_factor=1.0
+        ).with_update_probability(0.5)
+        avm = run_workload(
+            params, "update_cache_avm", model=2, num_operations=200, seed=4
+        )
+        rvm = run_workload(
+            params, "update_cache_rvm", model=2, num_operations=200, seed=4
+        )
+        assert rvm.cost_per_access_ms < avm.cost_per_access_ms
+
+    def test_model1_avm_beats_rvm_without_sharing(self):
+        params = SIM_SCALE_PARAMS.replace(
+            sharing_factor=0.0
+        ).with_update_probability(0.5)
+        avm = run_workload(
+            params, "update_cache_avm", model=1, num_operations=200, seed=4
+        )
+        rvm = run_workload(
+            params, "update_cache_rvm", model=1, num_operations=200, seed=4
+        )
+        assert avm.cost_per_access_ms <= rvm.cost_per_access_ms * 1.05
+
+
+class TestBufferPoolExtension:
+    def test_buffering_reduces_recompute_cost(self):
+        """The 1987 no-buffering assumption: giving the engine a modern
+        buffer pool shrinks Always Recompute's cost (an extension, not a
+        paper figure)."""
+        params = SIM_SCALE_PARAMS.with_update_probability(0.3)
+        cold = run_workload(
+            params, "always_recompute", num_operations=150, seed=4,
+            buffer_capacity=0,
+        )
+        warm = run_workload(
+            params, "always_recompute", num_operations=150, seed=4,
+            buffer_capacity=4096,
+        )
+        assert warm.cost_per_access_ms < cold.cost_per_access_ms
+
+
+class TestSimulateFigurePoint:
+    def test_point_carries_both_numbers(self):
+        point = simulate_figure_point(
+            SIM_SCALE_PARAMS, "always_recompute", num_operations=60, seed=3
+        )
+        assert point.model_ms > 0 and point.simulated_ms > 0
+        assert point.strategy == "always_recompute"

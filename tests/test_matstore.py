@@ -1,0 +1,185 @@
+"""Unit and property tests for the materialized row store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import CostClock
+from repro.storage import BufferPool, DiskManager, Field, MaterializedStore, Schema
+
+
+@pytest.fixture
+def schema():
+    # 4 tuples per 4000-byte page.
+    return Schema([Field("id"), Field("k")], tuple_bytes=1000)
+
+
+@pytest.fixture
+def store(schema, buffer):
+    return MaterializedStore("S", schema, buffer, seed=1)
+
+
+class TestBasics:
+    def test_load_silently_is_free(self, store, clock):
+        store.load_silently([(i, i) for i in range(10)])
+        assert store.num_rows == 10
+        assert clock.elapsed_ms == 0.0
+
+    def test_read_all_returns_contents(self, store):
+        rows = [(i, i) for i in range(10)]
+        store.load_silently(rows)
+        assert sorted(store.read_all()) == rows
+
+    def test_read_all_charges_per_occupied_page(self, store, clock):
+        store.load_silently([(i, i) for i in range(10)])  # 3 pages
+        clock.reset()
+        store.read_all()
+        assert clock.disk_reads == store.num_pages
+        assert clock.disk_writes == 0
+
+    def test_peek_all_is_free(self, store, clock):
+        store.load_silently([(i, i) for i in range(10)])
+        clock.reset()
+        assert len(store.peek_all()) == 10
+        assert clock.elapsed_ms == 0.0
+
+    def test_contains_and_count(self, store):
+        store.load_silently([(1, 1), (1, 1), (2, 2)])
+        assert store.contains((1, 1))
+        assert store.count((1, 1)) == 2
+        assert not store.contains((9, 9))
+
+
+class TestApplyDelta:
+    def test_insert_then_delete_roundtrip(self, store):
+        store.apply_delta(inserts=[(1, 1)], deletes=[])
+        store.apply_delta(inserts=[], deletes=[(1, 1)])
+        assert store.num_rows == 0
+        assert store.read_all() == []
+
+    def test_delete_missing_row_raises(self, store):
+        with pytest.raises(KeyError):
+            store.apply_delta(inserts=[], deletes=[(9, 9)])
+
+    def test_update_pair_reuses_slot(self, store):
+        store.load_silently([(i, i) for i in range(4)])  # fills page 0
+        pages_before = store.num_pages
+        store.apply_delta(inserts=[(0, 99)], deletes=[(0, 0)])
+        assert store.num_pages == pages_before
+
+    def test_charges_read_write_per_touched_page(self, store, clock):
+        store.load_silently([(i, i) for i in range(8)])  # 2 pages
+        clock.reset()
+        touched = store.apply_delta(inserts=[], deletes=[(0, 0)])
+        assert touched == 1
+        assert clock.disk_reads == 1
+        assert clock.disk_writes == 1
+
+    def test_validates_inserted_rows(self, store):
+        with pytest.raises(Exception):
+            store.apply_delta(inserts=[("bad",)], deletes=[])
+
+    def test_multiset_semantics(self, store):
+        store.apply_delta(inserts=[(1, 1), (1, 1)], deletes=[])
+        store.apply_delta(inserts=[], deletes=[(1, 1)])
+        assert store.count((1, 1)) == 1
+
+
+class TestRefresh:
+    def test_refresh_replaces_contents(self, store):
+        store.load_silently([(1, 1)])
+        store.refresh([(2, 2), (3, 3)])
+        assert sorted(store.read_all()) == [(2, 2), (3, 3)]
+
+    def test_refresh_charges_2c2_per_new_page(self, store, clock):
+        store.load_silently([(i, i) for i in range(8)])
+        clock.reset()
+        store.refresh([(i, i * 2) for i in range(8)])  # 2 pages
+        assert clock.disk_reads == 2
+        assert clock.disk_writes == 2
+
+    def test_refresh_to_empty(self, store):
+        store.load_silently([(1, 1)])
+        store.refresh([])
+        assert store.num_rows == 0
+        assert store.read_all() == []
+
+
+class TestProbeMany:
+    def test_probe_returns_matches(self, store):
+        store.load_silently([(1, 10), (2, 10), (3, 20)])
+        out = store.probe_many("k", [10, 30])
+        assert sorted(out[10]) == [(1, 10), (2, 10)]
+        assert out[30] == []
+
+    def test_probe_charges_distinct_pages(self, store, clock):
+        store.load_silently([(i, 5) for i in range(4)])  # one page, same key
+        clock.reset()
+        store.probe_many("k", [5])
+        assert clock.disk_reads == 1
+
+    def test_probe_after_deltas_stays_consistent(self, store):
+        store.load_silently([(1, 10), (2, 10)])
+        store.apply_delta(inserts=[(3, 10)], deletes=[(1, 10)])
+        out = store.probe_many("k", [10])
+        assert sorted(out[10]) == [(2, 10), (3, 10)]
+
+    def test_directory_built_before_loads_tracks_inserts(self, store):
+        store.ensure_directory("k")
+        store.apply_delta(inserts=[(1, 7)], deletes=[])
+        assert store.probe_many("k", [7])[7] == [(1, 7)]
+
+
+@st.composite
+def delta_script(draw):
+    """A random valid sequence of apply_delta calls over small rows."""
+    script = []
+    live: list[tuple] = []
+    for _ in range(draw(st.integers(0, 12))):
+        inserts = [
+            (draw(st.integers(0, 5)), draw(st.integers(0, 3)))
+            for _ in range(draw(st.integers(0, 4)))
+        ]
+        deletable = list(live)
+        num_deletes = draw(st.integers(0, min(3, len(deletable))))
+        deletes = []
+        for _ in range(num_deletes):
+            idx = draw(st.integers(0, len(deletable) - 1))
+            deletes.append(deletable.pop(idx))
+        for row in deletes:
+            live.remove(row)
+        live.extend(inserts)
+        script.append((inserts, deletes))
+    return script
+
+
+@given(script=delta_script())
+@settings(max_examples=120, deadline=None)
+def test_store_tracks_reference_multiset(script):
+    clock = CostClock()
+    store = MaterializedStore(
+        "PROP",
+        Schema([Field("a"), Field("b")], tuple_bytes=1000),
+        BufferPool(DiskManager(clock)),
+        seed=3,
+    )
+    from collections import Counter
+
+    reference: Counter = Counter()
+    for inserts, deletes in script:
+        store.apply_delta(inserts, deletes)
+        for row in deletes:
+            reference[row] -= 1
+            if not reference[row]:
+                del reference[row]
+        for row in inserts:
+            reference[row] += 1
+    assert Counter(store.read_all()) == reference
+    assert store.num_rows == sum(reference.values())
+    # probe_many agrees with the multiset per key
+    out = store.probe_many("b", range(4))
+    for key in range(4):
+        expected = sorted(
+            row for row, n in reference.items() for _ in range(n) if row[1] == key
+        )
+        assert sorted(out[key]) == expected

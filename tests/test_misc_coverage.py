@@ -1,0 +1,106 @@
+"""Remaining targeted coverage: node wiring errors, sweep helpers, and
+figure-check plumbing."""
+
+import pytest
+
+from repro.model import ModelParams
+from repro.model.api import sweep_sharing_factor, sweep_update_probability
+
+DEFAULTS = ModelParams()
+
+
+class TestSweepHelpers:
+    def test_update_probability_sweep_shape(self):
+        series = sweep_update_probability(DEFAULTS, [0.0, 0.5], model=1)
+        assert set(series) == {
+            "always_recompute",
+            "cache_invalidate",
+            "update_cache_avm",
+            "update_cache_rvm",
+        }
+        assert all(len(values) == 2 for values in series.values())
+
+    def test_strategy_subset(self):
+        series = sweep_update_probability(
+            DEFAULTS, [0.1], strategies=("always_recompute",)
+        )
+        assert set(series) == {"always_recompute"}
+
+    def test_sharing_sweep_shape(self):
+        series = sweep_sharing_factor(DEFAULTS, [0.0, 1.0], model=2)
+        assert set(series) == {"update_cache_avm", "update_cache_rvm"}
+
+
+class TestAndNodeWiring:
+    def test_tokens_from_unknown_source_rejected(
+        self, tiny_joined_catalog, clock, buffer
+    ):
+        from repro.query import Interval, Join, RelationRef, Select
+        from repro.query.analysis import normalize_spj
+        from repro.rete import ReteNetwork
+        from repro.rete.nodes import TConstNode
+        from repro.rete.tokens import Token
+
+        net = ReteNetwork(tiny_joined_catalog, buffer, clock)
+        expr = Select(
+            Join(RelationRef("R1"), RelationRef("R2"), "a", "b"),
+            Interval("sel", 0, 100),
+        )
+        net.add_procedure("P", normalize_spj(expr, tiny_joined_catalog))
+        and_node = next(iter(net._ands.values()))
+        stranger = TConstNode(
+            "stranger", "R1", Interval("sel", 0, 1),
+            tiny_joined_catalog.get("R1").schema,
+        )
+        with pytest.raises(ValueError):
+            and_node.receive([Token.insert((1, 2, 3))], clock, source=stranger)
+
+
+class TestFigureCheckPlumbing:
+    def test_failed_check_reported(self):
+        from repro.experiments.figures import FigureResult
+
+        result = FigureResult(
+            figure_id="x", title="t", kind="table", params=DEFAULTS, model=1
+        )
+        result.check("good", True)
+        result.check("bad", False)
+        assert not result.all_checks_pass
+        assert result.failed_checks() == ["bad"]
+
+    def test_render_marks_failures(self):
+        from repro.experiments import render_result
+        from repro.experiments.figures import FigureResult
+
+        result = FigureResult(
+            figure_id="x",
+            title="t",
+            kind="table",
+            params=DEFAULTS,
+            model=1,
+            table_header=("a",),
+            table_rows=[("1",)],
+        )
+        result.check("claim", False)
+        text = render_result(result)
+        assert "[FAIL] claim" in text
+
+    def test_cli_run_fails_on_failed_check(self, capsys, monkeypatch):
+        from repro.cli import main
+        from repro.experiments import figures
+
+        def broken(params=None):
+            result = figures.table_parameters()
+            result.check("forced failure", False)
+            return result
+
+        monkeypatch.setitem(figures.REGISTRY, "table_fig2", broken)
+        assert main(["run", "table_fig2"]) == 1
+
+
+class TestStrategyNameEnum:
+    def test_string_round_trip(self):
+        from repro.core.strategy import StrategyName
+
+        assert StrategyName("update_cache_avm") is StrategyName.UPDATE_CACHE_AVM
+        assert str(StrategyName.HYBRID) == "hybrid"

@@ -1,0 +1,208 @@
+"""Component-level regression tests for the cost model.
+
+Every named component of every strategy's CostBreakdown is pinned against
+an independently-written formula (straight from the paper's tables, not
+shared code), at the defaults and at perturbed parameter points. This
+locks the model against silent regressions: any formula drift breaks a
+named component here, not just an aggregate.
+"""
+
+import math
+
+import pytest
+
+from repro.model import ModelParams, cardenas, model1, model2
+
+DEFAULTS = ModelParams()
+POINTS = [
+    DEFAULTS,
+    DEFAULTS.replace(selectivity_f=0.01),
+    DEFAULTS.replace(selectivity_f=0.0001, num_p1=150, num_p2=50),
+    DEFAULTS.replace(sharing_factor=0.8).with_update_probability(0.25),
+    DEFAULTS.replace(tuples_per_update=5).with_update_probability(0.75),
+]
+
+
+def _yao(n, m, k, upper=2.0):
+    """Independent reimplementation of Appendix A's piecewise estimator."""
+    if k <= 1:
+        return k
+    if m < 1:
+        return 1.0
+    if m < upper:
+        return min(k, m)
+    return cardenas(m, k)
+
+
+def _pages(x):
+    return float(math.ceil(x)) if x > 0 else 0.0
+
+
+@pytest.mark.parametrize("p", POINTS)
+class TestModel1Components:
+    def test_avm_components(self, p):
+        bd = model1.total_update_cache_avm(p)
+        ratio = p.updates_per_query
+        f, l = p.selectivity_f, p.tuples_per_update
+        assert bd.component("screen_p1") == pytest.approx(
+            ratio * p.num_p1 * p.cpu_test_ms * f * l
+        )
+        assert bd.component("screen_p2") == pytest.approx(
+            ratio * p.num_p2 * p.cpu_test_ms * f * l
+        )
+        y3 = _yao(f * p.n_tuples, f * p.blocks, 2 * f * l)
+        assert bd.component("refresh_p1") == pytest.approx(
+            ratio * 2 * p.num_p1 * p.io_ms * y3
+        )
+        fs = p.f_star
+        y4 = _yao(fs * p.n_tuples, fs * p.blocks, 2 * fs * l)
+        assert bd.component("refresh_p2") == pytest.approx(
+            ratio * 2 * p.num_p2 * p.io_ms * y4
+        )
+        assert bd.component("overhead") == pytest.approx(
+            ratio * p.overhead_ms * 2 * f * l * p.num_objects
+        )
+        y2 = _yao(p.r2_fraction * p.n_tuples, p.r2_fraction * p.blocks, 2 * f * l)
+        assert bd.component("join") == pytest.approx(
+            ratio * p.num_p2 * p.io_ms * y2
+        )
+        proc_size = (
+            p.p1_fraction * _pages(f * p.blocks)
+            + p.p2_fraction * _pages(fs * p.blocks)
+        )
+        assert bd.component("read") == pytest.approx(p.io_ms * proc_size)
+
+    def test_rvm_components(self, p):
+        bd = model1.total_update_cache_rvm(p)
+        ratio = p.updates_per_query
+        f, l, sf = p.selectivity_f, p.tuples_per_update, p.sharing_factor
+        assert bd.component("screen_p2_rete") == pytest.approx(
+            ratio * p.num_p2 * (1 - sf) * p.cpu_test_ms * f * l
+        )
+        y3 = _yao(f * p.n_tuples, f * p.blocks, 2 * f * l)
+        assert bd.component("refresh_alpha") == pytest.approx(
+            ratio * p.num_p2 * (1 - sf) * 2 * p.io_ms * y3
+        )
+        f2s = p.selectivity_f2 * p.r2_fraction
+        y5 = _yao(f2s * p.n_tuples, f2s * p.blocks, 2 * f * l)
+        assert bd.component("join_alpha") == pytest.approx(
+            ratio * p.num_p2 * p.io_ms * y5
+        )
+
+    def test_cache_invalidate_components(self, p):
+        bd = model1.total_cache_invalidate(p)
+        t1 = bd.component("info.T1")
+        t2 = bd.component("info.T2")
+        ip = bd.component("info.IP")
+        assert bd.component("recompute_amortized") == pytest.approx(ip * t1)
+        assert bd.component("cache_read_amortized") == pytest.approx(
+            (1 - ip) * t2
+        )
+        # T1 = recompute + 2*C2*ProcSize; T2 = C2*ProcSize.
+        size = bd.component("info.proc_size_pages")
+        assert t1 - 2 * p.io_ms * size == pytest.approx(
+            model1.cost_process_query(p)
+        )
+        assert t2 == pytest.approx(p.io_ms * size)
+        assert 0.0 <= ip <= 1.0
+
+    def test_ip_formula(self, p):
+        """IP recomputed from scratch with the paper's X/Y/Z1/Z2 algebra."""
+        z = p.locality
+        n = p.num_objects
+        ratio = p.updates_per_query
+        keep = 1 - p.selectivity_f
+        two_l = 2 * p.tuples_per_update
+        x = n * (z / (1 - z)) * ratio
+        y = n * ((1 - z) / z) * ratio
+        z1 = 1 - keep ** (two_l * x)
+        z2 = 1 - keep ** (two_l * y)
+        expected = (1 - z) * z1 + z * z2
+        assert model1.invalidation_probability(p) == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("p", POINTS)
+class TestModel2Components:
+    def test_query_p2_adds_r3_probe(self, p):
+        f_n = p.selectivity_f * p.n_tuples
+        y6 = _yao(p.r3_fraction * p.n_tuples, p.r3_fraction * p.blocks, f_n)
+        assert model2.cost_query_p2(p) == pytest.approx(
+            model1.cost_query_p2(p) + p.io_ms * y6 + p.cpu_test_ms * f_n
+        )
+
+    def test_avm_join_adds_y7(self, p):
+        bd1 = model1.total_update_cache_avm(p)
+        bd2 = model2.total_update_cache_avm(p)
+        two_f_l = 2 * p.selectivity_f * p.tuples_per_update
+        y7 = _yao(p.r3_fraction * p.n_tuples, p.r3_fraction * p.blocks, two_f_l)
+        extra = p.updates_per_query * p.num_p2 * p.io_ms * y7
+        assert bd2.component("join") == pytest.approx(
+            bd1.component("join") + extra
+        )
+        assert bd2.total_ms == pytest.approx(bd1.total_ms + extra)
+
+    def test_rvm_swaps_alpha_for_beta_join(self, p):
+        bd1 = model1.total_update_cache_rvm(p)
+        bd2 = model2.total_update_cache_rvm(p)
+        two_f_l = 2 * p.selectivity_f * p.tuples_per_update
+        f3s = p.selectivity_f2 * p.r3_fraction
+        y8 = _yao(f3s * p.n_tuples, f3s * p.blocks, two_f_l)
+        assert "join_alpha" not in bd2.components
+        assert bd2.component("join_beta") == pytest.approx(
+            p.updates_per_query * p.num_p2 * p.io_ms * y8
+        )
+        # Non-join components are untouched.
+        for name in ("read", "screen_p1", "refresh_p1", "refresh_p2",
+                     "screen_p2_rete", "refresh_alpha"):
+            assert bd2.component(name) == pytest.approx(bd1.component(name))
+
+    def test_ci_uses_model2_recompute(self, p):
+        bd = model2.total_cache_invalidate(p)
+        size = bd.component("info.proc_size_pages")
+        assert bd.component("info.T1") - 2 * p.io_ms * size == pytest.approx(
+            model2.cost_process_query(p)
+        )
+
+
+class TestDegenerateParameterPoints:
+    def test_all_p1_population(self):
+        p = DEFAULTS.replace(num_p2=0)
+        for breakdown in (
+            model1.total_update_cache_avm(p),
+            model1.total_update_cache_rvm(p),
+            model2.total_update_cache_avm(p),
+        ):
+            assert breakdown.component("read") > 0
+            breakdown.check_consistent()
+        # No P2 procedures -> no join or alpha costs anywhere.
+        assert model1.total_update_cache_avm(p).component("join") == 0.0
+        assert model1.total_update_cache_rvm(p).component("join_alpha") == 0.0
+
+    def test_all_p2_population(self):
+        p = DEFAULTS.replace(num_p1=0)
+        assert model1.total_update_cache_avm(p).component("screen_p1") == 0.0
+        model1.total_cache_invalidate(p).check_consistent()
+
+    def test_zero_updates(self):
+        p = DEFAULTS.with_update_probability(0.0)
+        for fn in (
+            model1.total_update_cache_avm,
+            model1.total_update_cache_rvm,
+            model2.total_update_cache_avm,
+            model2.total_update_cache_rvm,
+        ):
+            bd = fn(p)
+            assert bd.total_ms == pytest.approx(bd.component("read"))
+
+    def test_full_selectivity(self):
+        p = DEFAULTS.replace(selectivity_f=1.0, selectivity_f2=1.0)
+        for model in (model1, model2):
+            for fn in (
+                model.total_always_recompute,
+                model.total_cache_invalidate,
+                model.total_update_cache_avm,
+                model.total_update_cache_rvm,
+            ):
+                bd = fn(p)
+                assert bd.total_ms > 0
+                bd.check_consistent()

@@ -1,0 +1,121 @@
+"""Unit tests for model parameters and derived quantities."""
+
+import pytest
+
+from repro.model import DEFAULT_PARAMS, ModelParams
+from repro.model.costs import CostBreakdown, btree_height, pages
+
+
+class TestDefaults:
+    def test_paper_figure2_values(self):
+        p = DEFAULT_PARAMS
+        assert p.n_tuples == 100_000
+        assert p.tuple_bytes == 100
+        assert p.block_bytes == 4_000
+        assert p.index_entry_bytes == 20
+        assert p.num_updates == 100
+        assert p.tuples_per_update == 25
+        assert p.num_queries == 100
+        assert p.selectivity_f == 0.001
+        assert p.selectivity_f2 == 0.1
+        assert p.r2_fraction == 0.1
+        assert p.r3_fraction == 0.1
+        assert p.cpu_test_ms == 1.0
+        assert p.io_ms == 30.0
+        assert p.overhead_ms == 1.0
+        assert p.sharing_factor == 0.5
+        assert p.inval_cost_ms == 0.0
+
+    def test_derived_quantities(self):
+        p = DEFAULT_PARAMS
+        assert p.blocks == 2500.0
+        assert p.btree_fanout == 200
+        assert p.f_star == pytest.approx(1e-4)
+        assert p.update_probability == pytest.approx(0.5)
+        assert p.updates_per_query == pytest.approx(1.0)
+        assert p.num_objects == 200
+        assert p.p1_fraction == pytest.approx(0.5)
+
+    def test_paper_object_sizes(self):
+        """fN = 100 tuples for P1, f*N = 10 for P2 (paper §3)."""
+        p = DEFAULT_PARAMS
+        assert p.selectivity_f * p.n_tuples == pytest.approx(100)
+        assert p.f_star * p.n_tuples == pytest.approx(10)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_tuples": 0},
+            {"selectivity_f": 0.0},
+            {"selectivity_f": 1.5},
+            {"selectivity_f2": 0.0},
+            {"locality": 0.0},
+            {"locality": 1.0},
+            {"sharing_factor": -0.1},
+            {"sharing_factor": 1.1},
+            {"num_updates": -1},
+            {"num_queries": 0},
+            {"num_p1": 0, "num_p2": 0},
+            {"tuples_per_update": -1},
+            {"inval_cost_ms": -1},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ModelParams(**kwargs)
+
+    def test_replace(self):
+        p = DEFAULT_PARAMS.replace(selectivity_f=0.01)
+        assert p.selectivity_f == 0.01
+        assert DEFAULT_PARAMS.selectivity_f == 0.001  # original untouched
+
+    def test_with_update_probability(self):
+        p = DEFAULT_PARAMS.with_update_probability(0.8)
+        assert p.update_probability == pytest.approx(0.8)
+        assert p.num_queries == DEFAULT_PARAMS.num_queries
+
+    def test_with_update_probability_zero(self):
+        p = DEFAULT_PARAMS.with_update_probability(0.0)
+        assert p.num_updates == 0.0
+
+    def test_with_update_probability_one_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PARAMS.with_update_probability(1.0)
+
+
+class TestCostHelpers:
+    def test_pages_rounds_up(self):
+        assert pages(2.5) == 3.0
+        assert pages(0.25) == 1.0
+        assert pages(0.0) == 0.0
+        assert pages(4.0) == 4.0
+
+    def test_pages_rejects_negative(self):
+        with pytest.raises(ValueError):
+            pages(-1.0)
+
+    def test_btree_height(self):
+        assert btree_height(100, 200) == 1
+        assert btree_height(1000, 200) == 2
+        assert btree_height(100_000, 200) == 3
+        assert btree_height(1, 200) == 1
+        assert btree_height(0, 200) == 1
+
+    def test_btree_height_rejects_tiny_fanout(self):
+        with pytest.raises(ValueError):
+            btree_height(100, 1)
+
+    def test_breakdown_consistency_check(self):
+        good = CostBreakdown("x", 10.0, {"a": 4.0, "b": 6.0, "info.n": 99.0})
+        good.check_consistent()
+        bad = CostBreakdown("x", 10.0, {"a": 4.0})
+        with pytest.raises(AssertionError):
+            bad.check_consistent()
+
+    def test_breakdown_component_access(self):
+        breakdown = CostBreakdown("x", 10.0, {"a": 10.0})
+        assert breakdown.component("a") == 10.0
+        with pytest.raises(KeyError):
+            breakdown.component("zzz")

@@ -1,0 +1,105 @@
+"""Unit and property tests for the Yao/Cardenas page estimator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import cardenas, yao, yao_exact
+
+
+class TestPiecewiseRules:
+    def test_k_at_most_one_returns_k(self):
+        """Paper: 'if k <= 1, the expected number of pages touched is k'."""
+        assert yao(1000, 25, 0.05) == 0.05
+        assert yao(1000, 25, 1.0) == 1.0
+        assert yao(1000, 25, 0.0) == 0.0
+
+    def test_sub_page_object_returns_one(self):
+        """Paper: 'if k > 1 and m < 1, ... is 1'."""
+        assert yao(10, 0.25, 5) == 1.0
+
+    def test_small_object_returns_min(self):
+        """Paper: 'if m < U (=2) and k > 1, the minimum of k and m'."""
+        assert yao(100, 1.5, 5) == 1.5
+        assert yao(100, 1.9, 1.2) == 1.2
+
+    def test_large_object_uses_cardenas(self):
+        assert yao(10_000, 250, 100) == pytest.approx(cardenas(250, 100))
+
+    def test_custom_upper_bound(self):
+        assert yao(100, 2.5, 5, upper=3.0) == 2.5  # min(k, m) branch
+        assert yao(100, 2.5, 5, upper=2.0) == pytest.approx(cardenas(2.5, 5))
+
+    def test_negative_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            yao(-1, 10, 5)
+        with pytest.raises(ValueError):
+            yao(10, -1, 5)
+        with pytest.raises(ValueError):
+            yao(10, 10, -5)
+
+
+class TestCardenas:
+    def test_zero_pages(self):
+        assert cardenas(0, 10) == 0.0
+
+    def test_one_record_touches_one_page_in_expectation(self):
+        assert cardenas(100, 1) == pytest.approx(1.0)
+
+    def test_saturates_at_m(self):
+        assert cardenas(10, 100000) == pytest.approx(10.0)
+
+    @given(
+        m=st.integers(2, 500),
+        k=st.integers(0, 2000),
+    )
+    def test_bounds(self, m, k):
+        value = cardenas(m, k)
+        assert 0.0 <= value <= m + 1e-9
+        assert value <= k + 1e-9 or k == 0
+
+
+class TestExactYao:
+    def test_matches_known_value(self):
+        # n=4, m=2 (p=2), k=2: P(block untouched) = C(2,2)/C(4,2) = 1/6
+        assert yao_exact(4, 2, 2) == pytest.approx(2 * (1 - 1 / 6))
+
+    def test_accessing_all_records_touches_all_pages(self):
+        assert yao_exact(100, 10, 100) == pytest.approx(10.0)
+
+    def test_zero_k(self):
+        assert yao_exact(100, 10, 0) == 0.0
+
+    def test_k_exceeding_n_rejected(self):
+        with pytest.raises(ValueError):
+            yao_exact(10, 2, 11)
+
+    def test_fractional_blocking_rejected(self):
+        with pytest.raises(ValueError):
+            yao_exact(10, 3, 2)
+
+    @given(
+        m=st.integers(2, 40),
+        p=st.integers(10, 50),
+        k_frac=st.floats(0.01, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cardenas_close_to_exact_for_large_blocking(self, m, p, k_frac):
+        """Paper Appendix A: Cardenas is 'very close if the blocking factor
+        is large (e.g. n/m > 10)'."""
+        n = m * p
+        k = max(1, math.floor(k_frac * n))
+        exact = yao_exact(n, m, k)
+        approx = cardenas(m, k)
+        assert approx == pytest.approx(exact, rel=0.06, abs=0.1)
+
+    @given(m=st.integers(2, 30), p=st.integers(2, 30), k=st.integers(1, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_cardenas_never_exceeds_exact(self, m, p, k):
+        """Sampling with replacement touches no more pages than without."""
+        n = m * p
+        if k > n:
+            k = n
+        assert cardenas(m, k) <= yao_exact(n, m, k) + 1e-9

@@ -1,0 +1,90 @@
+"""Additional property tests binding the model's structure to its meaning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import ModelParams, cost_of
+from repro.model.api import STRATEGIES
+
+DEFAULTS = ModelParams()
+
+
+@given(
+    sf_lo=st.floats(0.0, 0.9),
+    delta=st.floats(0.01, 0.1),
+    model=st.sampled_from([1, 2]),
+    p_update=st.floats(0.05, 0.9),
+)
+@settings(max_examples=80, deadline=None)
+def test_rvm_monotone_decreasing_in_sharing(sf_lo, delta, model, p_update):
+    """More sharing can never make RVM dearer (and touches nothing else)."""
+    lo = DEFAULTS.replace(sharing_factor=sf_lo).with_update_probability(p_update)
+    hi = DEFAULTS.replace(
+        sharing_factor=min(sf_lo + delta, 1.0)
+    ).with_update_probability(p_update)
+    assert (
+        cost_of("update_cache_rvm", hi, model).total_ms
+        <= cost_of("update_cache_rvm", lo, model).total_ms + 1e-9
+    )
+    for other in ("always_recompute", "cache_invalidate", "update_cache_avm"):
+        assert cost_of(other, hi, model).total_ms == pytest.approx(
+            cost_of(other, lo, model).total_ms
+        )
+
+
+@given(
+    f=st.sampled_from([0.0001, 0.001, 0.01]),
+    p_update=st.floats(0.0, 0.9),
+)
+@settings(max_examples=80, deadline=None)
+def test_model2_never_cheaper_than_model1(f, p_update):
+    """Three-way joins cost at least as much as two-way, everywhere, for
+    every strategy (refreshes equal, joins/recomputes strictly heavier)."""
+    params = DEFAULTS.replace(selectivity_f=f).with_update_probability(p_update)
+    for strategy in STRATEGIES:
+        assert (
+            cost_of(strategy, params, 2).total_ms
+            >= cost_of(strategy, params, 1).total_ms - 1e-9
+        )
+
+
+@given(
+    scale=st.floats(0.5, 4.0),
+    p_update=st.floats(0.05, 0.9),
+)
+@settings(max_examples=60, deadline=None)
+def test_io_cost_scales_io_bound_strategies_nearly_linearly(scale, p_update):
+    """C2 multiplies every I/O term; with C1=C3=0 the model is purely
+    I/O-bound and must scale exactly linearly in C2."""
+    base = DEFAULTS.replace(cpu_test_ms=0.0, overhead_ms=0.0, inval_cost_ms=0.0)
+    base = base.with_update_probability(p_update)
+    scaled = base.replace(io_ms=base.io_ms * scale)
+    for strategy in STRATEGIES:
+        a = cost_of(strategy, base).total_ms
+        b = cost_of(strategy, scaled).total_ms
+        assert b == pytest.approx(a * scale, rel=1e-9)
+
+
+@given(
+    n1=st.integers(0, 300),
+    n2=st.integers(0, 300),
+    p_update=st.floats(0.05, 0.9),
+)
+@settings(max_examples=60, deadline=None)
+def test_population_mix_bounds_recompute_cost(n1, n2, p_update):
+    """AR's cost is always between the pure-P1 and pure-P2 costs."""
+    if n1 + n2 == 0:
+        return
+    params = DEFAULTS.replace(num_p1=n1, num_p2=n2).with_update_probability(
+        p_update
+    )
+    mixed = cost_of("always_recompute", params).total_ms
+    p1_only = cost_of(
+        "always_recompute", params.replace(num_p1=max(n1, 1), num_p2=0)
+    ).total_ms
+    p2_only = cost_of(
+        "always_recompute", params.replace(num_p1=0, num_p2=max(n2, 1))
+    ).total_ms
+    lo, hi = min(p1_only, p2_only), max(p1_only, p2_only)
+    assert lo - 1e-9 <= mixed <= hi + 1e-9

@@ -1,0 +1,107 @@
+"""Unit tests for the static optimizer."""
+
+import pytest
+
+from repro.query import Optimizer, RelationRef, Select, Join, Interval, execute_plan
+from repro.query.plan import (
+    BTreeScanPlan,
+    BuildHashJoinPlan,
+    FilterPlan,
+    HashLookupJoinPlan,
+    SeqScanPlan,
+)
+from repro.query.predicate import And, Comparison
+
+
+@pytest.fixture
+def optimizer(tiny_joined_catalog):
+    return Optimizer(tiny_joined_catalog)
+
+
+class TestAccessPathSelection:
+    def test_interval_on_indexed_field_uses_btree(self, optimizer):
+        plan = optimizer.compile(Select(RelationRef("R1"), Interval("sel", 0, 10)))
+        assert isinstance(plan, BTreeScanPlan)
+        assert plan.index_field == "sel"
+
+    def test_predicate_on_unindexed_field_uses_seqscan(self, optimizer):
+        plan = optimizer.compile(Select(RelationRef("R1"), Interval("a", 0, 10)))
+        assert isinstance(plan, SeqScanPlan)
+
+    def test_no_predicate_uses_seqscan(self, optimizer):
+        plan = optimizer.compile(RelationRef("R1"))
+        assert isinstance(plan, SeqScanPlan)
+
+    def test_extra_terms_become_residual(self, optimizer):
+        expr = Select(
+            RelationRef("R1"),
+            And(Interval("sel", 0, 10), Comparison("a", ">", 5)),
+        )
+        plan = optimizer.compile(expr)
+        assert isinstance(plan, BTreeScanPlan)
+        assert plan.residual.fields() == {"a"}
+
+    def test_equality_on_indexed_field_uses_btree(self, optimizer):
+        plan = optimizer.compile(
+            Select(RelationRef("R1"), Comparison("sel", "=", 7))
+        )
+        assert isinstance(plan, BTreeScanPlan)
+
+
+class TestJoinMethodSelection:
+    def test_hash_indexed_inner_uses_lookup_join(self, optimizer):
+        expr = Join(RelationRef("R1"), RelationRef("R2"), "a", "b")
+        plan = optimizer.compile(expr)
+        assert isinstance(plan, HashLookupJoinPlan)
+        assert plan.inner_relation == "R2"
+
+    def test_unindexed_inner_falls_back_to_build_join(self, optimizer):
+        # R2 has a hash index on b but not on c.
+        expr = Join(RelationRef("R1"), RelationRef("R2"), "a", "c")
+        plan = optimizer.compile(expr)
+        assert isinstance(plan, BuildHashJoinPlan)
+
+    def test_three_way_join_is_left_deep(self, optimizer):
+        expr = Join(
+            Join(RelationRef("R1"), RelationRef("R2"), "a", "b"),
+            RelationRef("R3"),
+            "c",
+            "d",
+        )
+        plan = optimizer.compile(expr)
+        assert isinstance(plan, HashLookupJoinPlan)
+        assert plan.inner_relation == "R3"
+        assert isinstance(plan.outer, HashLookupJoinPlan)
+
+    def test_inner_restriction_attached_as_residual(self, optimizer):
+        expr = Select(
+            Join(RelationRef("R1"), RelationRef("R2"), "a", "b"),
+            Interval("sel2", 0, 10),
+        )
+        plan = optimizer.compile(expr)
+        assert isinstance(plan, HashLookupJoinPlan)
+        assert plan.residual.fields() == {"sel2"}
+
+
+class TestResiduals:
+    def test_cross_relation_predicate_becomes_filter(self, optimizer):
+        expr = Select(
+            Join(RelationRef("R1"), RelationRef("R2"), "a", "b"),
+            Comparison("sel", "!=", 0),  # single-relation; stays put
+        )
+        plan = optimizer.compile(expr)
+        assert not isinstance(plan, FilterPlan)
+
+    def test_paper_p2_plan_shape(self, optimizer, tiny_joined_catalog, clock):
+        """The paper's P2 compiles to BTreeScan(R1) -> HashLookupJoin(R2)."""
+        expr = Select(
+            Join(RelationRef("R1"), RelationRef("R2"), "a", "b"),
+            And(Interval("sel", 0, 200), Interval("sel2", 0, 30)),
+        )
+        plan = optimizer.compile(expr)
+        assert isinstance(plan, HashLookupJoinPlan)
+        assert isinstance(plan.outer, BTreeScanPlan)
+        # And it runs.
+        result = execute_plan(plan, tiny_joined_catalog, clock)
+        for row in result.rows:
+            assert 0 <= row[1] < 200 and 0 <= row[5] < 30

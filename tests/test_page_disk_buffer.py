@@ -1,0 +1,198 @@
+"""Unit tests for slotted pages, the disk manager, and the buffer pool."""
+
+import pytest
+
+from repro.sim import CostClock
+from repro.storage import BufferPool, DiskManager
+from repro.storage.disk import UnknownFileError
+from repro.storage.page import Page, PageFullError
+
+
+class TestPage:
+    def test_insert_and_read(self):
+        page = Page(0, capacity=3)
+        slot = page.insert(("a",))
+        assert page.read(slot) == ("a",)
+        assert len(page) == 1
+
+    def test_full_page_rejects_insert(self):
+        page = Page(0, capacity=1)
+        page.insert((1,))
+        assert page.is_full
+        with pytest.raises(PageFullError):
+            page.insert((2,))
+
+    def test_delete_frees_slot_for_reuse(self):
+        page = Page(0, capacity=1)
+        slot = page.insert((1,))
+        assert page.delete(slot) == (1,)
+        assert page.is_empty
+        assert page.insert((2,)) == slot
+
+    def test_read_empty_slot_raises(self):
+        page = Page(0, capacity=2)
+        page.insert((1,))
+        with pytest.raises(KeyError):
+            page.read(1)
+
+    def test_overwrite(self):
+        page = Page(0, capacity=2)
+        slot = page.insert((1,))
+        page.overwrite(slot, (2,))
+        assert page.read(slot) == (2,)
+
+    def test_overwrite_empty_slot_raises(self):
+        page = Page(0, capacity=2)
+        with pytest.raises(KeyError):
+            page.overwrite(0, (1,))
+
+    def test_rows_iterates_occupied_slots_in_order(self):
+        page = Page(0, capacity=3)
+        page.insert((1,))
+        s2 = page.insert((2,))
+        page.insert((3,))
+        page.delete(s2)
+        assert [row for _slot, row in page.rows()] == [(1,), (3,)]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Page(0, capacity=0)
+
+
+class TestDiskManager:
+    def test_create_and_allocate_charges_write(self, clock):
+        disk = DiskManager(clock)
+        disk.create_file("f")
+        disk.allocate_page("f", capacity=4)
+        assert clock.disk_writes == 1
+        assert disk.num_pages("f") == 1
+
+    def test_uncharged_allocation(self, clock):
+        disk = DiskManager(clock)
+        disk.create_file("f")
+        disk.allocate_page("f", capacity=4, charge=False)
+        assert clock.disk_writes == 0
+
+    def test_read_charges(self, clock):
+        disk = DiskManager(clock)
+        disk.create_file("f")
+        disk.allocate_page("f", 4)
+        clock.reset()
+        disk.read_page("f", 0)
+        assert clock.disk_reads == 1
+
+    def test_peek_is_free(self, clock):
+        disk = DiskManager(clock)
+        disk.create_file("f")
+        disk.allocate_page("f", 4)
+        clock.reset()
+        disk.peek_page("f", 0)
+        assert clock.elapsed_ms == 0.0
+
+    def test_unknown_file_raises(self, clock):
+        disk = DiskManager(clock)
+        with pytest.raises(UnknownFileError):
+            disk.read_page("missing", 0)
+
+    def test_duplicate_create_raises(self, clock):
+        disk = DiskManager(clock)
+        disk.create_file("f")
+        with pytest.raises(ValueError):
+            disk.create_file("f")
+
+    def test_out_of_range_page_raises(self, clock):
+        disk = DiskManager(clock)
+        disk.create_file("f")
+        with pytest.raises(IndexError):
+            disk.read_page("f", 0)
+
+    def test_drop_file(self, clock):
+        disk = DiskManager(clock)
+        disk.create_file("f")
+        disk.drop_file("f")
+        assert not disk.has_file("f")
+
+
+class TestBufferPool:
+    def _disk_with_pages(self, clock, n=4):
+        disk = DiskManager(clock)
+        disk.create_file("f")
+        for _ in range(n):
+            disk.allocate_page("f", 4, charge=False)
+        return disk
+
+    def test_passthrough_charges_every_fetch(self, clock):
+        disk = self._disk_with_pages(clock)
+        pool = BufferPool(disk, capacity=0)
+        pool.fetch("f", 0)
+        pool.fetch("f", 0)
+        assert clock.disk_reads == 2
+        assert pool.hit_rate == 0.0
+
+    def test_passthrough_charges_every_dirty(self, clock):
+        disk = self._disk_with_pages(clock)
+        pool = BufferPool(disk, capacity=0)
+        pool.fetch("f", 0)
+        pool.mark_dirty("f", 0)
+        assert clock.disk_writes == 1
+
+    def test_cached_fetch_hits(self, clock):
+        disk = self._disk_with_pages(clock)
+        pool = BufferPool(disk, capacity=2)
+        pool.fetch("f", 0)
+        pool.fetch("f", 0)
+        assert clock.disk_reads == 1
+        assert pool.hits == 1
+        assert pool.hit_rate == 0.5
+
+    def test_lru_eviction_writes_back_dirty(self, clock):
+        disk = self._disk_with_pages(clock)
+        pool = BufferPool(disk, capacity=2)
+        pool.fetch("f", 0)
+        pool.mark_dirty("f", 0)
+        pool.fetch("f", 1)
+        assert clock.disk_writes == 0  # deferred
+        pool.fetch("f", 2)  # evicts page 0 (LRU), which is dirty
+        assert clock.disk_writes == 1
+
+    def test_lru_order_respects_recent_use(self, clock):
+        disk = self._disk_with_pages(clock)
+        pool = BufferPool(disk, capacity=2)
+        pool.fetch("f", 0)
+        pool.fetch("f", 1)
+        pool.fetch("f", 0)  # page 0 now most recent
+        pool.fetch("f", 2)  # evicts page 1
+        clock.reset()
+        pool.fetch("f", 0)
+        assert clock.disk_reads == 0  # still resident
+
+    def test_flush_all(self, clock):
+        disk = self._disk_with_pages(clock)
+        pool = BufferPool(disk, capacity=4)
+        pool.fetch("f", 0)
+        pool.fetch("f", 1)
+        pool.mark_dirty("f", 0)
+        pool.mark_dirty("f", 1)
+        assert pool.flush_all() == 2
+        assert clock.disk_writes == 2
+        assert pool.flush_all() == 0
+
+    def test_invalidate_file_drops_frames_without_writeback(self, clock):
+        disk = self._disk_with_pages(clock)
+        pool = BufferPool(disk, capacity=4)
+        pool.fetch("f", 0)
+        pool.mark_dirty("f", 0)
+        pool.invalidate_file("f")
+        assert pool.resident_pages == 0
+        assert clock.disk_writes == 0
+
+    def test_dirty_without_residency_charges_immediately(self, clock):
+        disk = self._disk_with_pages(clock)
+        pool = BufferPool(disk, capacity=2)
+        pool.mark_dirty("f", 3)
+        assert clock.disk_writes == 1
+
+    def test_negative_capacity_rejected(self, clock):
+        disk = self._disk_with_pages(clock)
+        with pytest.raises(ValueError):
+            BufferPool(disk, capacity=-1)

@@ -1,0 +1,160 @@
+"""Tests for the QUEL-style retrieve parser."""
+
+import pytest
+
+from repro.query import Interval, Join, Project, RelationRef, Select
+from repro.query.expr import describe
+from repro.query.parser import ParseError, parse_retrieve
+from repro.query.predicate import And, Comparison
+
+
+class TestSingleRelation:
+    def test_bare_retrieve_all(self):
+        expr = parse_retrieve("retrieve (R1.all)")
+        assert expr == RelationRef("R1")
+
+    def test_selection(self):
+        expr = parse_retrieve(
+            "retrieve (R1.all) where R1.sel >= 100 and R1.sel < 300"
+        )
+        assert isinstance(expr, Select)
+        assert expr.child == RelationRef("R1")
+        terms = expr.predicate.conjuncts()
+        assert Comparison("sel", ">=", 100) in terms
+        assert Comparison("sel", "<", 300) in terms
+
+    def test_constant_on_left_flips(self):
+        expr = parse_retrieve("retrieve (R1.all) where 100 <= R1.sel")
+        assert expr.predicate.conjuncts() == [Comparison("sel", ">=", 100)]
+
+    def test_string_literal(self):
+        expr = parse_retrieve(
+            'retrieve (EMP.all) where EMP.job = "Programmer"'
+        )
+        assert expr.predicate.conjuncts() == [
+            Comparison("job", "=", "Programmer")
+        ]
+
+    def test_float_literal(self):
+        expr = parse_retrieve("retrieve (R1.all) where R1.sel > 0.5")
+        assert expr.predicate.conjuncts() == [Comparison("sel", ">", 0.5)]
+
+    def test_projection(self):
+        expr = parse_retrieve("retrieve (R1.id1, R1.sel)")
+        assert isinstance(expr, Project)
+        assert expr.fields == ("id1", "sel")
+        assert expr.child == RelationRef("R1")
+
+
+class TestJoins:
+    def test_paper_example(self):
+        """The paper's PROGS1 view, verbatim modulo whitespace."""
+        expr = parse_retrieve(
+            "retrieve (EMP.all, DEPT.all) "
+            "where EMP.dept = DEPT.dname "
+            'and EMP.job = "Programmer" and DEPT.floor = 1'
+        )
+        assert isinstance(expr, Select)
+        join = expr.child
+        assert isinstance(join, Join)
+        assert join.left == RelationRef("EMP")
+        assert join.right == RelationRef("DEPT")
+        assert (join.left_field, join.right_field) == ("dept", "dname")
+        assert And(
+            Comparison("job", "=", "Programmer"),
+            Comparison("floor", "=", 1),
+        ) == expr.predicate
+
+    def test_three_way_join_left_deep(self):
+        expr = parse_retrieve(
+            "retrieve (R1.all, R2.all, R3.all) "
+            "where R1.a = R2.b and R2.c = R3.d"
+        )
+        outer = expr
+        assert isinstance(outer, Join)
+        assert outer.right == RelationRef("R3")
+        inner = outer.left
+        assert isinstance(inner, Join)
+        assert inner.left == RelationRef("R1")
+
+    def test_join_edge_direction_normalised(self):
+        """`R2.b = R1.a` connects the same as `R1.a = R2.b`."""
+        a = parse_retrieve(
+            "retrieve (R1.all, R2.all) where R1.a = R2.b"
+        )
+        b = parse_retrieve(
+            "retrieve (R1.all, R2.all) where R2.b = R1.a"
+        )
+        assert a == b
+
+    def test_parsed_join_runs(self, tiny_joined_catalog, clock):
+        from repro.query import Optimizer, execute_plan
+
+        expr = parse_retrieve(
+            "retrieve (R1.all, R2.all) "
+            "where R1.a = R2.b and R1.sel >= 0 and R1.sel < 200 "
+            "and R2.sel2 >= 0 and R2.sel2 < 30"
+        )
+        plan = Optimizer(tiny_joined_catalog).compile(expr)
+        result = execute_plan(plan, tiny_joined_catalog, clock)
+        for row in result.rows:
+            assert 0 <= row[1] < 200 and 0 <= row[5] < 30
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "select (R1.all)",  # wrong keyword
+            "retrieve R1.all",  # missing parens
+            "retrieve ()",  # empty target list
+            "retrieve (R1.all) where",  # dangling where
+            "retrieve (R1.all) where R1.sel >",  # dangling operand
+            "retrieve (R1.all) where 1 = 2",  # constant-constant
+            "retrieve (R1.all) where R1.a < R1.b",  # same-relation compare
+            "retrieve (R1.all, R2.all)",  # disconnected relations
+            "retrieve (R1.all, R2.all) where R1.a < R2.b",  # non-eq join
+            "retrieve (R1.all) where R9.x = 1",  # unknown relation in qual
+            "retrieve (R1.all, R1.sel)",  # mixed .all and projection
+            "retrieve (R1.all) where R1.sel = 1 extra",  # trailing tokens
+            "retrieve (R1.all) where R1.sel ~ 1",  # bad character
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse_retrieve(text)
+
+    def test_extra_join_terms_rejected(self):
+        with pytest.raises(ParseError):
+            parse_retrieve(
+                "retrieve (R1.all, R2.all) "
+                "where R1.a = R2.b and R1.id1 = R2.id2"
+            )
+
+
+class TestEndToEndWithProcedures:
+    def test_define_procedure_from_quel(self, tiny_joined_catalog, clock, buffer):
+        from repro.core import AlwaysRecompute, ProcedureManager
+
+        manager = ProcedureManager(
+            AlwaysRecompute(tiny_joined_catalog, buffer, clock)
+        )
+        expr = parse_retrieve(
+            "retrieve (R1.all) where R1.sel >= 100 and R1.sel < 300"
+        )
+        manager.define_procedure("quel_p1", expr)
+        rows = manager.access("quel_p1").rows
+        expected = sorted(
+            row
+            for _r, row in tiny_joined_catalog.get("R1").heap.scan_uncharged()
+            if 100 <= row[1] < 300
+        )
+        assert sorted(rows) == expected
+
+    def test_describe_of_parsed_expression(self):
+        text = describe(
+            parse_retrieve(
+                "retrieve (R1.all, R2.all) where R1.a = R2.b and R1.sel = 5"
+            )
+        )
+        assert "|><|" in text and "sigma" in text

@@ -1,0 +1,189 @@
+"""Unit tests for physical plan operators (vs brute-force evaluation)."""
+
+import pytest
+
+from repro.query import (
+    BTreeScanPlan,
+    ExecutionContext,
+    HashLookupJoinPlan,
+    SeqScanPlan,
+    execute_plan,
+)
+from repro.query.plan import BuildHashJoinPlan, FilterPlan, LockSpec
+from repro.query.predicate import Interval, KeyInterval, TruePredicate
+
+
+def brute_select(catalog, relation, lo, hi):
+    rel = catalog.get(relation)
+    pos = rel.schema.index_of("sel")
+    return sorted(
+        row for _rid, row in rel.heap.scan_uncharged() if lo <= row[pos] < hi
+    )
+
+
+class TestSeqScan:
+    def test_matches_bruteforce(self, tiny_joined_catalog, clock):
+        plan = SeqScanPlan("R1", Interval("sel", 100, 300))
+        result = execute_plan(plan, tiny_joined_catalog, clock)
+        assert sorted(result.rows) == brute_select(
+            tiny_joined_catalog, "R1", 100, 300
+        )
+
+    def test_charges_full_scan(self, tiny_joined_catalog, clock):
+        r1 = tiny_joined_catalog.get("R1")
+        clock.reset()
+        result = execute_plan(SeqScanPlan("R1"), tiny_joined_catalog, clock)
+        assert clock.disk_reads == r1.num_pages
+        assert clock.cpu_tests == r1.num_rows
+        assert len(result.rows) == r1.num_rows
+
+    def test_whole_relation_lock(self, tiny_joined_catalog, clock):
+        result = execute_plan(
+            SeqScanPlan("R1"), tiny_joined_catalog, clock, collect_locks=True
+        )
+        assert result.locks == [LockSpec("R1", None)]
+
+
+class TestBTreeScan:
+    def test_matches_bruteforce(self, tiny_joined_catalog, clock):
+        plan = BTreeScanPlan("R1", "sel", KeyInterval("sel", 100, 300, True, False))
+        result = execute_plan(plan, tiny_joined_catalog, clock)
+        assert sorted(result.rows) == brute_select(
+            tiny_joined_catalog, "R1", 100, 300
+        )
+
+    def test_cheaper_than_seq_scan_for_selective_interval(
+        self, tiny_joined_catalog, clock
+    ):
+        interval = KeyInterval("sel", 100, 150, True, False)
+        seq = execute_plan(
+            SeqScanPlan("R1", Interval("sel", 100, 150)),
+            tiny_joined_catalog,
+            clock,
+        )
+        btree = execute_plan(
+            BTreeScanPlan("R1", "sel", interval), tiny_joined_catalog, clock
+        )
+        assert sorted(btree.rows) == sorted(seq.rows)
+        assert btree.cost_ms < seq.cost_ms
+
+    def test_emits_interval_lock(self, tiny_joined_catalog, clock):
+        interval = KeyInterval("sel", 100, 300, True, False)
+        result = execute_plan(
+            BTreeScanPlan("R1", "sel", interval),
+            tiny_joined_catalog,
+            clock,
+            collect_locks=True,
+        )
+        assert result.locks == [LockSpec("R1", interval)]
+
+    def test_residual_applies(self, tiny_joined_catalog, clock):
+        interval = KeyInterval("sel", 0, 1000, True, False)
+        plan = BTreeScanPlan("R1", "sel", interval, residual=Interval("a", 0, 10))
+        result = execute_plan(plan, tiny_joined_catalog, clock)
+        r1 = tiny_joined_catalog.get("R1")
+        expected = sorted(
+            row for _r, row in r1.heap.scan_uncharged() if 0 <= row[2] < 10
+        )
+        assert sorted(result.rows) == expected
+
+
+def brute_join(catalog, sel_range, sel2_range):
+    r1 = catalog.get("R1")
+    r2 = catalog.get("R2")
+    r2_by_b = {}
+    for _rid, row in r2.heap.scan_uncharged():
+        r2_by_b.setdefault(row[1], []).append(row)
+    out = []
+    for _rid, row in r1.heap.scan_uncharged():
+        if sel_range[0] <= row[1] < sel_range[1]:
+            for r2row in r2_by_b.get(row[2], ()):
+                if sel2_range[0] <= r2row[2] < sel2_range[1]:
+                    out.append(row + r2row)
+    return sorted(out)
+
+
+class TestHashLookupJoin:
+    def _plan(self):
+        return HashLookupJoinPlan(
+            outer=BTreeScanPlan(
+                "R1", "sel", KeyInterval("sel", 0, 500, True, False)
+            ),
+            inner_relation="R2",
+            inner_field="b",
+            outer_field="a",
+            residual=Interval("sel2", 0, 30),
+        )
+
+    def test_matches_bruteforce(self, tiny_joined_catalog, clock):
+        result = execute_plan(self._plan(), tiny_joined_catalog, clock)
+        assert sorted(result.rows) == brute_join(
+            tiny_joined_catalog, (0, 500), (0, 30)
+        )
+
+    def test_emits_point_locks_for_probed_keys(self, tiny_joined_catalog, clock):
+        result = execute_plan(
+            self._plan(), tiny_joined_catalog, clock, collect_locks=True
+        )
+        point_locks = [
+            lock for lock in result.locks if lock.relation == "R2"
+        ]
+        assert point_locks
+        assert all(
+            lock.interval is not None and lock.interval.lo == lock.interval.hi
+            for lock in point_locks
+        )
+
+    def test_output_schema_concatenates(self, tiny_joined_catalog, clock):
+        ctx = ExecutionContext(tiny_joined_catalog, clock)
+        schema = self._plan().output_schema(ctx)
+        assert schema.names() == ["id1", "sel", "a", "id2", "b", "sel2", "c"]
+
+    def test_explain_mentions_join(self):
+        text = self._plan().explain()
+        assert "HashLookupJoin" in text and "BTreeScan" in text
+
+
+class TestBuildHashJoin:
+    def test_matches_indexed_join(self, tiny_joined_catalog, clock):
+        outer = BTreeScanPlan("R1", "sel", KeyInterval("sel", 0, 500, True, False))
+        indexed = HashLookupJoinPlan(outer, "R2", "b", "a", Interval("sel2", 0, 30))
+        built = BuildHashJoinPlan(outer, "R2", "b", "a", Interval("sel2", 0, 30))
+        res_a = execute_plan(indexed, tiny_joined_catalog, clock)
+        res_b = execute_plan(built, tiny_joined_catalog, clock)
+        assert sorted(res_a.rows) == sorted(res_b.rows)
+
+    def test_charges_full_inner_scan(self, tiny_joined_catalog, clock):
+        outer = BTreeScanPlan("R1", "sel", KeyInterval("sel", 0, 10, True, False))
+        built = BuildHashJoinPlan(outer, "R2", "b", "a")
+        clock.reset()
+        execute_plan(built, tiny_joined_catalog, clock)
+        assert clock.disk_reads >= tiny_joined_catalog.get("R2").num_pages
+
+    def test_emits_whole_relation_lock(self, tiny_joined_catalog, clock):
+        outer = SeqScanPlan("R1", TruePredicate())
+        built = BuildHashJoinPlan(outer, "R2", "b", "a")
+        result = execute_plan(
+            built, tiny_joined_catalog, clock, collect_locks=True
+        )
+        assert LockSpec("R2", None) in result.locks
+
+
+class TestFilterPlan:
+    def test_filters_child_output(self, tiny_joined_catalog, clock):
+        plan = FilterPlan(SeqScanPlan("R1"), Interval("sel", 0, 100))
+        result = execute_plan(plan, tiny_joined_catalog, clock)
+        assert sorted(result.rows) == brute_select(
+            tiny_joined_catalog, "R1", 0, 100
+        )
+
+    def test_charges_cpu_per_row(self, tiny_joined_catalog, clock):
+        r1 = tiny_joined_catalog.get("R1")
+        clock.reset()
+        execute_plan(
+            FilterPlan(SeqScanPlan("R1"), Interval("sel", 0, 100)),
+            tiny_joined_catalog,
+            clock,
+        )
+        # scan screens each row once, filter screens each again
+        assert clock.cpu_tests == 2 * r1.num_rows

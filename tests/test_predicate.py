@@ -1,0 +1,180 @@
+"""Unit and property tests for predicates and key intervals."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.query.predicate import (
+    And,
+    Comparison,
+    Interval,
+    KeyInterval,
+    TruePredicate,
+    conjoin,
+)
+from repro.storage import Field, Schema
+
+SCHEMA = Schema([Field("a"), Field("b")], tuple_bytes=100)
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,value,row,expected",
+        [
+            ("<", 5, (4, 0), True),
+            ("<", 5, (5, 0), False),
+            ("<=", 5, (5, 0), True),
+            ("=", 5, (5, 0), True),
+            ("=", 5, (4, 0), False),
+            ("!=", 5, (4, 0), True),
+            (">=", 5, (5, 0), True),
+            (">", 5, (5, 0), False),
+            (">", 5, (6, 0), True),
+        ],
+    )
+    def test_operators(self, op, value, row, expected):
+        pred = Comparison("a", op, value)
+        assert pred.matches(row, SCHEMA) is expected
+        assert pred.bind(SCHEMA)(row) is expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison("a", "~", 5)
+
+    def test_fields(self):
+        assert Comparison("a", "=", 1).fields() == {"a"}
+
+    @pytest.mark.parametrize(
+        "op,lo,hi",
+        [
+            ("=", 5, 5),
+            ("<", None, 5),
+            ("<=", None, 5),
+            (">", 5, None),
+            (">=", 5, None),
+        ],
+    )
+    def test_interval_extraction(self, op, lo, hi):
+        interval = Comparison("a", op, 5).interval_on("a")
+        assert interval is not None
+        assert interval.lo == lo and interval.hi == hi
+
+    def test_not_equal_has_no_interval(self):
+        assert Comparison("a", "!=", 5).interval_on("a") is None
+
+    def test_interval_on_other_field_is_none(self):
+        assert Comparison("a", "=", 5).interval_on("b") is None
+
+
+class TestInterval:
+    def test_half_open_default(self):
+        pred = Interval("a", 10, 20)
+        assert pred.matches((10, 0), SCHEMA)
+        assert pred.matches((19, 0), SCHEMA)
+        assert not pred.matches((20, 0), SCHEMA)
+        assert not pred.matches((9, 0), SCHEMA)
+
+    def test_unbounded_sides(self):
+        assert Interval("a", None, 10).matches((-100, 0), SCHEMA)
+        assert Interval("a", 10, None).matches((1000, 0), SCHEMA)
+
+    def test_bind_matches_unbound(self):
+        pred = Interval("a", 1, 4)
+        bound = pred.bind(SCHEMA)
+        for value in range(-2, 7):
+            assert bound((value, 0)) == pred.matches((value, 0), SCHEMA)
+
+
+class TestAnd:
+    def test_conjunction(self):
+        pred = And(Interval("a", 0, 10), Comparison("b", "=", 1))
+        assert pred.matches((5, 1), SCHEMA)
+        assert not pred.matches((5, 2), SCHEMA)
+        assert not pred.matches((15, 1), SCHEMA)
+
+    def test_flattens_nested_ands(self):
+        inner = And(Comparison("a", "=", 1), Comparison("b", "=", 2))
+        outer = And(inner, Comparison("a", ">", 0))
+        assert len(outer.terms) == 3
+
+    def test_drops_true_predicates(self):
+        pred = And(TruePredicate(), Comparison("a", "=", 1))
+        assert len(pred.terms) == 1
+
+    def test_empty_and_matches_everything(self):
+        assert And().matches((1, 2), SCHEMA)
+
+    def test_interval_on_single_restriction(self):
+        pred = And(Interval("a", 0, 10), Comparison("b", "=", 1))
+        interval = pred.interval_on("a")
+        assert interval is not None and (interval.lo, interval.hi) == (0, 10)
+
+    def test_interval_on_conflicting_terms_refused(self):
+        pred = And(Interval("a", 0, 10), Comparison("a", ">", 5))
+        assert pred.interval_on("a") is None
+
+    def test_conjuncts_and_fields(self):
+        pred = And(Interval("a", 0, 10), Comparison("b", "=", 1))
+        assert len(pred.conjuncts()) == 2
+        assert pred.fields() == {"a", "b"}
+
+
+class TestConjoin:
+    def test_empty_gives_true(self):
+        assert isinstance(conjoin([]), TruePredicate)
+
+    def test_single_passthrough(self):
+        pred = Comparison("a", "=", 1)
+        assert conjoin([pred]) is pred
+
+    def test_multiple_gives_and(self):
+        pred = conjoin([Comparison("a", "=", 1), Comparison("b", "=", 2)])
+        assert isinstance(pred, And)
+
+
+class TestKeyInterval:
+    def test_contains_bounds(self):
+        iv = KeyInterval("a", 0, 10, lo_inclusive=True, hi_inclusive=False)
+        assert iv.contains(0) and iv.contains(9)
+        assert not iv.contains(10) and not iv.contains(-1)
+
+    def test_point(self):
+        iv = KeyInterval.point("a", 5)
+        assert iv.contains(5) and not iv.contains(4)
+
+    def test_everything(self):
+        iv = KeyInterval.everything("a")
+        assert iv.contains(-1e18) and iv.contains(1e18)
+
+    def test_overlap_requires_same_field(self):
+        assert not KeyInterval("a", 0, 10).overlaps(KeyInterval("b", 0, 10))
+
+    def test_touching_closed_bounds_overlap(self):
+        left = KeyInterval("a", 0, 5)
+        right = KeyInterval("a", 5, 10)
+        assert left.overlaps(right)
+
+    def test_touching_open_bound_does_not_overlap(self):
+        left = KeyInterval("a", 0, 5, hi_inclusive=False)
+        right = KeyInterval("a", 5, 10)
+        assert not left.overlaps(right)
+
+    @given(
+        a=st.tuples(st.integers(-50, 50), st.integers(-50, 50)),
+        b=st.tuples(st.integers(-50, 50), st.integers(-50, 50)),
+    )
+    def test_overlap_is_symmetric_and_matches_pointwise(self, a, b):
+        ia = KeyInterval("f", min(a), max(a))
+        ib = KeyInterval("f", min(b), max(b))
+        assert ia.overlaps(ib) == ib.overlaps(ia)
+        pointwise = any(
+            ia.contains(x) and ib.contains(x) for x in range(-50, 51)
+        )
+        assert ia.overlaps(ib) == pointwise
+
+    @given(value=st.integers(-100, 100), bounds=st.tuples(st.integers(-50, 50), st.integers(-50, 50)))
+    def test_interval_predicate_agrees_with_keyinterval(self, value, bounds):
+        lo, hi = min(bounds), max(bounds)
+        pred = Interval("a", lo, hi, lo_inclusive=True, hi_inclusive=True)
+        iv = KeyInterval("a", lo, hi, lo_inclusive=True, hi_inclusive=True)
+        assert pred.matches((value, 0), SCHEMA) == iv.contains(value)

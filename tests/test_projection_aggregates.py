@@ -1,0 +1,229 @@
+"""Tests for projection support and incrementally maintained aggregates."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    AlwaysRecompute,
+    CacheAndInvalidate,
+    ProcedureManager,
+    UpdateCacheAVM,
+    UpdateCacheRVM,
+)
+from repro.core.aggregates import GLOBAL_GROUP, GroupedAggregate
+from repro.query import Interval, Join, RelationRef, Select
+from repro.query.analysis import NormalizationError, normalize_spj
+from repro.query.expr import Project
+from repro.query.plan import ProjectPlan
+from repro.query.predicate import And
+from repro.storage import Field, Schema
+
+PROJECTED_P2 = Project(
+    Select(
+        Join(RelationRef("R1"), RelationRef("R2"), "a", "b"),
+        And(Interval("sel", 0, 500), Interval("sel2", 0, 30)),
+    ),
+    ("id1", "sel", "id2"),
+)
+
+
+def brute_projected(catalog):
+    r2_by_b = {}
+    for _r, row in catalog.get("R2").heap.scan_uncharged():
+        r2_by_b.setdefault(row[1], []).append(row)
+    out = []
+    for _r, row in catalog.get("R1").heap.scan_uncharged():
+        if 0 <= row[1] < 500:
+            for r2row in r2_by_b.get(row[2], ()):
+                if 0 <= r2row[2] < 30:
+                    out.append((row[0], row[1], r2row[0]))
+    return sorted(out)
+
+
+class TestProjectExpression:
+    def test_requires_fields(self):
+        with pytest.raises(ValueError):
+            Project(RelationRef("R1"), ())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Project(RelationRef("R1"), ("a", "a"))
+
+    def test_normalization_captures_projection(self, tiny_joined_catalog):
+        query = normalize_spj(PROJECTED_P2, tiny_joined_catalog)
+        assert query.projection == ("id1", "sel", "id2")
+        assert query.relations == ["R1", "R2"]
+
+    def test_nested_projection_rejected(self, tiny_joined_catalog):
+        nested = Select(
+            Project(RelationRef("R1"), ("id1",)), Interval("sel", 0, 10)
+        )
+        with pytest.raises(NormalizationError):
+            normalize_spj(nested, tiny_joined_catalog)
+
+
+class TestProjectPlan:
+    def test_optimizer_adds_project_plan(self, tiny_joined_catalog):
+        from repro.query import Optimizer
+
+        plan = Optimizer(tiny_joined_catalog).compile(PROJECTED_P2)
+        assert isinstance(plan, ProjectPlan)
+        assert "Project" in plan.explain()
+
+    def test_output_schema_width_scales(self, tiny_joined_catalog, clock):
+        from repro.query import Optimizer
+        from repro.query.executor import ExecutionContext
+
+        plan = Optimizer(tiny_joined_catalog).compile(PROJECTED_P2)
+        ctx = ExecutionContext(tiny_joined_catalog, clock)
+        schema = plan.output_schema(ctx)
+        assert schema.names() == ["id1", "sel", "id2"]
+        # 3 of 7 columns of a 200-byte joined row ~ 86 bytes.
+        assert 1 <= schema.tuple_bytes < 200
+
+
+@pytest.mark.parametrize(
+    "strategy_cls",
+    [AlwaysRecompute, CacheAndInvalidate, UpdateCacheAVM, UpdateCacheRVM],
+)
+class TestProjectionAcrossStrategies:
+    def test_projected_rows_match_bruteforce(
+        self, strategy_cls, tiny_joined_catalog, clock, buffer
+    ):
+        manager = ProcedureManager(strategy_cls(tiny_joined_catalog, buffer, clock))
+        manager.define_procedure("P", PROJECTED_P2)
+        assert sorted(manager.access("P").rows) == brute_projected(
+            tiny_joined_catalog
+        )
+
+    def test_projection_survives_updates(
+        self, strategy_cls, tiny_joined_catalog, clock, buffer
+    ):
+        manager = ProcedureManager(strategy_cls(tiny_joined_catalog, buffer, clock))
+        manager.define_procedure("P", PROJECTED_P2)
+        manager.access("P")
+        rng = random.Random(3)
+        r1 = tiny_joined_catalog.get("R1")
+        for _ in range(5):
+            rids = [rid for rid, _row in r1.heap.scan_uncharged()]
+            changes = []
+            for rid in rng.sample(rids, 6):
+                old = r1.heap.read(rid)
+                changes.append((rid, (old[0], rng.randrange(1000), old[2])))
+            manager.update("R1", changes)
+        assert sorted(manager.access("P").rows) == brute_projected(
+            tiny_joined_catalog
+        )
+
+
+SCHEMA = Schema([Field("id"), Field("grp"), Field("val")], tuple_bytes=100)
+
+
+class TestGroupedAggregate:
+    def test_count_global(self):
+        agg = GroupedAggregate(SCHEMA, "count")
+        agg.rebuild([(1, 0, 10), (2, 0, 20)])
+        assert agg.value() == 2
+        agg.apply(inserts=[(3, 1, 5)], deletes=[(1, 0, 10)])
+        assert agg.value() == 2
+
+    def test_sum_grouped(self):
+        agg = GroupedAggregate(SCHEMA, "sum", value_field="val", group_field="grp")
+        agg.rebuild([(1, 0, 10), (2, 0, 20), (3, 1, 5)])
+        assert agg.value(0) == 30
+        assert agg.value(1) == 5
+        assert agg.value(9) == 0.0
+        agg.apply(inserts=[], deletes=[(2, 0, 20)])
+        assert agg.value(0) == 10
+
+    def test_avg(self):
+        agg = GroupedAggregate(SCHEMA, "avg", value_field="val", group_field="grp")
+        agg.rebuild([(1, 0, 10), (2, 0, 30)])
+        assert agg.value(0) == pytest.approx(20.0)
+        with pytest.raises(ZeroDivisionError):
+            agg.value(7)
+
+    def test_empty_group_removed(self):
+        agg = GroupedAggregate(SCHEMA, "count", group_field="grp")
+        agg.rebuild([(1, 0, 10)])
+        agg.apply(inserts=[], deletes=[(1, 0, 10)])
+        assert agg.groups() == []
+
+    def test_over_deletion_detected(self):
+        agg = GroupedAggregate(SCHEMA, "count", group_field="grp")
+        with pytest.raises(ValueError):
+            agg.apply(inserts=[], deletes=[(1, 0, 10)])
+
+    def test_min_max_rejected(self):
+        with pytest.raises(ValueError):
+            GroupedAggregate(SCHEMA, "min", value_field="val")
+
+    def test_sum_requires_value_field(self):
+        with pytest.raises(ValueError):
+            GroupedAggregate(SCHEMA, "sum")
+
+    def test_results_view(self):
+        agg = GroupedAggregate(SCHEMA, "count", group_field="grp")
+        agg.rebuild([(1, 0, 10), (2, 1, 20), (3, 1, 30)])
+        assert agg.results() == {0: 1, 1: 2}
+
+
+class TestAggregateOverAvm:
+    def _setup(self, tiny_joined_catalog, clock, buffer):
+        strategy = UpdateCacheAVM(tiny_joined_catalog, buffer, clock)
+        manager = ProcedureManager(strategy)
+        manager.define_procedure(
+            "P1", Select(RelationRef("R1"), Interval("sel", 100, 300))
+        )
+        agg = GroupedAggregate(
+            tiny_joined_catalog.get("R1").schema, "count"
+        )
+        strategy.attach_aggregate("P1", agg)
+        return manager, strategy, agg
+
+    def _true_count(self, catalog):
+        return sum(
+            1
+            for _r, row in catalog.get("R1").heap.scan_uncharged()
+            if 100 <= row[1] < 300
+        )
+
+    def test_initialised_from_current_value(
+        self, tiny_joined_catalog, clock, buffer
+    ):
+        _m, _s, agg = self._setup(tiny_joined_catalog, clock, buffer)
+        assert agg.value() == self._true_count(tiny_joined_catalog)
+
+    def test_tracks_updates_without_rescans(
+        self, tiny_joined_catalog, clock, buffer
+    ):
+        manager, _s, agg = self._setup(tiny_joined_catalog, clock, buffer)
+        rng = random.Random(5)
+        r1 = tiny_joined_catalog.get("R1")
+        for _ in range(10):
+            rids = [rid for rid, _row in r1.heap.scan_uncharged()]
+            changes = []
+            for rid in rng.sample(rids, 8):
+                old = r1.heap.read(rid)
+                changes.append((rid, (old[0], rng.randrange(1000), old[2])))
+            manager.update("R1", changes)
+            assert agg.value() == self._true_count(tiny_joined_catalog)
+
+    def test_observer_charges_overhead(self, tiny_joined_catalog, clock, buffer):
+        manager, _s, _agg = self._setup(tiny_joined_catalog, clock, buffer)
+        r1 = tiny_joined_catalog.get("R1")
+        rid, old = next(
+            (rid, row)
+            for rid, row in r1.heap.scan_uncharged()
+            if 100 <= row[1] < 300
+        )
+        before = clock.snapshot()
+        manager.update("R1", [(rid, (old[0], 150, old[2]))])
+        delta = clock.snapshot() - before
+        assert delta.overhead_tuples >= 2  # A/D sets + observer feed
+
+    def test_unknown_procedure_rejected(self, tiny_joined_catalog, clock, buffer):
+        strategy = UpdateCacheAVM(tiny_joined_catalog, buffer, clock)
+        with pytest.raises(KeyError):
+            strategy.add_delta_observer("ghost", lambda i, d: None)

@@ -1,0 +1,202 @@
+"""High-level property tests: random queries and random workloads.
+
+Two of the strongest statements the test suite makes:
+
+1. for *any* SPJ query in the supported language (random intervals,
+   equalities, projections over the three-relation schema), the optimizer's
+   compiled plan returns exactly the brute-force answer;
+2. for *any* random operation script, Update Cache (RVM) and Always
+   Recompute agree on every access — differential maintenance is
+   indistinguishable from recomputation.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AlwaysRecompute, ProcedureManager, UpdateCacheRVM
+from repro.query import (
+    Interval,
+    Join,
+    Optimizer,
+    Project,
+    RelationRef,
+    Select,
+    execute_plan,
+)
+from repro.query.predicate import And, Comparison, conjoin
+from repro.sim import CostClock
+from repro.storage import BufferPool, Catalog, DiskManager, Field, Schema
+
+
+def _build_catalog(seed: int):
+    clock = CostClock()
+    catalog = Catalog(BufferPool(DiskManager(clock)))
+    rng = random.Random(seed)
+    r3 = catalog.create_relation(
+        "R3", Schema([Field("id3"), Field("d"), Field("pay")], 500)
+    )
+    for m in range(15):
+        r3.insert((m, m, rng.randrange(50)))
+    r3.create_hash_index("d")
+    r2 = catalog.create_relation(
+        "R2", Schema([Field("id2"), Field("b"), Field("sel2"), Field("c")], 500)
+    )
+    for j in range(25):
+        r2.insert((j, j, rng.randrange(40), rng.randrange(15)))
+    r2.create_hash_index("b")
+    r1 = catalog.create_relation(
+        "R1", Schema([Field("id1"), Field("sel"), Field("a")], 500)
+    )
+    for i in range(80):
+        r1.insert((i, rng.randrange(100), rng.randrange(25)))
+    r1.create_btree_index("sel", fanout=8)
+    return catalog, clock
+
+
+def _rows(catalog, name):
+    return [row for _r, row in catalog.get(name).heap.scan_uncharged()]
+
+
+def _brute(catalog, num_joins, pred_fn, projection):
+    r1_rows = _rows(catalog, "R1")
+    r2_by_b = {}
+    for row in _rows(catalog, "R2"):
+        r2_by_b.setdefault(row[1], []).append(row)
+    r3_by_d = {}
+    for row in _rows(catalog, "R3"):
+        r3_by_d.setdefault(row[1], []).append(row)
+    combined = []
+    for row in r1_rows:
+        if num_joins == 0:
+            combined.append(row)
+            continue
+        for r2row in r2_by_b.get(row[2], ()):
+            if num_joins == 1:
+                combined.append(row + r2row)
+            else:
+                for r3row in r3_by_d.get(r2row[3], ()):
+                    combined.append(row + r2row + r3row)
+    out = [row for row in combined if pred_fn(row)]
+    if projection:
+        out = [tuple(row[i] for i in projection) for row in out]
+    return sorted(out)
+
+
+query_strategy = st.fixed_dictionaries(
+    {
+        "num_joins": st.integers(0, 2),
+        "sel_bounds": st.tuples(st.integers(0, 99), st.integers(0, 99)),
+        "sel2_bounds": st.tuples(st.integers(0, 39), st.integers(0, 39)),
+        "use_sel2": st.booleans(),
+        "eq_a": st.one_of(st.none(), st.integers(0, 25)),
+        "project": st.booleans(),
+        "seed": st.integers(0, 2),
+    }
+)
+
+
+@given(spec=query_strategy)
+@settings(max_examples=80, deadline=None)
+def test_compiled_plans_match_bruteforce(spec):
+    catalog, clock = _build_catalog(spec["seed"])
+    lo, hi = min(spec["sel_bounds"]), max(spec["sel_bounds"]) + 1
+    lo2, hi2 = min(spec["sel2_bounds"]), max(spec["sel2_bounds"]) + 1
+    terms = [Interval("sel", lo, hi)]
+    if spec["eq_a"] is not None:
+        terms.append(Comparison("a", "=", spec["eq_a"]))
+    if spec["num_joins"] >= 1 and spec["use_sel2"]:
+        terms.append(Interval("sel2", lo2, hi2))
+
+    expr = RelationRef("R1")
+    if spec["num_joins"] >= 1:
+        expr = Join(expr, RelationRef("R2"), "a", "b")
+    if spec["num_joins"] >= 2:
+        expr = Join(expr, RelationRef("R3"), "c", "d")
+    expr = Select(expr, conjoin(terms))
+    projection = None
+    if spec["project"]:
+        expr = Project(expr, ("id1", "sel"))
+        projection = (0, 1)
+
+    def pred(row):
+        if not (lo <= row[1] < hi):
+            return False
+        if spec["eq_a"] is not None and row[2] != spec["eq_a"]:
+            return False
+        if spec["num_joins"] >= 1 and spec["use_sel2"]:
+            if not (lo2 <= row[5] < hi2):
+                return False
+        return True
+
+    plan = Optimizer(catalog).compile(expr)
+    result = execute_plan(plan, catalog, clock)
+    assert sorted(result.rows) == _brute(
+        catalog, spec["num_joins"], pred, projection
+    )
+
+
+script_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("access"), st.integers(0, 2)),
+        st.tuples(st.just("update"), st.integers(0, 10_000)),
+        st.tuples(st.just("insert"), st.integers(0, 10_000)),
+        st.tuples(st.just("delete"), st.integers(0, 10_000)),
+    ),
+    max_size=25,
+)
+
+
+@given(script=script_strategy, seed=st.integers(0, 2))
+@settings(max_examples=40, deadline=None)
+def test_rvm_equals_recompute_on_any_script(script, seed):
+    expressions = {
+        "S0": Select(RelationRef("R1"), Interval("sel", 0, 40)),
+        "S1": Select(
+            Join(RelationRef("R1"), RelationRef("R2"), "a", "b"),
+            And(Interval("sel", 20, 80), Interval("sel2", 0, 20)),
+        ),
+        "S2": Select(
+            Join(
+                Join(RelationRef("R1"), RelationRef("R2"), "a", "b"),
+                RelationRef("R3"),
+                "c",
+                "d",
+            ),
+            Interval("sel", 10, 90),
+        ),
+    }
+
+    def run(strategy_cls):
+        catalog, clock = _build_catalog(seed)
+        manager = ProcedureManager(
+            strategy_cls(catalog, catalog.buffer, clock)
+        )
+        for name, expr in expressions.items():
+            manager.define_procedure(name, expr)
+        rng = random.Random(seed + 100)
+        trace = []
+        next_id = 10_000
+        for action, value in script:
+            r1 = catalog.get("R1")
+            rids = [rid for rid, _row in r1.heap.scan_uncharged()]
+            if action == "access":
+                name = f"S{value}"
+                trace.append((name, sorted(manager.access(name).rows)))
+            elif action == "update" and rids:
+                rid = rids[value % len(rids)]
+                old = r1.heap.read(rid)
+                manager.update(
+                    "R1", [(rid, (old[0], value % 100, old[2]))]
+                )
+            elif action == "insert":
+                manager.insert(
+                    "R1", [(next_id, value % 100, rng.randrange(25))]
+                )
+                next_id += 1
+            elif action == "delete" and rids:
+                manager.delete("R1", [rids[value % len(rids)]])
+        return trace
+
+    assert run(UpdateCacheRVM) == run(AlwaysRecompute)

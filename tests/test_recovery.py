@@ -1,0 +1,258 @@
+"""Unit and property tests for the WAL, the recoverable validity map, and
+the three invalidation schemes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.recovery import (
+    BatteryBackedScheme,
+    PageFlagScheme,
+    RecordKind,
+    RecoverableValidityMap,
+    WalScheme,
+    WriteAheadLog,
+    scheme_from_name,
+)
+from repro.sim import CostClock
+
+
+class TestWriteAheadLog:
+    def test_lsns_monotone(self, clock):
+        wal = WriteAheadLog(clock)
+        a = wal.append(RecordKind.INVALIDATE, "P1")
+        b = wal.append(RecordKind.VALIDATE, "P1")
+        assert b.lsn == a.lsn + 1
+
+    def test_group_commit_charges_per_page(self, clock):
+        wal = WriteAheadLog(clock, records_per_page=10)
+        for i in range(25):
+            wal.append(RecordKind.INVALIDATE, f"P{i}")
+        assert wal.pages_written == 2  # two full pages; 5 in tail
+        assert clock.disk_writes == 2
+        wal.flush()
+        assert wal.pages_written == 3
+
+    def test_amortised_cost_below_2c2(self, clock):
+        """The paper's point: logged invalidation costs far less than the
+        2*C2 page-flag write."""
+        wal = WriteAheadLog(clock, records_per_page=200)
+        for i in range(1000):
+            wal.append(RecordKind.INVALIDATE, f"P{i % 7}")
+        wal.flush()
+        per_record = clock.elapsed_ms / 1000
+        assert per_record < 0.1 * 2 * clock.params.c2
+
+    def test_crash_loses_only_tail(self, clock):
+        wal = WriteAheadLog(clock, records_per_page=10)
+        for i in range(15):
+            wal.append(RecordKind.INVALIDATE, f"P{i}")
+        durable_before = wal.last_durable_lsn
+        lost = wal.crash()
+        assert lost == 5
+        assert wal.last_durable_lsn == durable_before
+
+    def test_flush_forces_durability(self, clock):
+        wal = WriteAheadLog(clock, records_per_page=10)
+        wal.append(RecordKind.INVALIDATE, "P")
+        wal.flush()
+        assert wal.crash() == 0
+        assert wal.durable_length == 1
+
+    def test_records_after_replays_in_order(self, clock):
+        wal = WriteAheadLog(clock, records_per_page=4)
+        for i in range(8):
+            wal.append(RecordKind.INVALIDATE, f"P{i}")
+        wal.flush()
+        replay = list(wal.records_after(3))
+        assert [r.payload for r in replay] == [f"P{i}" for i in range(3, 8)]
+
+    def test_truncate_before(self, clock):
+        wal = WriteAheadLog(clock, records_per_page=2)
+        for i in range(6):
+            wal.append(RecordKind.INVALIDATE, f"P{i}")
+        wal.flush()
+        dropped = wal.truncate_before(4)
+        assert dropped == 4
+        assert [r.lsn for r in wal.records_after(0)] == [5, 6]
+
+    def test_invalid_page_size_rejected(self, clock):
+        with pytest.raises(ValueError):
+            WriteAheadLog(clock, records_per_page=0)
+
+
+class TestRecoverableValidityMap:
+    def _fresh(self, clock, force=True):
+        wal = WriteAheadLog(clock, records_per_page=10)
+        vmap = RecoverableValidityMap(clock, wal, force_on_invalidate=force)
+        for name in ("A", "B", "C"):
+            vmap.register(name)
+        return vmap
+
+    def test_transitions(self, clock):
+        vmap = self._fresh(clock)
+        vmap.mark_valid("A")
+        assert vmap.is_valid("A")
+        vmap.mark_invalid("A")
+        assert not vmap.is_valid("A")
+        assert vmap.valid_count() == 0
+
+    def test_duplicate_registration_rejected(self, clock):
+        vmap = self._fresh(clock)
+        with pytest.raises(ValueError):
+            vmap.register("A")
+
+    def test_unknown_procedure_rejected(self, clock):
+        vmap = self._fresh(clock)
+        with pytest.raises(KeyError):
+            vmap.mark_invalid("ghost")
+
+    def test_recovery_without_checkpoint(self, clock):
+        vmap = self._fresh(clock)
+        vmap.mark_valid("A")
+        vmap.mark_valid("B")
+        vmap.mark_invalid("B")  # forced -> durable, and flushes A/B validates
+        vmap.crash()
+        vmap.recover(["A", "B", "C"])
+        assert vmap.is_valid("A")
+        assert not vmap.is_valid("B")
+        assert not vmap.is_valid("C")
+
+    def test_recovery_with_checkpoint(self, clock):
+        vmap = self._fresh(clock)
+        vmap.mark_valid("A")
+        vmap.checkpoint()
+        vmap.mark_valid("B")
+        vmap.mark_invalid("A")
+        vmap.crash()
+        vmap.recover(["A", "B", "C"])
+        assert not vmap.is_valid("A")  # post-checkpoint invalidation replayed
+        assert vmap.is_valid("B") or not vmap.is_valid("B")
+        # B's validate rode group commit; the forced invalidate of A pushed
+        # it to disk, so it must actually have survived here:
+        assert vmap.is_valid("B")
+
+    def test_forced_invalidations_never_lost(self, clock):
+        vmap = self._fresh(clock, force=True)
+        vmap.mark_valid("A")
+        vmap.mark_invalid("A")
+        vmap.crash()
+        vmap.recover(["A", "B", "C"])
+        assert not vmap.is_valid("A")
+
+    def test_unforced_invalidation_can_be_lost_but_unsafe(self, clock):
+        """Documented hazard of riding group commit with invalidations."""
+        vmap = self._fresh(clock, force=False)
+        vmap.mark_valid("A")
+        # flush so the validate is durable, then an unforced invalidate
+        vmap.wal.flush()
+        vmap.mark_invalid("A")
+        vmap.crash()
+        vmap.recover(["A", "B", "C"])
+        assert vmap.is_valid("A")  # the stale-cache hazard, made visible
+
+    def test_lost_validate_is_harmless(self, clock):
+        """A validate lost in the tail recovers as invalid: a spurious
+        recompute, never a stale read."""
+        vmap = self._fresh(clock)
+        vmap.mark_valid("A")  # rides group commit, not yet durable
+        vmap.crash()
+        vmap.recover(["A", "B", "C"])
+        assert not vmap.is_valid("A")
+
+    def test_checkpoint_truncates_log(self, clock):
+        vmap = self._fresh(clock)
+        for _ in range(5):
+            vmap.mark_valid("A")
+            vmap.mark_invalid("A")
+        before = vmap.wal.durable_length
+        vmap.checkpoint()
+        assert vmap.wal.durable_length < before
+
+
+class TestSchemes:
+    def test_factory(self, clock):
+        assert isinstance(scheme_from_name("battery", clock), BatteryBackedScheme)
+        assert isinstance(scheme_from_name("page_flag", clock), PageFlagScheme)
+        assert isinstance(scheme_from_name("wal", clock), WalScheme)
+        with pytest.raises(ValueError):
+            scheme_from_name("floppy", clock)
+
+    def test_battery_costs_nothing(self, clock):
+        scheme = BatteryBackedScheme()
+        scheme.register("P")
+        scheme.mark_valid("P")
+        scheme.mark_invalid("P")
+        assert clock.elapsed_ms == 0.0
+        assert not scheme.is_valid("P")
+
+    def test_page_flag_costs_2c2_per_invalidation(self, clock):
+        scheme = PageFlagScheme(clock)
+        scheme.register("P")
+        scheme.mark_valid("P")
+        before = clock.elapsed_ms
+        scheme.mark_invalid("P")
+        assert clock.elapsed_ms - before == 2 * clock.params.c2
+
+    def test_wal_cheaper_than_page_flag(self):
+        clock_a, clock_b = CostClock(), CostClock()
+        wal = WalScheme(clock_a, records_per_page=200, force_on_invalidate=False)
+        flag = PageFlagScheme(clock_b)
+        for scheme in (wal, flag):
+            for i in range(50):
+                scheme.register(f"P{i}")
+        for i in range(500):
+            wal.mark_invalid(f"P{i % 50}")
+            flag.mark_invalid(f"P{i % 50}")
+        assert clock_a.elapsed_ms < 0.1 * clock_b.elapsed_ms
+
+    def test_wal_scheme_crash_recovery(self, clock):
+        scheme = WalScheme(clock, checkpoint_every=7)
+        for i in range(5):
+            scheme.register(f"P{i}")
+        scheme.mark_valid("P0")
+        scheme.mark_valid("P1")
+        scheme.mark_invalid("P0")
+        scheme.crash_and_recover()
+        assert not scheme.is_valid("P0")
+        assert not scheme.is_valid("P4")
+
+    def test_negative_checkpoint_interval_rejected(self, clock):
+        with pytest.raises(ValueError):
+            WalScheme(clock, checkpoint_every=-1)
+
+
+@given(
+    script=st.lists(
+        st.tuples(st.sampled_from(["valid", "invalid", "checkpoint"]),
+                  st.integers(0, 4)),
+        max_size=60,
+    )
+)
+@settings(max_examples=120, deadline=None)
+def test_wal_recovery_is_conservative(script):
+    """Property: after any crash, recovery never reports a procedure as
+    valid whose true state was invalid (stale reads are impossible);
+    forced invalidations are never lost."""
+    clock = CostClock()
+    wal = WriteAheadLog(clock, records_per_page=5)
+    vmap = RecoverableValidityMap(clock, wal, force_on_invalidate=True)
+    names = [f"P{i}" for i in range(5)]
+    for name in names:
+        vmap.register(name)
+    truth = {name: False for name in names}
+    for action, idx in script:
+        name = names[idx]
+        if action == "valid":
+            vmap.mark_valid(name)
+            truth[name] = True
+        elif action == "invalid":
+            vmap.mark_invalid(name)
+            truth[name] = False
+        else:
+            vmap.checkpoint()
+    vmap.crash()
+    vmap.recover(names)
+    for name in names:
+        if vmap.is_valid(name):
+            assert truth[name], f"{name} recovered valid but was invalid"

@@ -1,0 +1,86 @@
+"""Unit tests for winner-region and closeness-region grids."""
+
+import pytest
+
+from repro.model import ModelParams, winner_grid
+from repro.model.regions import RegionGrid, closeness_grid
+
+DEFAULTS = ModelParams()
+P_VALUES = [0.05, 0.3, 0.6, 0.9]
+F_VALUES = [0.0001, 0.001, 0.01]
+
+
+@pytest.fixture(scope="module")
+def grid() -> RegionGrid:
+    return winner_grid(DEFAULTS, P_VALUES, F_VALUES, model=1)
+
+
+class TestWinnerGrid:
+    def test_shape(self, grid):
+        assert len(grid.labels) == len(P_VALUES)
+        assert all(len(row) == len(F_VALUES) for row in grid.labels)
+        assert grid.num_cells == 12
+
+    def test_labels_are_known(self, grid):
+        known = {"always_recompute", "cache_invalidate", "update_cache"}
+        assert {label for row in grid.labels for label in row} <= known
+
+    def test_counts_sum_to_cells(self, grid):
+        total = sum(
+            grid.count(label)
+            for label in ("always_recompute", "cache_invalidate", "update_cache")
+        )
+        assert total == grid.num_cells
+
+    def test_fraction(self, grid):
+        assert grid.fraction("update_cache") == grid.count("update_cache") / 12
+
+    def test_low_p_favors_update_cache(self, grid):
+        assert all(label == "update_cache" for label in grid.labels[0])
+
+    def test_high_p_favors_always_recompute(self, grid):
+        assert all(label == "always_recompute" for label in grid.labels[-1])
+
+    def test_label_at(self, grid):
+        assert grid.label_at(0, 0) == grid.labels[0][0]
+
+
+class TestClosenessGrid:
+    def test_labels(self):
+        grid = closeness_grid(DEFAULTS, P_VALUES, F_VALUES, factor=2.0)
+        assert {label for row in grid.labels for label in row} <= {
+            "ci_within",
+            "ci_outside",
+        }
+
+    def test_infinite_factor_includes_everything(self):
+        grid = closeness_grid(DEFAULTS, P_VALUES, F_VALUES, factor=1e12)
+        assert grid.count("ci_within") == grid.num_cells
+
+    def test_tiny_factor_excludes_moderate_p_cells(self):
+        grid = closeness_grid(DEFAULTS, [0.3], [0.01], factor=1.01)
+        assert grid.count("ci_outside") == 1
+
+    def test_larger_factor_is_monotone(self):
+        tight = closeness_grid(DEFAULTS, P_VALUES, F_VALUES, factor=1.5)
+        loose = closeness_grid(DEFAULTS, P_VALUES, F_VALUES, factor=3.0)
+        assert loose.count("ci_within") >= tight.count("ci_within")
+
+    def test_high_p_always_within(self):
+        grid = closeness_grid(DEFAULTS, [0.9], F_VALUES, factor=2.0)
+        assert grid.count("ci_within") == len(F_VALUES)
+
+
+class TestModel2Grid:
+    def test_model2_uses_rvm_as_best_uc(self):
+        """In model 2 at default SF, the UC label must reflect RVM's cost
+        (cheaper than AVM); the region boundary shifts accordingly."""
+        from repro.model import cost_of
+
+        point = DEFAULTS.replace(selectivity_f=0.001).with_update_probability(0.6)
+        avm = cost_of("update_cache_avm", point, 2).total_ms
+        rvm = cost_of("update_cache_rvm", point, 2).total_ms
+        ar = cost_of("always_recompute", point, 2).total_ms
+        grid = winner_grid(DEFAULTS, [0.6], [0.001], model=2)
+        expected = "update_cache" if min(avm, rvm) < ar else "always_recompute"
+        assert grid.labels[0][0] in (expected, "cache_invalidate")

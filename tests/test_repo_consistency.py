@@ -1,0 +1,100 @@
+"""Repository-consistency meta-tests: the documentation's promises are
+checked against the code, so docs cannot silently rot."""
+
+import pathlib
+import re
+
+from repro.experiments import REGISTRY
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestDesignDocument:
+    def test_every_experiment_listed_in_design(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for figure_id in REGISTRY:
+            if figure_id.startswith("fig"):
+                short = f"Fig {int(figure_id[3:])}"
+                assert short in design, f"{figure_id} missing from DESIGN.md"
+
+    def test_bench_files_mentioned_in_design_exist(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for match in re.finditer(r"benchmarks/([\w.]+\.py)", design):
+            path = ROOT / "benchmarks" / match.group(1)
+            assert path.exists(), f"DESIGN.md references missing {path.name}"
+
+    def test_modules_mentioned_in_design_import(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        import importlib
+
+        for match in set(re.finditer(r"`(repro(?:\.\w+)+)`", design)):
+            name = match.group(1)
+            # Strip attribute-level references (module.attr).
+            parts = name.split(".")
+            for depth in range(len(parts), 1, -1):
+                try:
+                    importlib.import_module(".".join(parts[:depth]))
+                    break
+                except ModuleNotFoundError:
+                    continue
+            else:
+                raise AssertionError(f"DESIGN.md references unknown {name}")
+
+
+class TestBenchCoverage:
+    def test_one_bench_file_per_paper_figure(self):
+        bench_dir = ROOT / "benchmarks"
+        for figure_id in REGISTRY:
+            if figure_id.startswith("fig"):
+                assert (bench_dir / f"test_bench_{figure_id}.py").exists(), (
+                    f"no bench file for {figure_id}"
+                )
+        assert (bench_dir / "test_bench_tables.py").exists()
+
+    def test_bench_files_reference_their_figure(self):
+        bench_dir = ROOT / "benchmarks"
+        for figure_id in REGISTRY:
+            if not figure_id.startswith("fig"):
+                continue
+            text = (bench_dir / f"test_bench_{figure_id}.py").read_text()
+            assert f'"{figure_id}"' in text
+
+
+class TestExperimentsDocument:
+    def test_every_experiment_has_a_section(self):
+        experiments = (ROOT / "EXPERIMENTS.md").read_text()
+        for figure_id in REGISTRY:
+            assert figure_id in experiments, (
+                f"{figure_id} missing from EXPERIMENTS.md"
+            )
+
+    def test_result_artifacts_mentioned_exist_after_bench_run(self):
+        """EXPERIMENTS.md points at results/*.txt files the bench suite
+        writes; if a bench run has happened, they must all exist."""
+        experiments = (ROOT / "EXPERIMENTS.md").read_text()
+        results_dir = ROOT / "results"
+        if not results_dir.exists():
+            return  # benches not run yet in this checkout
+        for match in set(re.finditer(r"results/([\w]+\.txt)", experiments)):
+            assert (results_dir / match.group(1)).exists(), (
+                f"EXPERIMENTS.md references missing results/{match.group(1)}"
+            )
+
+
+class TestReadme:
+    def test_quickstart_numbers_match_model(self):
+        """README quotes the default-point costs; they must stay true."""
+        from repro.model import ModelParams, strategy_costs
+
+        readme = (ROOT / "README.md").read_text()
+        costs = strategy_costs(ModelParams(), model=1)
+        for name, breakdown in costs.items():
+            assert f"'{name}': {breakdown.total_ms:.1f}" in readme, (
+                f"README quickstart quote for {name} is stale "
+                f"(model now says {breakdown.total_ms:.1f})"
+            )
+
+    def test_examples_listed_in_readme_exist(self):
+        readme = (ROOT / "README.md").read_text()
+        for match in re.finditer(r"examples/(\w+\.py)", readme):
+            assert (ROOT / "examples" / match.group(1)).exists()

@@ -1,0 +1,31 @@
+"""Tests for the one-shot reproduction report and its CLI verb."""
+
+from repro.experiments.summary import build_report
+
+
+class TestBuildReport:
+    def test_report_covers_every_experiment(self):
+        report = build_report(include_simulation=False)
+        from repro.experiments import REGISTRY
+
+        for figure_id in REGISTRY:
+            assert f"## {figure_id}" in report
+
+    def test_report_verdict_counts_checks(self):
+        report = build_report(include_simulation=False)
+        assert "failed checks: none" in report
+        assert "paper-claim checks evaluated:" in report
+
+    def test_simulation_section_toggle(self):
+        without = build_report(include_simulation=False)
+        assert "(skipped)" in without
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "REPORT.md"
+        code = main(["report", "-o", str(path), "--no-simulation"])
+        assert code == 0
+        text = path.read_text()
+        assert text.startswith("# Reproduction report")
+        assert "failed checks: none" in text

@@ -1,0 +1,172 @@
+"""Tests for sensitivity analysis, CSV export, Rete rendering, and the new
+CLI subcommands."""
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.export import to_csv, write_csv
+from repro.model import ModelParams
+from repro.model.sensitivity import SWEEPABLE, analyze, render_tornado
+
+DEFAULTS = ModelParams()
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return analyze(DEFAULTS, model=1)
+
+    def test_covers_all_pairs(self, results):
+        assert len(results) == len(SWEEPABLE) * 4
+
+    def test_sorted_by_swing(self, results):
+        swings = [item.swing for item in results]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_always_recompute_blind_to_maintenance_knobs(self, results):
+        """AR's cost must not react to update rate, locality, sharing, or
+        invalidation cost."""
+        for item in results:
+            if item.strategy != "always_recompute":
+                continue
+            if item.parameter in (
+                "num_updates",
+                "locality",
+                "sharing_factor",
+                "inval_cost_ms",
+                "tuples_per_update",
+            ):
+                assert item.swing == pytest.approx(0.0, abs=1e-12), item
+
+    def test_update_cache_sensitive_to_update_rate(self, results):
+        swings = {
+            (item.parameter, item.strategy): item.swing for item in results
+        }
+        assert swings[("num_updates", "update_cache_avm")] > 0.5
+
+    def test_only_rvm_reacts_to_sharing(self, results):
+        swings = {
+            (item.parameter, item.strategy): item.swing for item in results
+        }
+        assert swings[("sharing_factor", "update_cache_rvm")] > 0.01
+        assert swings[("sharing_factor", "update_cache_avm")] == pytest.approx(0.0)
+        assert swings[("sharing_factor", "cache_invalidate")] == pytest.approx(0.0)
+
+    def test_only_ci_reacts_to_locality_and_inval_cost(self, results):
+        swings = {
+            (item.parameter, item.strategy): item.swing for item in results
+        }
+        assert swings[("locality", "cache_invalidate")] > 0.01
+        assert swings[("locality", "update_cache_avm")] == pytest.approx(0.0)
+        # C_inval is 0 at defaults, so doubling it stays 0; analyze at a
+        # nonzero point instead.
+        nonzero = analyze(DEFAULTS.replace(inval_cost_ms=10.0), model=1)
+        swings2 = {(i.parameter, i.strategy): i.swing for i in nonzero}
+        assert swings2[("inval_cost_ms", "cache_invalidate")] > 0.01
+        assert swings2[("inval_cost_ms", "update_cache_rvm")] == pytest.approx(0.0)
+
+    def test_io_cost_scales_everyone(self, results):
+        for item in results:
+            if item.parameter == "io_ms":
+                assert item.low_ratio < 1.0 < item.high_ratio
+
+    def test_render_tornado(self, results):
+        text = render_tornado(results, top=5)
+        assert "parameter" in text
+        assert len(text.splitlines()) == 6
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            analyze(DEFAULTS, factor=1.0)
+
+
+class TestCsvExport:
+    def test_curves_roundtrip(self):
+        result = run_experiment("fig05")
+        rows = list(csv.reader(io.StringIO(to_csv(result))))
+        header, data = rows[0], rows[1:]
+        assert header[0] == "update probability P"
+        assert "always_recompute" in header
+        assert len(data) == len(result.x_values)
+        col = header.index("update_cache_avm")
+        assert float(data[0][col]) == result.series["update_cache_avm"][0]
+
+    def test_regions_export_one_row_per_cell(self):
+        result = run_experiment("fig12")
+        rows = list(csv.reader(io.StringIO(to_csv(result))))
+        assert len(rows) - 1 == result.grid.num_cells
+        assert rows[0] == ["update_probability", "selectivity_f", "label"]
+
+    def test_table_export(self):
+        result = run_experiment("table_fig2")
+        rows = list(csv.reader(io.StringIO(to_csv(result))))
+        assert rows[0] == ["symbol", "definition", "value"]
+
+    def test_write_csv(self, tmp_path):
+        result = run_experiment("fig18")
+        path = tmp_path / "fig18.csv"
+        write_csv(result, str(path))
+        assert path.read_text().startswith("sharing factor SF,")
+
+
+class TestReteDescribe:
+    def test_renders_structure_and_sharing(self, tiny_joined_catalog, clock, buffer):
+        from repro.query import Interval, Join, RelationRef, Select
+        from repro.query.analysis import normalize_spj
+        from repro.query.predicate import And
+        from repro.rete import ReteNetwork
+
+        net = ReteNetwork(tiny_joined_catalog, buffer, clock)
+        cf = Interval("sel", 100, 300)
+        net.add_procedure(
+            "P1", normalize_spj(Select(RelationRef("R1"), cf), tiny_joined_catalog)
+        )
+        net.add_procedure(
+            "P2",
+            normalize_spj(
+                Select(
+                    Join(RelationRef("R1"), RelationRef("R2"), "a", "b"),
+                    And(cf, Interval("sel2", 0, 30)),
+                ),
+                tiny_joined_catalog,
+            ),
+        )
+        text = net.describe()
+        assert "root" in text
+        assert "t-const" in text
+        assert "alpha-memory" in text
+        assert "beta-memory" in text
+        assert "and[a = b]" in text
+        assert "shared x2" in text  # the shared C_f chain
+        assert "result of P1" in text and "result of P2" in text
+
+
+class TestNewCliCommands:
+    def test_advise(self, capsys):
+        from repro.cli import main
+
+        assert main(["advise", "-P", "0.2", "--uncertainty", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "point-optimal" in out
+
+    def test_sensitivity(self, capsys):
+        from repro.cli import main
+
+        assert main(["sensitivity", "--top", "5"]) == 0
+        assert "tornado" in capsys.readouterr().out
+
+    def test_export_stdout(self, capsys):
+        from repro.cli import main
+
+        assert main(["export", "fig11"]) == 0
+        assert "update_cache_rvm" in capsys.readouterr().out
+
+    def test_export_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "out.csv"
+        assert main(["export", "fig05", "-o", str(path)]) == 0
+        assert path.exists()

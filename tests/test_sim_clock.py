@@ -1,0 +1,173 @@
+"""Unit tests for the simulated cost clock and metrics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import CostClock, CostParams, MetricSet, RunningStat
+
+
+class TestCostParams:
+    def test_defaults_match_paper_figure_2(self):
+        params = CostParams()
+        assert params.c1 == 1.0
+        assert params.c2 == 30.0
+        assert params.c3 == 1.0
+
+    def test_rejects_negative_constants(self):
+        with pytest.raises(ValueError):
+            CostParams(c1=-1.0)
+        with pytest.raises(ValueError):
+            CostParams(c2=-0.5)
+        with pytest.raises(ValueError):
+            CostParams(c3=-2.0)
+
+
+class TestCostClock:
+    def test_starts_at_zero(self):
+        clock = CostClock()
+        assert clock.elapsed_ms == 0.0
+        assert clock.disk_reads == 0
+        assert clock.disk_writes == 0
+        assert clock.cpu_tests == 0
+
+    def test_cpu_charge_uses_c1(self):
+        clock = CostClock(CostParams(c1=2.0))
+        clock.charge_cpu(5)
+        assert clock.elapsed_ms == 10.0
+        assert clock.cpu_tests == 5
+
+    def test_read_and_write_use_c2(self):
+        clock = CostClock(CostParams(c2=30.0))
+        clock.charge_read(2)
+        clock.charge_write(3)
+        assert clock.elapsed_ms == 150.0
+        assert clock.disk_reads == 2
+        assert clock.disk_writes == 3
+
+    def test_overhead_uses_c3(self):
+        clock = CostClock(CostParams(c3=4.0))
+        clock.charge_overhead(7)
+        assert clock.elapsed_ms == 28.0
+
+    def test_fixed_charge(self):
+        clock = CostClock()
+        clock.charge_fixed(60.0)
+        assert clock.elapsed_ms == 60.0
+
+    def test_zero_charges_are_free(self):
+        clock = CostClock()
+        clock.charge_cpu(0)
+        clock.charge_read(0)
+        clock.charge_write(0)
+        clock.charge_overhead(0)
+        clock.charge_fixed(0.0)
+        assert clock.elapsed_ms == 0.0
+
+    @pytest.mark.parametrize(
+        "method", ["charge_cpu", "charge_read", "charge_write", "charge_overhead"]
+    )
+    def test_negative_charges_rejected(self, method):
+        clock = CostClock()
+        with pytest.raises(ValueError):
+            getattr(clock, method)(-1)
+
+    def test_negative_fixed_charge_rejected(self):
+        clock = CostClock()
+        with pytest.raises(ValueError):
+            clock.charge_fixed(-0.1)
+
+    def test_snapshot_delta(self):
+        clock = CostClock()
+        clock.charge_read(1)
+        before = clock.snapshot()
+        clock.charge_read(2)
+        clock.charge_cpu(4)
+        delta = clock.snapshot() - before
+        assert delta.disk_reads == 2
+        assert delta.cpu_tests == 4
+        assert delta.elapsed_ms == 2 * 30.0 + 4 * 1.0
+        assert clock.elapsed_since(before) == delta.elapsed_ms
+
+    def test_snapshot_disk_ios_property(self):
+        clock = CostClock()
+        clock.charge_read(3)
+        clock.charge_write(2)
+        assert clock.snapshot().disk_ios == 5
+
+    def test_reset(self):
+        clock = CostClock()
+        clock.charge_read(5)
+        clock.charge_fixed(10)
+        clock.reset()
+        assert clock.elapsed_ms == 0.0
+        assert clock.snapshot().extra_ms == 0.0
+
+
+class TestRunningStat:
+    def test_empty(self):
+        stat = RunningStat()
+        assert stat.count == 0
+        assert stat.mean == 0.0
+        assert stat.variance == 0.0
+        assert stat.minimum == math.inf
+
+    def test_known_values(self):
+        stat = RunningStat()
+        for value in (2.0, 4.0, 6.0):
+            stat.add(value)
+        assert stat.mean == pytest.approx(4.0)
+        assert stat.variance == pytest.approx(4.0)
+        assert stat.stddev == pytest.approx(2.0)
+        assert stat.minimum == 2.0
+        assert stat.maximum == 6.0
+        assert stat.total == pytest.approx(12.0)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100))
+    def test_matches_direct_computation(self, values):
+        stat = RunningStat()
+        for value in values:
+            stat.add(value)
+        mean = sum(values) / len(values)
+        assert stat.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
+        if len(values) >= 2:
+            var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+            assert stat.variance == pytest.approx(var, rel=1e-6, abs=1e-3)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=0, max_size=50),
+        st.lists(st.floats(-1e6, 1e6), min_size=0, max_size=50),
+    )
+    def test_merge_equals_sequential(self, left, right):
+        merged = RunningStat()
+        for value in left:
+            merged.add(value)
+        other = RunningStat()
+        for value in right:
+            other.add(value)
+        merged.merge(other)
+
+        direct = RunningStat()
+        for value in left + right:
+            direct.add(value)
+        assert merged.count == direct.count
+        assert merged.mean == pytest.approx(direct.mean, rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(
+            direct.variance, rel=1e-6, abs=1e-3
+        )
+
+
+class TestMetricSet:
+    def test_observe_and_get(self):
+        metrics = MetricSet()
+        metrics.observe("cost", 10.0)
+        metrics.observe("cost", 20.0)
+        assert metrics.get("cost").mean == pytest.approx(15.0)
+        assert metrics.names() == ["cost"]
+        assert metrics.as_means() == {"cost": pytest.approx(15.0)}
+
+    def test_missing_metric_is_empty(self):
+        metrics = MetricSet()
+        assert metrics.get("nope").count == 0

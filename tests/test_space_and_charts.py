@@ -1,0 +1,111 @@
+"""Tests for cache-space accounting and the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.plotting import render_ascii_chart
+from repro.model import ModelParams
+from repro.workload import run_workload
+
+PARAMS = ModelParams(
+    n_tuples=2000,
+    num_p1=8,
+    num_p2=8,
+    selectivity_f=0.01,
+    selectivity_f2=0.2,
+    tuples_per_update=4,
+)
+
+
+class TestSpaceAccounting:
+    def test_always_recompute_stores_nothing(self):
+        run = run_workload(PARAMS, "always_recompute", num_operations=30, seed=3)
+        assert run.space_pages == 0
+
+    @pytest.mark.parametrize(
+        "strategy", ["cache_invalidate", "update_cache_avm", "update_cache_rvm"]
+    )
+    def test_caching_strategies_occupy_pages(self, strategy):
+        run = run_workload(PARAMS, strategy, num_operations=30, seed=3)
+        assert run.space_pages >= PARAMS.num_objects  # >= 1 page per object
+
+    def test_sharing_saves_space(self):
+        """With SF=1 every P2 shares its left α-memory with a P1, so RVM
+        stores strictly fewer pages than at SF=0."""
+        shared = run_workload(
+            PARAMS.replace(sharing_factor=1.0),
+            "update_cache_rvm",
+            num_operations=10,
+            seed=3,
+        )
+        unshared = run_workload(
+            PARAMS.replace(sharing_factor=0.0),
+            "update_cache_rvm",
+            num_operations=10,
+            seed=3,
+        )
+        assert shared.space_pages < unshared.space_pages
+
+    def test_hybrid_counts_only_maintained_routes(
+        self, tiny_joined_catalog, clock, buffer
+    ):
+        from repro.core import HybridStrategy, ProcedureManager
+        from repro.core.strategy import StrategyName
+        from repro.query import Interval, RelationRef, Select
+
+        strategy = HybridStrategy(
+            tiny_joined_catalog,
+            buffer,
+            clock,
+            assign={"A": StrategyName.UPDATE_CACHE_AVM},
+            default=StrategyName.ALWAYS_RECOMPUTE,
+        )
+        manager = ProcedureManager(strategy)
+        manager.define_procedure("A", Select(RelationRef("R1"), Interval("sel", 0, 300)))
+        manager.define_procedure("B", Select(RelationRef("R1"), Interval("sel", 300, 600)))
+        assert strategy.space_pages() >= 1  # A's store only
+        sub = strategy._subs[StrategyName.UPDATE_CACHE_AVM]
+        assert strategy.space_pages() == sub.space_pages()
+
+
+class TestAsciiChart:
+    def test_fig05_chart_structure(self):
+        chart = render_ascii_chart(run_experiment("fig05"))
+        lines = chart.splitlines()
+        assert any("|" in line for line in lines)
+        assert "update probability P" in chart
+        assert "A=always_recompute" in chart
+        assert "(log y)" in chart  # 60..5764 spread forces log scale
+
+    def test_sf_chart(self):
+        chart = render_ascii_chart(run_experiment("fig18"))
+        assert "sharing factor SF" in chart
+        assert "a=update_cache_avm" in chart
+
+    def test_linear_scale_for_small_spread(self):
+        chart = render_ascii_chart(run_experiment("fig18"))
+        assert "(log y)" not in chart  # AVM/RVM within ~1.5x
+
+    def test_region_figures_rejected(self):
+        with pytest.raises(ValueError):
+            render_ascii_chart(run_experiment("fig12"))
+
+    def test_marks_present_for_all_strategies(self):
+        chart = render_ascii_chart(run_experiment("fig05"))
+        plot_area = "\n".join(
+            line.split("|", 1)[1] for line in chart.splitlines() if "|" in line
+        )
+        for mark in ("A", "C", "a", "r"):
+            assert mark in plot_area or "*" in plot_area
+
+    def test_render_result_with_chart_flag(self):
+        from repro.experiments import render_result
+
+        text = render_result(run_experiment("fig05"), chart=True)
+        assert "+----" in text  # the chart axis
+
+    def test_cli_chart_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "fig05", "--chart", "--no-checks"]) == 0
+        assert "+----" in capsys.readouterr().out

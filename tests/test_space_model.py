@@ -1,0 +1,95 @@
+"""Tests for the analytical space model, cross-checked against the
+simulator's measured footprints."""
+
+import pytest
+
+from repro.model import ModelParams
+from repro.model.space import (
+    result_pages,
+    space_always_recompute,
+    space_cache_invalidate,
+    space_of,
+    space_update_cache_avm,
+    space_update_cache_rvm,
+)
+
+DEFAULTS = ModelParams()
+
+
+class TestClosedForm:
+    def test_recompute_stores_nothing(self):
+        assert space_always_recompute(DEFAULTS) == 0.0
+
+    def test_ci_and_avm_store_one_copy_per_procedure(self):
+        # 100 P1s of 3 pages + 100 P2s of 1 page = 400 pages at defaults.
+        assert result_pages(DEFAULTS) == pytest.approx(400.0)
+        assert space_cache_invalidate(DEFAULTS) == pytest.approx(400.0)
+        assert space_update_cache_avm(DEFAULTS) == pytest.approx(400.0)
+
+    def test_rvm_adds_interior_memories(self):
+        rvm = space_update_cache_rvm(DEFAULTS, model=1)
+        # + unshared left alphas: 100 * 0.5 * 3 = 150
+        # + right alphas: 100 * ceil(0.1 * 0.1 * 2500) = 100 * 25 = 2500
+        assert rvm == pytest.approx(400.0 + 150.0 + 2500.0)
+
+    def test_avm_flat_in_sf_rvm_decreasing(self):
+        spaces = [
+            space_update_cache_rvm(DEFAULTS.replace(sharing_factor=sf))
+            for sf in (0.0, 0.5, 1.0)
+        ]
+        assert spaces[0] > spaces[1] > spaces[2]
+        avm = [
+            space_update_cache_avm(DEFAULTS.replace(sharing_factor=sf))
+            for sf in (0.0, 0.5, 1.0)
+        ]
+        assert max(avm) == min(avm)
+
+    def test_model2_stores_more_than_model1(self):
+        assert space_update_cache_rvm(DEFAULTS, 2) > space_update_cache_rvm(
+            DEFAULTS, 1
+        )
+
+    def test_dispatch(self):
+        assert space_of("always_recompute", DEFAULTS) == 0.0
+        assert space_of("update_cache_rvm", DEFAULTS, 2) > 0
+        with pytest.raises(ValueError):
+            space_of("nope", DEFAULTS)
+        with pytest.raises(ValueError):
+            space_update_cache_rvm(DEFAULTS, model=3)
+
+
+class TestAgainstSimulation:
+    @pytest.fixture(scope="class")
+    def sim_world(self):
+        from repro.experiments.simcompare import SIM_SCALE_PARAMS
+        from repro.workload import run_workload
+
+        params = SIM_SCALE_PARAMS.with_update_probability(0.3)
+        runs = {
+            (strategy, sf): run_workload(
+                params.replace(sharing_factor=sf),
+                strategy,
+                num_operations=20,
+                seed=11,
+            )
+            for strategy in ("update_cache_avm", "update_cache_rvm")
+            for sf in (0.0, 1.0)
+        }
+        return params, runs
+
+    def test_model_tracks_measured_avm_footprint(self, sim_world):
+        params, runs = sim_world
+        predicted = space_update_cache_avm(params)
+        measured = runs[("update_cache_avm", 0.0)].space_pages
+        assert measured == pytest.approx(predicted, rel=0.35)
+
+    def test_model_tracks_measured_rvm_ordering(self, sim_world):
+        params, runs = sim_world
+        measured_sf0 = runs[("update_cache_rvm", 0.0)].space_pages
+        measured_sf1 = runs[("update_cache_rvm", 1.0)].space_pages
+        predicted_sf0 = space_update_cache_rvm(params.replace(sharing_factor=0.0))
+        predicted_sf1 = space_update_cache_rvm(params.replace(sharing_factor=1.0))
+        # Ordering and rough magnitude agree.
+        assert measured_sf0 > measured_sf1
+        assert predicted_sf0 > predicted_sf1
+        assert measured_sf0 == pytest.approx(predicted_sf0, rel=0.5)

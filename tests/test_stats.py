@@ -1,0 +1,182 @@
+"""Tests for relation statistics, selectivity estimation, and plan cost
+estimation (the cost-based optimizer's substrate)."""
+
+import pytest
+
+from repro.query import (
+    BTreeScanPlan,
+    Interval,
+    Join,
+    Optimizer,
+    RelationRef,
+    Select,
+    SeqScanPlan,
+    execute_plan,
+)
+from repro.query.plan import HashLookupJoinPlan
+from repro.query.predicate import And, Comparison, KeyInterval, TruePredicate
+from repro.query.stats import CostEstimator, RelationStats
+
+
+@pytest.fixture
+def r1_stats(tiny_joined_catalog):
+    return RelationStats.collect(tiny_joined_catalog.get("R1"))
+
+
+class TestRelationStats:
+    def test_row_and_page_counts(self, r1_stats, tiny_joined_catalog):
+        assert r1_stats.num_rows == 300
+        assert r1_stats.num_pages == tiny_joined_catalog.get("R1").num_pages
+
+    def test_field_minima_maxima(self, r1_stats):
+        sel = r1_stats.fields["sel"]
+        assert 0 <= sel.minimum <= sel.maximum < 1000
+        assert sel.distinct <= 300
+
+    def test_id_field_is_unique(self, r1_stats):
+        assert r1_stats.fields["id1"].distinct == 300
+
+
+class TestSelectivity:
+    def test_empty_predicate_is_one(self, r1_stats):
+        assert r1_stats.selectivity(TruePredicate()) == 1.0
+
+    def test_interval_fraction_of_domain(self, r1_stats):
+        sel = r1_stats.fields["sel"]
+        width = (sel.maximum - sel.minimum) / 2
+        pred = Interval("sel", sel.minimum, sel.minimum + int(width))
+        assert r1_stats.selectivity(pred) == pytest.approx(0.5, abs=0.05)
+
+    def test_full_domain_interval_is_one(self, r1_stats):
+        pred = Interval("sel", None, None)
+        assert r1_stats.selectivity(pred) == 1.0
+
+    def test_equality_uses_distinct_count(self, r1_stats):
+        pred = Comparison("id1", "=", 5)
+        assert r1_stats.selectivity(pred) == pytest.approx(1 / 300)
+
+    def test_inequality_complements(self, r1_stats):
+        pred = Comparison("id1", "!=", 5)
+        assert r1_stats.selectivity(pred) == pytest.approx(1 - 1 / 300)
+
+    def test_conjunction_multiplies(self, r1_stats):
+        sel = r1_stats.fields["sel"]
+        half = Interval("sel", sel.minimum, sel.minimum + int(sel.spread / 2))
+        pred = And(half, Comparison("id1", "=", 5))
+        assert r1_stats.selectivity(pred) == pytest.approx(
+            r1_stats.selectivity(half) / 300, rel=0.01
+        )
+
+    def test_unknown_field_falls_back(self, r1_stats):
+        class Weird(TruePredicate):
+            def conjuncts(self):
+                return [self]
+
+            def fields(self):
+                return {"mystery"}
+
+        assert 0.0 <= r1_stats.selectivity(Weird()) <= 1.0
+
+    def test_clamped_to_unit_range(self, r1_stats):
+        pred = Interval("sel", -10_000, 10_000)
+        assert r1_stats.selectivity(pred) == 1.0
+
+
+class TestCostEstimator:
+    def test_estimates_track_measurement_for_seq_scan(
+        self, tiny_joined_catalog, clock
+    ):
+        estimator = CostEstimator(tiny_joined_catalog)
+        plan = SeqScanPlan("R1", Interval("sel", 0, 500))
+        est_cost, est_rows = estimator.estimate(plan)
+        result = execute_plan(plan, tiny_joined_catalog, clock)
+        assert est_cost == pytest.approx(result.cost_ms, rel=0.05)
+        assert est_rows == pytest.approx(len(result.rows), rel=0.35)
+
+    def test_estimates_track_measurement_for_btree_scan(
+        self, tiny_joined_catalog, clock
+    ):
+        estimator = CostEstimator(tiny_joined_catalog)
+        plan = BTreeScanPlan(
+            "R1", "sel", KeyInterval("sel", 100, 300, True, False)
+        )
+        est_cost, est_rows = estimator.estimate(plan)
+        result = execute_plan(plan, tiny_joined_catalog, clock)
+        assert est_cost == pytest.approx(result.cost_ms, rel=0.6)
+        assert est_rows == pytest.approx(len(result.rows), rel=0.5)
+
+    def test_estimates_track_measurement_for_join(
+        self, tiny_joined_catalog, clock
+    ):
+        estimator = CostEstimator(tiny_joined_catalog)
+        plan = HashLookupJoinPlan(
+            outer=BTreeScanPlan(
+                "R1", "sel", KeyInterval("sel", 0, 500, True, False)
+            ),
+            inner_relation="R2",
+            inner_field="b",
+            outer_field="a",
+            residual=Interval("sel2", 0, 30),
+        )
+        est_cost, _est_rows = estimator.estimate(plan)
+        result = execute_plan(plan, tiny_joined_catalog, clock)
+        assert est_cost == pytest.approx(result.cost_ms, rel=0.6)
+
+    def test_explain_with_costs(self, tiny_joined_catalog):
+        estimator = CostEstimator(tiny_joined_catalog)
+        plan = HashLookupJoinPlan(
+            outer=SeqScanPlan("R1"),
+            inner_relation="R2",
+            inner_field="b",
+            outer_field="a",
+        )
+        text = estimator.explain_with_costs(plan)
+        assert "est" in text and "rows" in text
+        assert "SeqScan" in text
+
+    def test_refresh_drops_cache(self, tiny_joined_catalog):
+        estimator = CostEstimator(tiny_joined_catalog)
+        estimator.stats_for("R1")
+        estimator.refresh("R1")
+        assert "R1" not in estimator._stats
+        estimator.stats_for("R1")
+        estimator.refresh()
+        assert estimator._stats == {}
+
+
+class TestCostBasedAccessPath:
+    def test_narrow_interval_picks_btree(self, tiny_joined_catalog):
+        optimizer = Optimizer(tiny_joined_catalog, cost_based=True)
+        plan = optimizer.compile(Select(RelationRef("R1"), Interval("sel", 0, 20)))
+        assert isinstance(plan, BTreeScanPlan)
+
+    def test_wide_interval_picks_seq_scan(self, tiny_joined_catalog):
+        """An interval covering ~all of the domain: the naive rule takes
+        the index anyway; the cost-based rule sees the sequential scan is
+        cheaper (no descent, no leaf-chain walk, sequential pages)."""
+        wide = Select(RelationRef("R1"), Interval("sel", 0, 10_000))
+        naive = Optimizer(tiny_joined_catalog, cost_based=False).compile(wide)
+        assert isinstance(naive, BTreeScanPlan)
+        smart = Optimizer(tiny_joined_catalog, cost_based=True).compile(wide)
+        assert isinstance(smart, SeqScanPlan)
+
+    def test_cost_based_choice_is_actually_cheaper(
+        self, tiny_joined_catalog, clock
+    ):
+        wide = Select(RelationRef("R1"), Interval("sel", 0, 10_000))
+        naive_plan = Optimizer(tiny_joined_catalog, cost_based=False).compile(wide)
+        smart_plan = Optimizer(tiny_joined_catalog, cost_based=True).compile(wide)
+        naive = execute_plan(naive_plan, tiny_joined_catalog, clock)
+        smart = execute_plan(smart_plan, tiny_joined_catalog, clock)
+        assert sorted(naive.rows) == sorted(smart.rows)
+        assert smart.cost_ms < naive.cost_ms
+
+    def test_join_compilation_unaffected(self, tiny_joined_catalog):
+        optimizer = Optimizer(tiny_joined_catalog, cost_based=True)
+        expr = Select(
+            Join(RelationRef("R1"), RelationRef("R2"), "a", "b"),
+            And(Interval("sel", 0, 100), Interval("sel2", 0, 30)),
+        )
+        plan = optimizer.compile(expr)
+        assert isinstance(plan, HashLookupJoinPlan)
+        assert isinstance(plan.outer, BTreeScanPlan)

@@ -1,0 +1,80 @@
+"""Unit tests for schemas and rows."""
+
+import pytest
+
+from repro.storage.tuples import Field, FieldKind, Schema, SchemaError
+
+
+class TestField:
+    def test_accepts_matching_type(self):
+        assert Field("x", FieldKind.INT).accepts(3)
+        assert Field("x", FieldKind.STR).accepts("hi")
+        assert Field("x", FieldKind.FLOAT).accepts(3.5)
+        assert Field("x", FieldKind.FLOAT).accepts(3)  # ints widen to float
+
+    def test_rejects_wrong_type(self):
+        assert not Field("x", FieldKind.INT).accepts("3")
+        assert not Field("x", FieldKind.STR).accepts(3)
+
+    def test_bool_is_not_an_int(self):
+        assert not Field("x", FieldKind.INT).accepts(True)
+        assert not Field("x", FieldKind.FLOAT).accepts(False)
+
+
+class TestSchema:
+    def test_requires_fields(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(SchemaError):
+            Schema([Field("a"), Field("a")])
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(SchemaError):
+            Schema([Field("a")], tuple_bytes=0)
+
+    def test_index_and_value(self):
+        schema = Schema([Field("a"), Field("b")])
+        assert schema.index_of("b") == 1
+        assert schema.value((10, 20), "a") == 10
+        assert schema.has_field("a")
+        assert not schema.has_field("zzz")
+
+    def test_index_of_unknown_raises(self):
+        schema = Schema([Field("a")])
+        with pytest.raises(SchemaError):
+            schema.index_of("b")
+
+    def test_make_row_validates_arity(self):
+        schema = Schema([Field("a"), Field("b")])
+        with pytest.raises(SchemaError):
+            schema.make_row((1,))
+        with pytest.raises(SchemaError):
+            schema.make_row((1, 2, 3))
+
+    def test_make_row_validates_types(self):
+        schema = Schema([Field("a", FieldKind.INT)])
+        with pytest.raises(SchemaError):
+            schema.make_row(("not an int",))
+        assert schema.make_row((7,)) == (7,)
+
+    def test_equality_and_hash(self):
+        a = Schema([Field("x")], tuple_bytes=50)
+        b = Schema([Field("x")], tuple_bytes=50)
+        c = Schema([Field("x")], tuple_bytes=60)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_concat_adds_widths_and_renames_clashes(self):
+        left = Schema([Field("id"), Field("v")], tuple_bytes=100)
+        right = Schema([Field("id"), Field("w")], tuple_bytes=40)
+        joined = left.concat(right)
+        assert joined.names() == ["id", "v", "id_r", "w"]
+        assert joined.tuple_bytes == 140
+
+    def test_concat_disjoint_names(self):
+        left = Schema([Field("a")])
+        right = Schema([Field("b")])
+        assert left.concat(right).names() == ["a", "b"]
