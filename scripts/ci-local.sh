@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Run the same checks as .github/workflows/ci.yml on the local machine.
+# Tools that aren't installed (ruff on an offline box) are skipped with a
+# notice rather than failing the run.
+set -u
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+status=0
+
+run() {
+    echo "==> $*"
+    "$@"
+    local code=$?
+    if [ $code -ne 0 ]; then
+        echo "FAILED ($code): $*" >&2
+        status=1
+    fi
+}
+
+if command -v ruff >/dev/null 2>&1; then
+    run ruff check src tests benchmarks
+    run ruff format --check src tests benchmarks
+else
+    echo "==> ruff not installed; skipping lint (pip install 'ruff>=0.4')"
+fi
+
+if [ "${CI_LOCAL_FAST:-0}" = "1" ]; then
+    run python -m pytest -x -q -m "not slow"
+else
+    run python -m pytest -x -q
+fi
+
+run python -m pytest benchmarks -q --benchmark-disable
+
+exit $status

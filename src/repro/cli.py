@@ -8,6 +8,8 @@ Examples::
     repro-procs all
     repro-procs simulate --strategy update_cache_rvm --model 2 -P 0.5
     repro-procs compare --model 1
+    repro-procs profile --strategy ci --model 1
+    repro-procs profile --strategy rvm --json
 
 (Also reachable as ``python -m repro``.)
 """
@@ -151,6 +153,59 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.simcompare import (
+        ATTRIBUTION_GROUPS,
+        attribution_comparison,
+        render_attribution,
+    )
+    from repro.obs.profile import (
+        profile_workload,
+        render_profile,
+        resolve_strategy,
+    )
+
+    try:
+        strategy = resolve_strategy(args.strategy)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    params = SIM_SCALE_PARAMS.with_update_probability(args.update_probability)
+    report = profile_workload(
+        params,
+        strategy,
+        model=args.model,
+        num_operations=args.operations,
+        seed=args.seed,
+        buffer_capacity=args.buffer_capacity,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_profile(report, top_procedures=args.top))
+        if args.attribution and strategy in ATTRIBUTION_GROUPS:
+            points = attribution_comparison(
+                params,
+                strategy,
+                model=args.model,
+                num_operations=args.operations,
+                seed=args.seed,
+            )
+            print()
+            print(render_attribution(strategy, points))
+    if not report.is_consistent():
+        print(
+            f"attribution mismatch: phases sum to "
+            f"{sum(report.phase_costs.values())!r}, clock charged "
+            f"{report.total_ms!r}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     params = SIM_SCALE_PARAMS.with_update_probability(args.update_probability)
     points = sim_model_comparison(
@@ -269,6 +324,43 @@ def build_parser() -> argparse.ArgumentParser:
     sens_parser.add_argument("--model", type=int, default=1, choices=(1, 2))
     sens_parser.add_argument("--top", type=int, default=15)
     sens_parser.set_defaults(func=_cmd_sensitivity)
+
+    prof_parser = sub.add_parser(
+        "profile",
+        help="run one strategy with cost attribution (per-phase profile)",
+    )
+    prof_parser.add_argument(
+        "--strategy",
+        default="cache_invalidate",
+        help="strategy name or alias (ar, ci, avm, rvm, or the full names)",
+    )
+    prof_parser.add_argument("--model", type=int, default=1, choices=(1, 2))
+    prof_parser.add_argument(
+        "-P",
+        "--update-probability",
+        type=float,
+        default=DEFAULT_PARAMS.update_probability,
+    )
+    prof_parser.add_argument("--operations", type=int, default=400)
+    prof_parser.add_argument("--seed", type=int, default=7)
+    prof_parser.add_argument(
+        "--buffer-capacity",
+        type=int,
+        default=0,
+        help="LRU buffer frames (0 = the paper's no-caching assumption)",
+    )
+    prof_parser.add_argument(
+        "--top", type=int, default=5, help="procedures to list by cost"
+    )
+    prof_parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    prof_parser.add_argument(
+        "--attribution",
+        action="store_true",
+        help="append the term-by-term model-vs-simulator comparison",
+    )
+    prof_parser.set_defaults(func=_cmd_profile)
 
     cmp_parser = sub.add_parser(
         "compare", help="simulator vs analytical model, all strategies"

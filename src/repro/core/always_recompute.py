@@ -42,7 +42,13 @@ class AlwaysRecompute(ProcedureStrategy):
     def access(self, name: str) -> list[Row]:
         self._procedure(name)
         ctx = ExecutionContext(catalog=self.catalog, clock=self.clock)
-        return self._plans[name].execute(ctx)
+        tracer = self.clock.tracer
+        if tracer is None:
+            return self._plans[name].execute(ctx)
+        # Recompute charges keep their natural phases (io.read /
+        # predicate.test); the span only credits them to the procedure.
+        with tracer.span(None, procedure=name):
+            return self._plans[name].execute(ctx)
 
     def on_update(
         self, relation: str, inserts: list[Row], deletes: list[Row]

@@ -107,12 +107,27 @@ class CacheAndInvalidate(ProcedureStrategy):
 
     def access(self, name: str) -> list[Row]:
         self._procedure(name)
+        tracer = self.clock.tracer
         if self.is_valid(name):
-            return self._caches[name].read_all()
+            if tracer is None:
+                return self._caches[name].read_all()
+            tracer.event("proc.cache.hit")
+            with tracer.span("cache.read", procedure=name):
+                return self._caches[name].read_all()
+        if tracer is not None:
+            tracer.event("proc.cache.miss")
         result = execute_plan(
-            self._plans[name], self.catalog, self.clock, collect_locks=True
+            self._plans[name],
+            self.catalog,
+            self.clock,
+            collect_locks=True,
+            procedure=name,
         )
-        self._caches[name].refresh(result.rows)
+        if tracer is None:
+            self._caches[name].refresh(result.rows)
+        else:
+            with tracer.span("cache.refresh", procedure=name):
+                self._caches[name].refresh(result.rows)
         self._locks.set_locks(name, result.locks)
         if self.scheme is not None:
             self.scheme.mark_valid(name)
@@ -127,13 +142,26 @@ class CacheAndInvalidate(ProcedureStrategy):
     ) -> None:
         """Break i-locks: every procedure whose locked ranges cover an old
         or new tuple value is marked invalid (``C_inval`` each)."""
+        tracer = self.clock.tracer
+        if tracer is None:
+            self._break_locks(relation, inserts, deletes)
+            return
+        with tracer.span("ilock.check"):
+            self._break_locks(relation, inserts, deletes)
+
+    def _break_locks(
+        self, relation: str, inserts: list[Row], deletes: list[Row]
+    ) -> None:
         schema = self.catalog.get(relation).schema
         names = schema.names()
         changed = [dict(zip(names, row)) for row in deletes + inserts]
+        tracer = self.clock.tracer
         for name in self._locks.conflicting_procedures(relation, changed):
             if not self.is_valid(name):
                 continue  # already invalid; nothing to record
             self.invalidation_count += 1
+            if tracer is not None:
+                tracer.event("ilock.invalidation")
             if self.scheme is not None:
                 self.scheme.mark_invalid(name)
             else:

@@ -123,7 +123,11 @@ class HybridStrategy(ProcedureStrategy):
 
     def access(self, name: str) -> list[Row]:
         self._procedure(name)
-        return self._subs[self._routes[name]].access(name)
+        route = self._routes[name]
+        tracer = self.clock.tracer
+        if tracer is not None:
+            tracer.event(f"hybrid.access.{route.value}")
+        return self._subs[route].access(name)
 
     def on_update(
         self, relation: str, inserts: list[Row], deletes: list[Row]

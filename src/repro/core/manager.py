@@ -17,6 +17,7 @@ is ``(access + maintain) / number of accesses``, exposed as
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.core.procedure import DatabaseProcedure
@@ -90,6 +91,15 @@ class ProcedureManager:
     def procedure_names(self) -> list[str]:
         return sorted(self.strategy.procedures)
 
+    def _base_update_span(self):
+        """Phase span tagging base-relation update I/O (``base.update``) —
+        the cost the paper's per-access metric excludes — or a no-op when
+        the clock is unobserved."""
+        tracer = self.clock.tracer
+        if tracer is None:
+            return nullcontext()
+        return tracer.span("base.update")
+
     # -- operations ----------------------------------------------------------
 
     def access(self, name: str) -> AccessResult:
@@ -120,17 +130,18 @@ class ProcedureManager:
         deletes: list[Row] = []
         inserts: list[Row] = []
         self.last_rids = []
-        for rid, new_row in changes:
-            if cluster_field is None:
-                old_row = relation.update(rid, new_row)
-                new_rid = rid
-            else:
-                old_row, new_rid = relation.update_clustered(
-                    rid, new_row, cluster_field
-                )
-            self.last_rids.append(new_rid)
-            deletes.append(old_row)
-            inserts.append(new_row)
+        with self._base_update_span():
+            for rid, new_row in changes:
+                if cluster_field is None:
+                    old_row = relation.update(rid, new_row)
+                    new_rid = rid
+                else:
+                    old_row, new_rid = relation.update_clustered(
+                        rid, new_row, cluster_field
+                    )
+                self.last_rids.append(new_rid)
+                deletes.append(old_row)
+                inserts.append(new_row)
         base_cost = self.clock.elapsed_since(before_base)
 
         before_maint = self.clock.snapshot()
@@ -153,7 +164,8 @@ class ProcedureManager:
         i-locks)."""
         relation = self.catalog.get(relation_name)
         before_base = self.clock.snapshot()
-        self.last_rids = [relation.insert(row) for row in rows]
+        with self._base_update_span():
+            self.last_rids = [relation.insert(row) for row in rows]
         base_cost = self.clock.elapsed_since(before_base)
         before_maint = self.clock.snapshot()
         self.strategy.on_update(relation_name, list(rows), [])
@@ -172,7 +184,8 @@ class ProcedureManager:
         """Apply one delete transaction with strategy maintenance."""
         relation = self.catalog.get(relation_name)
         before_base = self.clock.snapshot()
-        deleted = [relation.delete(rid) for rid in rids]
+        with self._base_update_span():
+            deleted = [relation.delete(rid) for rid in rids]
         base_cost = self.clock.elapsed_since(before_base)
         before_maint = self.clock.snapshot()
         self.strategy.on_update(relation_name, [], deleted)

@@ -158,7 +158,12 @@ class UpdateCacheAVM(ProcedureStrategy):
 
     def access(self, name: str) -> list[Row]:
         procedure = self._procedure(name)
-        rows = self._stores[name].read_all()
+        tracer = self.clock.tracer
+        if tracer is None:
+            rows = self._stores[name].read_all()
+        else:
+            with tracer.span("cache.read", procedure=name):
+                rows = self._stores[name].read_all()
         return procedure.project_rows(rows, self.catalog)
 
     def store_of(self, name: str) -> MaterializedStore:
@@ -193,24 +198,40 @@ class UpdateCacheAVM(ProcedureStrategy):
                         entry = per_procedure.setdefault(proc_name, ([], []))
                         entry[bucket].append(row)
 
+        tracer = self.clock.tracer
         for proc_name, (del_rows, ins_rows) in per_procedure.items():
-            joiner = self._joiners[proc_name]
-            procedure = self.procedures[proc_name]
-            if procedure.query.joins:
-                ins_combined = joiner.compute(relation, ins_rows)
-                del_combined = joiner.compute(relation, del_rows)
+            if tracer is None:
+                self._propagate(relation, proc_name, ins_rows, del_rows)
             else:
-                ins_combined, del_combined = ins_rows, del_rows
-            self._stores[proc_name].apply_delta(ins_combined, del_combined)
-            observers = self._delta_observers.get(proc_name)
-            if observers and (ins_combined or del_combined):
-                # Observer bookkeeping costs C3 per delta tuple, like the
-                # A/D set maintenance it extends.
-                self.clock.charge_overhead(
-                    (len(ins_combined) + len(del_combined)) * len(observers)
-                )
-                for observer in observers:
-                    observer(ins_combined, del_combined)
+                # All per-procedure maintenance — delta join I/O, store
+                # refresh, observer bookkeeping — is one phase.
+                with tracer.span("delta.propagate", procedure=proc_name):
+                    self._propagate(relation, proc_name, ins_rows, del_rows)
+
+    def _propagate(
+        self,
+        relation: str,
+        proc_name: str,
+        ins_rows: list[Row],
+        del_rows: list[Row],
+    ) -> None:
+        joiner = self._joiners[proc_name]
+        procedure = self.procedures[proc_name]
+        if procedure.query.joins:
+            ins_combined = joiner.compute(relation, ins_rows)
+            del_combined = joiner.compute(relation, del_rows)
+        else:
+            ins_combined, del_combined = ins_rows, del_rows
+        self._stores[proc_name].apply_delta(ins_combined, del_combined)
+        observers = self._delta_observers.get(proc_name)
+        if observers and (ins_combined or del_combined):
+            # Observer bookkeeping costs C3 per delta tuple, like the
+            # A/D set maintenance it extends.
+            self.clock.charge_overhead(
+                (len(ins_combined) + len(del_combined)) * len(observers)
+            )
+            for observer in observers:
+                observer(ins_combined, del_combined)
 
     def add_delta_observer(self, name: str, observer) -> None:
         """Subscribe ``observer(inserts, deletes)`` to ``name``'s

@@ -52,7 +52,12 @@ class UpdateCacheRVM(ProcedureStrategy):
 
     def access(self, name: str) -> list[Row]:
         procedure = self._procedure(name)
-        rows = self.network.read_result(name)
+        tracer = self.clock.tracer
+        if tracer is None:
+            rows = self.network.read_result(name)
+        else:
+            with tracer.span("cache.read", procedure=name):
+                rows = self.network.read_result(name)
         return procedure.project_rows(rows, self.catalog)
 
     def on_update(

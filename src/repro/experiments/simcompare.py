@@ -93,3 +93,128 @@ def render_comparison(points: list[ComparisonPoint]) -> str:
             f"{point.simulated_ms:10.1f} {point.ratio:10.2f}"
         )
     return "\n".join(lines)
+
+
+# -- term-by-term attribution comparison (repro.obs) ------------------------
+
+#: Per strategy: (term label, model component names summed, sim phases
+#: summed). Terms partition both sides' non-informational cost: model
+#: components cover the closed-form breakdown, phases cover everything the
+#: observed run charged outside ``base.update`` (which the paper's metric
+#: excludes).
+ATTRIBUTION_GROUPS: dict[str, list[tuple[str, tuple[str, ...], tuple[str, ...]]]] = {
+    "always_recompute": [
+        (
+            "recompute",
+            ("recompute",),
+            ("io.read", "io.write", "predicate.test"),
+        ),
+    ],
+    "cache_invalidate": [
+        ("cache read", ("cache_read_amortized",), ("cache.read",)),
+        (
+            "recompute+refresh",
+            ("recompute_amortized",),
+            ("io.read", "io.write", "predicate.test", "cache.refresh"),
+        ),
+        ("invalidation", ("invalidation",), ("ilock.check", "misc.fixed")),
+    ],
+    "update_cache_avm": [
+        ("read value", ("read",), ("cache.read",)),
+        ("screen", ("screen_p1", "screen_p2"), ("predicate.test",)),
+        (
+            "propagate",
+            ("overhead", "join", "refresh_p1", "refresh_p2"),
+            ("delta.propagate",),
+        ),
+    ],
+    "update_cache_rvm": [
+        ("read value", ("read",), ("cache.read",)),
+        ("screen", ("screen_p1", "screen_p2_rete"), ("predicate.test",)),
+        (
+            "propagate",
+            ("refresh_p1", "refresh_alpha", "refresh_p2", "join_alpha"),
+            ("rete.alpha", "rete.beta", "delta.propagate"),
+        ),
+    ],
+}
+
+
+@dataclass
+class AttributionPoint:
+    """One cost term: the model's closed form vs the observed phase sum
+    (both in ms per access)."""
+
+    term: str
+    model_ms: float
+    sim_ms: float
+
+    @property
+    def ratio(self) -> float:
+        if self.model_ms == 0:
+            return float("inf") if self.sim_ms else 1.0
+        return self.sim_ms / self.model_ms
+
+
+def attribution_comparison(
+    params: ModelParams,
+    strategy: str,
+    model: int = 1,
+    num_operations: int = 400,
+    seed: int = 7,
+) -> list[AttributionPoint]:
+    """Term-by-term model-vs-simulator cost attribution.
+
+    Runs ``strategy`` once under a :class:`repro.obs.CostAttribution` and
+    groups the observed phase costs (per access, ``base.update``
+    excluded) against the analytical model's component terms using
+    :data:`ATTRIBUTION_GROUPS`.
+    """
+    from repro.obs import CostAttribution
+
+    groups = ATTRIBUTION_GROUPS.get(strategy)
+    if groups is None:
+        raise ValueError(
+            f"no attribution grouping for strategy {strategy!r}; "
+            f"choose from {sorted(ATTRIBUTION_GROUPS)}"
+        )
+    breakdown = cost_of(strategy, params, model)
+    observation = CostAttribution()
+    run = run_workload(
+        params,
+        strategy,
+        model=model,
+        num_operations=num_operations,
+        seed=seed,
+        observation=observation,
+    )
+    accesses = max(1, run.num_accesses)
+    points = []
+    for term, components, phases in groups:
+        model_ms = sum(breakdown.components.get(c, 0.0) for c in components)
+        sim_ms = sum(run.phase_costs.get(p, 0.0) for p in phases) / accesses
+        points.append(
+            AttributionPoint(term=term, model_ms=model_ms, sim_ms=sim_ms)
+        )
+    return points
+
+
+def render_attribution(
+    strategy: str, points: list[AttributionPoint]
+) -> str:
+    """Aligned text table of a term-by-term attribution comparison."""
+    lines = [
+        f"{strategy}: per-access cost attribution, model vs simulator",
+        f"{'term':20s} {'model ms':>10s} {'sim ms':>10s} {'sim/model':>10s}",
+    ]
+    for point in points:
+        ratio = f"{point.ratio:10.2f}" if point.model_ms else f"{'-':>10s}"
+        lines.append(
+            f"{point.term:20s} {point.model_ms:10.1f} "
+            f"{point.sim_ms:10.1f} {ratio}"
+        )
+    lines.append(
+        f"{'total':20s} {sum(p.model_ms for p in points):10.1f} "
+        f"{sum(p.sim_ms for p in points):10.1f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Cost-attribution observability: metrics registry + structured tracing.
+
+The paper's argument is a cost breakdown — disk I/O (``C2``), predicate
+tests (``C1``), delta bookkeeping (``C3``), i-lock maintenance — but a
+:class:`repro.sim.CostClock` only accumulates one total. This package
+attributes every charged millisecond to a *phase* (``io.read``,
+``predicate.test``, ``rete.beta``, ...) and optionally a procedure, so a
+run's cost pie can be diffed term-by-term against the analytical model.
+
+Three pieces:
+
+- :class:`MetricsRegistry` — counters, gauges, and histograms (Welford
+  stats via :class:`repro.sim.RunningStat`);
+- :class:`Tracer` — span-style phase/procedure context plus structured
+  span events; :data:`NULL_TRACER` is the disabled no-op variant;
+- :class:`CostAttribution` — installs a charge sink on a ``CostClock``
+  and buckets every charge under the innermost active span's phase
+  (falling back to a per-charge-kind default).
+
+Tracing is opt-in and zero-cost when off: the clock's sink is ``None``
+and every instrumented call site guards on ``clock.tracer is None``, so
+an unobserved run charges exactly the same simulated milliseconds as the
+uninstrumented code did.
+"""
+
+from repro.obs.attribution import DEFAULT_PHASE_FOR_KIND, CostAttribution
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    NULL_TRACER,
+    PHASES,
+    NullTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "PHASES",
+    "CostAttribution",
+    "Counter",
+    "DEFAULT_PHASE_FOR_KIND",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+]

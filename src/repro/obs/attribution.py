@@ -1,0 +1,146 @@
+"""Charge attribution: every clock millisecond lands in exactly one phase.
+
+:class:`CostAttribution` installs a sink on a :class:`repro.sim.
+CostClock`. Each ``charge_*`` call then reports ``(kind, ms, count)``
+here, and the amount is bucketed under the innermost active span's phase
+— or, when no phase span is active, a default derived from the charge
+kind (a ``C1`` predicate screen is ``predicate.test`` wherever it
+happens). Because every charge lands in exactly one bucket, the phase
+totals sum to the clock's elapsed time over the attached window, which
+is the invariant ``repro-procs profile`` and the golden tests assert.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.clock import CostClock
+
+DEFAULT_PHASE_FOR_KIND: dict[str, str] = {
+    "cpu": "predicate.test",
+    "read": "io.read",
+    "write": "io.write",
+    "overhead": "delta.propagate",
+    "fixed": "misc.fixed",
+}
+"""Fallback phase per charge kind when no phase span is active."""
+
+
+class CostAttribution:
+    """Per-phase / per-procedure cost accounting for one observed window.
+
+    Typical use (what :func:`repro.workload.runner.run_workload` does
+    when handed an ``observation``)::
+
+        obs = CostAttribution()
+        obs.attach(clock)
+        ... run the workload ...
+        obs.detach()
+        obs.phase_costs()       # {"io.read": 1230.0, ...}
+        obs.procedure_costs()   # {"p1_004": 210.0, ...}
+
+    Args:
+        registry: metrics registry to use (a fresh one by default); the
+            attribution also feeds ``charge.<kind>.ms`` / ``.count``
+            counters into it.
+        keep_events: span-record retention for the tracer.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        keep_events: int = 1024,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.keep_events = keep_events
+        self.tracer: Tracer | None = None
+        self._clock: "CostClock | None" = None
+        self._phase_ms: dict[str, float] = defaultdict(float)
+        self._procedure_ms: dict[str, float] = defaultdict(float)
+        self._procedure_phase_ms: dict[str, dict[str, float]] = defaultdict(
+            lambda: defaultdict(float)
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def attach(self, clock: "CostClock") -> "CostAttribution":
+        """Start observing ``clock`` (one attribution per clock at a time)."""
+        if self._clock is not None:
+            raise RuntimeError("attribution is already attached to a clock")
+        self.tracer = Tracer(
+            registry=self.registry, clock=clock, keep_events=self.keep_events
+        )
+        clock.set_attribution(self._on_charge, self.tracer)
+        self._clock = clock
+        return self
+
+    def detach(self) -> None:
+        """Stop observing; accumulated totals remain readable."""
+        if self._clock is None:
+            return
+        self._clock.clear_attribution()
+        self._clock = None
+
+    @property
+    def attached(self) -> bool:
+        return self._clock is not None
+
+    # -- the clock sink --------------------------------------------------
+
+    def _on_charge(self, kind: str, ms: float, count: int) -> None:
+        tracer = self.tracer
+        phase = tracer.current_phase() if tracer is not None else None
+        if phase is None:
+            phase = DEFAULT_PHASE_FOR_KIND.get(kind, "misc.fixed")
+        self._phase_ms[phase] += ms
+        procedure = (
+            tracer.current_procedure() if tracer is not None else None
+        )
+        if procedure is not None:
+            self._procedure_ms[procedure] += ms
+            self._procedure_phase_ms[procedure][phase] += ms
+        counters = self.registry
+        counters.counter(f"charge.{kind}.ms").inc(ms)
+        counters.counter(f"charge.{kind}.count").inc(count)
+
+    # -- results ---------------------------------------------------------
+
+    @property
+    def total_ms(self) -> float:
+        """Every attributed millisecond (equals the clock's elapsed time
+        over the attached window)."""
+        return sum(self._phase_ms.values())
+
+    def phase_costs(self) -> dict[str, float]:
+        """Milliseconds per phase, largest first."""
+        return dict(
+            sorted(self._phase_ms.items(), key=lambda kv: -kv[1])
+        )
+
+    def procedure_costs(self) -> dict[str, float]:
+        """Milliseconds per tagged procedure, largest first (charges made
+        outside any procedure-tagged span are not included)."""
+        return dict(
+            sorted(self._procedure_ms.items(), key=lambda kv: -kv[1])
+        )
+
+    def procedure_phase_costs(self) -> dict[str, dict[str, float]]:
+        """Per-procedure phase breakdown (nested plain dicts)."""
+        return {
+            procedure: dict(phases)
+            for procedure, phases in self._procedure_phase_ms.items()
+        }
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary: phases, procedures, and the registry."""
+        return {
+            "total_ms": self.total_ms,
+            "phases": self.phase_costs(),
+            "procedures": self.procedure_costs(),
+            "metrics": self.registry.as_dict(),
+        }

@@ -1,0 +1,163 @@
+"""Run-level profiling: one observed workload run, rendered as a cost pie.
+
+Backs the ``repro-procs profile`` CLI subcommand. A profile runs one
+strategy through :func:`repro.workload.runner.run_workload` with a
+:class:`repro.obs.CostAttribution` attached and packages the per-phase /
+per-procedure breakdown, the event counters, and the consistency check
+that the phase costs sum to the run's total :class:`repro.sim.CostClock`
+charge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.model.params import ModelParams
+from repro.obs.attribution import CostAttribution
+from repro.workload.runner import RunResult, run_workload
+
+STRATEGY_ALIASES: dict[str, str] = {
+    "ar": "always_recompute",
+    "ci": "cache_invalidate",
+    "avm": "update_cache_avm",
+    "rvm": "update_cache_rvm",
+    "always_recompute": "always_recompute",
+    "cache_invalidate": "cache_invalidate",
+    "update_cache_avm": "update_cache_avm",
+    "update_cache_rvm": "update_cache_rvm",
+}
+"""Short and canonical spellings accepted by the profile entry points.
+
+(The hybrid router is absent: it is composed per-procedure on top of the
+pure strategies and cannot be instantiated by ``make_strategy``.)
+"""
+
+
+def resolve_strategy(name: str) -> str:
+    """Map an alias (``ci``) or canonical name to the canonical name."""
+    try:
+        return STRATEGY_ALIASES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; choose from "
+            f"{sorted(STRATEGY_ALIASES)}"
+        ) from None
+
+
+@dataclass
+class ProfileReport:
+    """One observed run plus its attribution, ready to render or export."""
+
+    run: RunResult
+    observation: CostAttribution
+
+    @property
+    def phase_costs(self) -> dict[str, float]:
+        return self.run.phase_costs
+
+    @property
+    def total_ms(self) -> float:
+        return self.run.clock_total_ms
+
+    @property
+    def attribution_error_ms(self) -> float:
+        """Phase sum minus clock total — 0.0 when attribution is exact."""
+        return sum(self.phase_costs.values()) - self.total_ms
+
+    def is_consistent(self, rel_tol: float = 1e-9) -> bool:
+        """Whether every charged millisecond landed in exactly one phase."""
+        return math.isclose(
+            sum(self.phase_costs.values()),
+            self.total_ms,
+            rel_tol=rel_tol,
+            abs_tol=1e-6,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready export of the whole profile."""
+        run = self.run
+        return {
+            "strategy": run.strategy,
+            "model": run.model,
+            "num_accesses": run.num_accesses,
+            "num_updates": run.num_updates,
+            "cost_per_access_ms": run.cost_per_access_ms,
+            "clock_total_ms": run.clock_total_ms,
+            "attribution_consistent": self.is_consistent(),
+            "phases": run.phase_costs,
+            "procedures": run.procedure_costs,
+            "metrics": self.observation.registry.as_dict(),
+        }
+
+
+def profile_workload(
+    params: ModelParams,
+    strategy: str,
+    model: int = 1,
+    num_operations: int = 400,
+    seed: int = 7,
+    buffer_capacity: int = 0,
+    keep_events: int = 1024,
+) -> ProfileReport:
+    """Run ``strategy`` once with cost attribution attached."""
+    observation = CostAttribution(keep_events=keep_events)
+    run = run_workload(
+        params,
+        resolve_strategy(strategy),
+        model=model,
+        num_operations=num_operations,
+        seed=seed,
+        buffer_capacity=buffer_capacity,
+        observation=observation,
+    )
+    return ProfileReport(run=run, observation=observation)
+
+
+def render_profile(report: ProfileReport, top_procedures: int = 5) -> str:
+    """An aligned text rendering of a profile (the CLI's table output)."""
+    run = report.run
+    total = report.total_ms
+    lines = [
+        f"profile: strategy={run.strategy} model={run.model} "
+        f"ops={run.num_accesses + run.num_updates} "
+        f"(accesses={run.num_accesses}, updates={run.num_updates})",
+        f"cost per access: {run.cost_per_access_ms:.1f} simulated ms",
+        "",
+        f"{'phase':18s} {'ms':>12s} {'share':>7s} {'ms/op':>10s}",
+    ]
+    num_ops = max(1, run.num_accesses + run.num_updates)
+    for phase, ms in report.phase_costs.items():
+        share = ms / total if total else 0.0
+        lines.append(
+            f"{phase:18s} {ms:12.1f} {share:6.1%} {ms / num_ops:10.2f}"
+        )
+    lines.append(
+        f"{'total':18s} {sum(report.phase_costs.values()):12.1f} "
+        f"{'100.0%' if total else '  0.0%':>7s} {total / num_ops:10.2f}"
+    )
+    status = "OK" if report.is_consistent() else (
+        f"MISMATCH ({report.attribution_error_ms:+.6f} ms)"
+    )
+    lines.append(
+        f"phase sum vs clock total ({total:.1f} ms): {status}"
+    )
+
+    if run.procedure_costs:
+        lines.append("")
+        lines.append(f"top procedures ({top_procedures}):")
+        for name, ms in list(run.procedure_costs.items())[:top_procedures]:
+            lines.append(f"  {name:24s} {ms:12.1f} ms")
+
+    counters = report.observation.registry.counter_values()
+    interesting = {
+        name: value
+        for name, value in counters.items()
+        if not name.startswith("charge.") and ":" not in name
+    }
+    if interesting:
+        lines.append("")
+        lines.append("events:")
+        for name, value in interesting.items():
+            lines.append(f"  {name:24s} {value:12g}")
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+Instruments are created on first use and live for the registry's
+lifetime (one registry per observed run, attached by
+:class:`repro.obs.CostAttribution` or directly by a caller). Histograms
+reuse :class:`repro.sim.RunningStat`, so distributional summaries cost
+constant memory however long the run.
+"""
+
+from __future__ import annotations
+
+from repro.sim.metrics import RunningStat
+
+
+class Counter:
+    """A monotonically increasing value (counts or accumulated ms)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"Counter({self.name}={self.value:g})"
+
+
+class Gauge:
+    """A point-in-time value that can move in either direction."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"Gauge({self.name}={self.value:g})"
+
+
+class Histogram:
+    """A distribution summary (Welford mean/variance, min/max, total)."""
+
+    __slots__ = ("name", "stat")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.stat = RunningStat()
+
+    def observe(self, value: float) -> None:
+        self.stat.add(value)
+
+    @property
+    def count(self) -> int:
+        return self.stat.count
+
+    @property
+    def mean(self) -> float:
+        return self.stat.mean
+
+    @property
+    def total(self) -> float:
+        return self.stat.total
+
+    def summary(self) -> dict[str, float]:
+        """The usual export view of the distribution."""
+        stat = self.stat
+        if not stat.count:
+            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    "stddev": 0.0, "total": 0.0}
+        return {
+            "count": stat.count,
+            "mean": stat.mean,
+            "min": stat.minimum,
+            "max": stat.maximum,
+            "stddev": stat.stddev,
+            "total": stat.total,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.3f})"
+
+
+class MetricsRegistry:
+    """Creates-on-demand home for a run's instruments.
+
+    A name may be registered as only one instrument kind; asking for the
+    same name as a different kind is an error (it would silently split
+    the metric otherwise).
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _check_unique(self, name: str, kind: str) -> None:
+        owners = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for other_kind, table in owners.items():
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {other_kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_unique(name, "counter")
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_unique(name, "gauge")
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_unique(name, "histogram")
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    # -- export ----------------------------------------------------------
+
+    def counter_values(self) -> dict[str, float]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauge_values(self) -> dict[str, float]:
+        return {name: g.value for name, g in sorted(self._gauges.items())}
+
+    def histogram_summaries(self) -> dict[str, dict[str, float]]:
+        return {
+            name: h.summary() for name, h in sorted(self._histograms.items())
+        }
+
+    def as_dict(self) -> dict:
+        """One JSON-ready snapshot of every instrument."""
+        return {
+            "counters": self.counter_values(),
+            "gauges": self.gauge_values(),
+            "histograms": self.histogram_summaries(),
+        }

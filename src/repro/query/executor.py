@@ -42,12 +42,24 @@ def execute_plan(
     catalog: Catalog,
     clock: CostClock,
     collect_locks: bool = False,
+    procedure: Optional[str] = None,
 ) -> ExecutionResult:
-    """Run ``plan`` and report rows, cost, and (optionally) read footprint."""
+    """Run ``plan`` and report rows, cost, and (optionally) read footprint.
+
+    ``procedure`` tags the execution for cost attribution when a tracer
+    is observing the clock: charges keep their natural phases (scan reads
+    are ``io.read``, screens ``predicate.test``) but are credited to that
+    procedure. Unobserved runs ignore the tag entirely.
+    """
     sink: Optional[list[LockSpec]] = [] if collect_locks else None
     ctx = ExecutionContext(catalog=catalog, clock=clock, lock_sink=sink)
     before = clock.snapshot()
-    rows = plan.execute(ctx)
+    tracer = clock.tracer
+    if tracer is None:
+        rows = plan.execute(ctx)
+    else:
+        with tracer.span(None, procedure=procedure):
+            rows = plan.execute(ctx)
     return ExecutionResult(
         rows=rows,
         cost_ms=clock.elapsed_since(before),

@@ -235,12 +235,18 @@ class ReteNetwork:
         tokens = deltas_to_tokens(inserts, deletes)
         schema = self.catalog.get(relation).schema
         batches: dict[int, tuple[TConstNode, list[Token]]] = {}
+        routed = 0
         for token in tokens:
             field_values = dict(zip(schema.names(), token.row))
             for node in self._discrimination.candidates(relation, field_values):
                 assert isinstance(node, TConstNode)
                 entry = batches.setdefault(id(node), (node, []))
                 entry[1].append(token)
+                routed += 1
+        tracer = self.clock.tracer
+        if tracer is not None and tokens:
+            tracer.event("rete.tokens", len(tokens))
+            tracer.event("rete.tokens.routed", routed)
         for node, batch in batches.values():
             node.receive(batch, self.clock, source=None)
 

@@ -93,6 +93,10 @@ class MemoryNode(ReteNode):
         self.store = store
         self.schema = schema
 
+    #: Phase label charged while this memory applies a token batch
+    #: (``rete.alpha`` / ``rete.beta``); see :mod:`repro.obs`.
+    phase = "rete.alpha"
+
     def receive(
         self, tokens: list[Token], clock: CostClock, source: Optional[ReteNode]
     ) -> None:
@@ -100,16 +104,25 @@ class MemoryNode(ReteNode):
             return
         inserts = [t.row for t in tokens if t.is_insert]
         deletes = [t.row for t in tokens if not t.is_insert]
-        self.store.apply_delta(inserts, deletes)
+        tracer = clock.tracer
+        if tracer is None:
+            self.store.apply_delta(inserts, deletes)
+        else:
+            with tracer.span(self.phase):
+                self.store.apply_delta(inserts, deletes)
         self._forward(tokens, clock)
 
 
 class AlphaMemoryNode(MemoryNode):
     """Holds the output of a t-const chain (a selection of one relation)."""
 
+    phase = "rete.alpha"
+
 
 class BetaMemoryNode(MemoryNode):
     """Holds the output of an and-node (a join result)."""
+
+    phase = "rete.beta"
 
 
 class AndNode(ReteNode):
@@ -149,13 +162,21 @@ class AndNode(ReteNode):
         self, tokens: list[Token], clock: CostClock, source: Optional[ReteNode]
     ) -> None:
         if source is self.left:
-            self._forward(self._probe(tokens, from_left=True, clock=clock), clock)
+            from_left = True
         elif source is self.right:
-            self._forward(self._probe(tokens, from_left=False, clock=clock), clock)
+            from_left = False
         else:
             raise ValueError(
                 f"and-node {self.key!r} received tokens from a non-input node"
             )
+        tracer = clock.tracer
+        if tracer is None:
+            joined = self._probe(tokens, from_left=from_left, clock=clock)
+        else:
+            # Probe I/O and join screens are β-network work.
+            with tracer.span("rete.beta"):
+                joined = self._probe(tokens, from_left=from_left, clock=clock)
+        self._forward(joined, clock)
 
     def _probe(
         self, tokens: list[Token], from_left: bool, clock: CostClock

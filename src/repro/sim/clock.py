@@ -11,11 +11,24 @@ using the constants from Figure 2 of the paper:
 Components charge the clock through the three ``charge_*`` methods; callers
 measure a region of work by taking a :meth:`CostClock.snapshot` before and
 subtracting after.
+
+For cost attribution (``repro.obs``), the clock accepts an optional sink:
+when set, every charge additionally reports ``(kind, ms, count)`` to it,
+and :attr:`CostClock.tracer` exposes the observing tracer so instrumented
+components can open phase spans. Both default to ``None``; the unobserved
+fast path is a single ``is not None`` test per charge and the simulated
+totals are identical either way (attribution never charges the clock).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
+
+AttributionSink = Callable[[str, float, int], None]
 
 
 @dataclass(frozen=True)
@@ -83,6 +96,32 @@ class CostClock:
         self._disk_writes = 0
         self._overhead_tuples = 0
         self._extra_ms = 0.0
+        self._sink: Optional[AttributionSink] = None
+        self.tracer: "Optional[Tracer]" = None
+
+    # -- attribution (repro.obs) ------------------------------------------
+
+    def set_attribution(
+        self, sink: AttributionSink, tracer: "Optional[Tracer]" = None
+    ) -> None:
+        """Install an attribution ``sink(kind, ms, count)`` and expose the
+        observing ``tracer`` to instrumented components. Charges are
+        reported *after* being applied; the sink must not charge back.
+
+        One observer per clock: installing over an existing sink would
+        silently split the attribution, so it raises instead.
+        """
+        if self._sink is not None:
+            raise RuntimeError(
+                "clock already has an attribution sink; detach it first"
+            )
+        self._sink = sink
+        self.tracer = tracer
+
+    def clear_attribution(self) -> None:
+        """Return to the unobserved (zero-overhead) state."""
+        self._sink = None
+        self.tracer = None
 
     @property
     def elapsed_ms(self) -> float:
@@ -106,28 +145,40 @@ class CostClock:
         if tests < 0:
             raise ValueError("cannot charge a negative number of tests")
         self._cpu_tests += tests
-        self._elapsed_ms += self.params.c1 * tests
+        amount = self.params.c1 * tests
+        self._elapsed_ms += amount
+        if self._sink is not None:
+            self._sink("cpu", amount, tests)
 
     def charge_read(self, pages: int = 1) -> None:
         """Charge ``pages`` disk reads at ``c2`` each."""
         if pages < 0:
             raise ValueError("cannot charge a negative number of reads")
         self._disk_reads += pages
-        self._elapsed_ms += self.params.c2 * pages
+        amount = self.params.c2 * pages
+        self._elapsed_ms += amount
+        if self._sink is not None:
+            self._sink("read", amount, pages)
 
     def charge_write(self, pages: int = 1) -> None:
         """Charge ``pages`` disk writes at ``c2`` each."""
         if pages < 0:
             raise ValueError("cannot charge a negative number of writes")
         self._disk_writes += pages
-        self._elapsed_ms += self.params.c2 * pages
+        amount = self.params.c2 * pages
+        self._elapsed_ms += amount
+        if self._sink is not None:
+            self._sink("write", amount, pages)
 
     def charge_overhead(self, tuples: int = 1) -> None:
         """Charge ``tuples`` of delta-set bookkeeping at ``c3`` each."""
         if tuples < 0:
             raise ValueError("cannot charge a negative number of tuples")
         self._overhead_tuples += tuples
-        self._elapsed_ms += self.params.c3 * tuples
+        amount = self.params.c3 * tuples
+        self._elapsed_ms += amount
+        if self._sink is not None:
+            self._sink("overhead", amount, tuples)
 
     def charge_fixed(self, milliseconds: float) -> None:
         """Charge an arbitrary fixed cost (e.g. ``C_inval`` per invalidation)."""
@@ -135,6 +186,8 @@ class CostClock:
             raise ValueError("cannot charge a negative cost")
         self._extra_ms += milliseconds
         self._elapsed_ms += milliseconds
+        if self._sink is not None:
+            self._sink("fixed", milliseconds, 1)
 
     def snapshot(self) -> CostSnapshot:
         """Return an immutable copy of the current counters."""

@@ -5,6 +5,10 @@ disk I/O. The pool therefore defaults to ``capacity=0`` (pure pass-through).
 A positive capacity enables classic LRU caching with deferred write-back,
 which the extension benchmarks use to show how the paper's 1987 conclusions
 shift once pages stay resident in memory.
+
+When a tracer is attached to the clock (``repro.obs``), every fetch also
+emits a ``cache.hit`` / ``cache.miss`` event; unobserved runs skip the
+emission entirely.
 """
 
 from __future__ import annotations
@@ -40,14 +44,21 @@ class BufferPool:
     def fetch(self, file_name: str, page_no: int) -> Page:
         """Return the requested page, charging a read only on a miss."""
         key = (file_name, page_no)
+        tracer = self.disk.clock.tracer
         if self.capacity == 0:
             self.misses += 1
+            if tracer is not None:
+                tracer.event("cache.miss")
             return self.disk.read_page(file_name, page_no)
         if key in self._frames:
             self.hits += 1
+            if tracer is not None:
+                tracer.event("cache.hit")
             self._frames.move_to_end(key)
             return self._frames[key]
         self.misses += 1
+        if tracer is not None:
+            tracer.event("cache.miss")
         page = self.disk.read_page(file_name, page_no)
         self._admit(key, page)
         return page

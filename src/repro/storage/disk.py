@@ -16,6 +16,15 @@ class UnknownFileError(KeyError):
     """Raised when addressing a file the disk has never heard of."""
 
 
+def _file_group(name: str) -> str:
+    """Coarse per-file-family label for I/O counters: ``cache.p12`` and
+    ``rete.beta.7`` both collapse to their first dotted component, base
+    relation heaps (``R1``) stay as-is — keeps metric cardinality bounded
+    however many procedures a run defines."""
+    dot = name.find(".")
+    return name if dot < 0 else name[:dot]
+
+
 class DiskManager:
     """A set of named files, each an extendable array of pages.
 
@@ -65,6 +74,9 @@ class DiskManager:
         page = Page(page_no=len(pages), capacity=capacity)
         pages.append(page)
         if charge:
+            tracer = self.clock.tracer
+            if tracer is not None:
+                tracer.event("disk.alloc.pages")
             self.clock.charge_write(1)
         return page
 
@@ -73,6 +85,10 @@ class DiskManager:
         pages = self._pages(name)
         if not 0 <= page_no < len(pages):
             raise IndexError(f"file {name!r} has no page {page_no}")
+        tracer = self.clock.tracer
+        if tracer is not None:
+            tracer.event("disk.read.pages")
+            tracer.event(f"disk.read.pages:{_file_group(name)}")
         self.clock.charge_read(1)
         return pages[page_no]
 
@@ -86,6 +102,10 @@ class DiskManager:
         pages = self._pages(name)
         if not 0 <= page_no < len(pages):
             raise IndexError(f"file {name!r} has no page {page_no}")
+        tracer = self.clock.tracer
+        if tracer is not None:
+            tracer.event("disk.write.pages")
+            tracer.event(f"disk.write.pages:{_file_group(name)}")
         self.clock.charge_write(1)
 
     def peek_page(self, name: str, page_no: int) -> Page:

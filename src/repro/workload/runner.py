@@ -10,7 +10,9 @@ detail the analytical model cannot give.
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core import (
     STRATEGY_CLASSES,
@@ -24,6 +26,9 @@ from repro.storage.tuples import Row
 from repro.workload.database import SyntheticDatabase, build_database
 from repro.workload.generator import OperationKind, generate_operations
 from repro.workload.procedures import ProcedurePopulation, build_procedures
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import CostAttribution
 
 
 @dataclass
@@ -41,6 +46,12 @@ class RunResult:
     base_update_cost_ms: float
     space_pages: int = 0
     metrics: MetricSet = field(default_factory=MetricSet)
+    #: Simulated ms charged during the measured stream (after warm-up).
+    clock_total_ms: float = 0.0
+    #: Per-phase cost attribution (empty unless run with an observation).
+    phase_costs: dict[str, float] = field(default_factory=dict)
+    #: Per-procedure cost attribution (empty unless observed).
+    procedure_costs: dict[str, float] = field(default_factory=dict)
 
     @property
     def observed_update_probability(self) -> float:
@@ -102,16 +113,23 @@ def _perform_update(
     The paper only ever updates R1; the other cases power the §8
     update-mix extension benches.
     """
+    # The pre-reads below are base-update work (the paper excludes them
+    # from the per-access metric); tag them so attribution agrees.
+    tracer = db.clock.tracer
+    base_span = (
+        nullcontext() if tracer is None else tracer.span("base.update")
+    )
     if relation == "R1":
         positions = rng.sample(
             range(len(db.r1_rids)), min(l_tuples, len(db.r1_rids))
         )
         changes: list[tuple] = []
-        for pos in positions:
-            rid = db.r1_rids[pos]
-            old: Row = db.r1.heap.read(rid)  # pre-read charged as base cost
-            new = (old[0], rng.randrange(db.sel_domain), old[2])
-            changes.append((rid, new))
+        with base_span:
+            for pos in positions:
+                rid = db.r1_rids[pos]
+                old: Row = db.r1.heap.read(rid)  # pre-read, base cost
+                new = (old[0], rng.randrange(db.sel_domain), old[2])
+                changes.append((rid, new))
         manager.update("R1", changes, cluster_field="sel")
         for pos, new_rid in zip(positions, manager.last_rids):
             db.r1_rids[pos] = new_rid
@@ -119,19 +137,21 @@ def _perform_update(
     if relation == "R2":
         rids = rng.sample(db.r2_rids, min(l_tuples, len(db.r2_rids)))
         changes = []
-        for rid in rids:
-            old = db.r2.heap.read(rid)
-            new = (old[0], old[1], rng.randrange(db.sel2_domain), old[3])
-            changes.append((rid, new))
+        with base_span:
+            for rid in rids:
+                old = db.r2.heap.read(rid)
+                new = (old[0], old[1], rng.randrange(db.sel2_domain), old[3])
+                changes.append((rid, new))
         manager.update("R2", changes)
         return
     if relation == "R3":
         rids = rng.sample(db.r3_rids, min(l_tuples, len(db.r3_rids)))
         changes = []
-        for rid in rids:
-            old = db.r3.heap.read(rid)
-            new = (old[0], old[1], rng.randrange(1_000_000))
-            changes.append((rid, new))
+        with base_span:
+            for rid in rids:
+                old = db.r3.heap.read(rid)
+                new = (old[0], old[1], rng.randrange(1_000_000))
+                changes.append((rid, new))
         manager.update("R3", changes)
         return
     raise ValueError(f"unknown update target relation {relation!r}")
@@ -149,6 +169,7 @@ def run_workload(
     database: SyntheticDatabase | None = None,
     invalidation_scheme: str | None = None,
     update_weights: dict[str, float] | None = None,
+    observation: "CostAttribution | None" = None,
 ) -> RunResult:
     """Run one strategy over a synthetic workload.
 
@@ -171,6 +192,11 @@ def run_workload(
             runs (they must match ``params``/``model``/``seed``); the
             database must be freshly built or identically replayed for
             fairness.
+        observation: a :class:`repro.obs.CostAttribution` to attach for
+            the measured stream (warm-up excluded). Fills the result's
+            ``phase_costs``/``procedure_costs``; its registry and tracer
+            stay readable on the object afterwards. ``None`` (default)
+            runs fully unobserved with zero tracing overhead.
     """
     db = database if database is not None else build_database(
         params, seed=seed, buffer_capacity=buffer_capacity
@@ -194,20 +220,29 @@ def run_workload(
 
     rng = random.Random(seed + 3)
     metrics = MetricSet()
-    for op in generate_operations(
-        params, pop.names, num_operations, seed=seed,
-        update_weights=update_weights,
-    ):
-        if op.kind is OperationKind.UPDATE:
-            before = db.clock.snapshot()
-            _perform_update(
-                db, manager, rng, op.tuples_to_modify, relation=op.relation
-            )
-            metrics.observe("update_total_ms", db.clock.elapsed_since(before))
-        else:
-            result = manager.access(op.procedure)  # type: ignore[arg-type]
-            metrics.observe("access_ms", result.cost_ms)
-            metrics.observe("access_rows", len(result.rows))
+    measure_start = db.clock.snapshot()
+    if observation is not None:
+        observation.attach(db.clock)
+    try:
+        for op in generate_operations(
+            params, pop.names, num_operations, seed=seed,
+            update_weights=update_weights,
+        ):
+            if op.kind is OperationKind.UPDATE:
+                before = db.clock.snapshot()
+                _perform_update(
+                    db, manager, rng, op.tuples_to_modify, relation=op.relation
+                )
+                metrics.observe(
+                    "update_total_ms", db.clock.elapsed_since(before)
+                )
+            else:
+                result = manager.access(op.procedure)  # type: ignore[arg-type]
+                metrics.observe("access_ms", result.cost_ms)
+                metrics.observe("access_rows", len(result.rows))
+    finally:
+        if observation is not None:
+            observation.detach()
 
     return RunResult(
         strategy=strategy_name,
@@ -221,4 +256,11 @@ def run_workload(
         base_update_cost_ms=manager.base_update_cost_ms,
         space_pages=strategy.space_pages(),
         metrics=metrics,
+        clock_total_ms=db.clock.elapsed_since(measure_start),
+        phase_costs=(
+            observation.phase_costs() if observation is not None else {}
+        ),
+        procedure_costs=(
+            observation.procedure_costs() if observation is not None else {}
+        ),
     )

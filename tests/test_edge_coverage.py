@@ -67,6 +67,7 @@ class TestWalReplayCharging:
         assert clock.disk_reads == 0
 
 
+@pytest.mark.slow
 class TestCliCompare:
     def test_compare_smoke(self, capsys):
         from repro.cli import main

@@ -29,6 +29,7 @@ def test_every_example_is_covered_here():
     )
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("name", sorted(EXPECTED_MARKERS))
 def test_example_runs_clean(name):
     result = subprocess.run(

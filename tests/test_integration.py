@@ -28,6 +28,7 @@ def default_point_results():
     }
 
 
+@pytest.mark.slow
 class TestSimulatorMatchesModelShape:
     def test_every_strategy_within_2x_of_model(self, default_point_results):
         for name, point in default_point_results.items():
@@ -46,6 +47,7 @@ class TestSimulatorMatchesModelShape:
         assert "always_recompute" in text and "sim/model" in text
 
 
+@pytest.mark.slow
 class TestSimulatedTradeoffDirections:
     """The paper's qualitative conclusions, measured rather than derived."""
 
@@ -102,6 +104,7 @@ class TestSimulatedTradeoffDirections:
         assert avm.cost_per_access_ms <= rvm.cost_per_access_ms * 1.05
 
 
+@pytest.mark.slow
 class TestBufferPoolExtension:
     def test_buffering_reduces_recompute_cost(self):
         """The 1987 no-buffering assumption: giving the engine a modern

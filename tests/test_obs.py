@@ -1,0 +1,312 @@
+"""Tests for the observability layer (repro.obs).
+
+Covers the registry instruments, tracer context semantics, the
+zero-overhead guarantee when tracing is off, and the golden property the
+whole subsystem exists for: every simulated millisecond the clock
+charges lands in exactly one phase bucket, so the phase breakdown sums
+to the clock total *exactly*.
+"""
+
+import pytest
+
+from repro.model.params import ModelParams
+from repro.obs import (
+    NULL_TRACER,
+    PHASES,
+    CostAttribution,
+    MetricsRegistry,
+    Tracer,
+)
+from repro.obs.profile import (
+    profile_workload,
+    render_profile,
+    resolve_strategy,
+)
+from repro.sim import CostClock
+from repro.workload import run_workload
+
+SMALL_PARAMS = ModelParams(
+    n_tuples=2_000,
+    num_p1=6,
+    num_p2=6,
+    selectivity_f=0.01,
+    selectivity_f2=0.1,
+    tuples_per_update=5,
+)
+
+
+class TestRegistry:
+    def test_counter_monotonic(self):
+        registry = MetricsRegistry()
+        c = registry.counter("hits")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_counter_identity_on_reuse(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("depth")
+        g.set(10)
+        g.dec(4)
+        g.inc()
+        assert g.value == 7
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("latency")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        summary = h.summary()
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["total"] == pytest.approx(10.0)
+
+    def test_empty_histogram_summary_is_zeroed(self):
+        assert MetricsRegistry().histogram("h").summary()["count"] == 0
+
+    def test_name_unique_across_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("n")
+        with pytest.raises(ValueError):
+            registry.gauge("n")
+        with pytest.raises(ValueError):
+            registry.histogram("n")
+
+    def test_as_dict_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(2)
+        registry.histogram("h").observe(3)
+        snap = registry.as_dict()
+        assert snap["counters"] == {"c": 1.0}
+        assert snap["gauges"] == {"g": 2.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+
+class TestTracer:
+    def test_nested_phase_and_procedure_context(self):
+        tracer = Tracer(registry=MetricsRegistry())
+        assert tracer.current_phase() is None
+        with tracer.span("io.read"):
+            assert tracer.current_phase() == "io.read"
+            # procedure-only span leaves the phase untouched
+            with tracer.span(None, procedure="P1_0001"):
+                assert tracer.current_phase() == "io.read"
+                assert tracer.current_procedure() == "P1_0001"
+                with tracer.span("rete.beta"):
+                    assert tracer.current_phase() == "rete.beta"
+            assert tracer.current_procedure() is None
+        assert tracer.current_phase() is None
+
+    def test_span_records_use_simulated_time(self):
+        clock = CostClock()
+        tracer = Tracer(registry=MetricsRegistry(), clock=clock)
+        with tracer.span("io.read"):
+            clock.charge_read(2)
+        record = tracer.events[-1]
+        assert record.phase == "io.read"
+        assert record.duration_ms == 2 * clock.params.c2
+
+    def test_event_log_is_bounded(self):
+        tracer = Tracer(keep_events=4)
+        for _ in range(10):
+            with tracer.span("io.read"):
+                pass
+        assert len(tracer.events) == 4
+
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("io.read", procedure="p"):
+            assert NULL_TRACER.current_phase() is None
+        NULL_TRACER.event("anything")
+        assert NULL_TRACER.enabled is False
+
+    def test_phase_vocabulary_contains_core_phases(self):
+        for phase in ("io.read", "predicate.test", "base.update"):
+            assert phase in PHASES
+
+
+class TestCostAttribution:
+    def test_charges_follow_innermost_phase(self):
+        clock = CostClock()
+        observation = CostAttribution()
+        observation.attach(clock)
+        tracer = observation.tracer
+        with tracer.span("cache.read", procedure="P1_0000"):
+            clock.charge_read(1)
+        clock.charge_read(1)  # no span: falls back to the kind default
+        observation.detach()
+        c2 = clock.params.c2
+        assert observation.phase_costs()["cache.read"] == c2
+        assert observation.phase_costs()["io.read"] == c2
+        assert observation.procedure_costs() == {"P1_0000": c2}
+        assert observation.total_ms == 2 * c2
+
+    def test_double_attach_rejected(self):
+        clock = CostClock()
+        first = CostAttribution()
+        first.attach(clock)
+        with pytest.raises(RuntimeError):
+            CostAttribution().attach(clock)
+        first.detach()
+
+    def test_detach_restores_unobserved_clock(self):
+        clock = CostClock()
+        observation = CostAttribution()
+        observation.attach(clock)
+        observation.detach()
+        assert clock.tracer is None
+        before = observation.total_ms
+        clock.charge_read(3)
+        assert observation.total_ms == before
+
+
+class TestZeroOverheadWhenDisabled:
+    def test_observed_and_unobserved_runs_charge_identically(self):
+        """Attaching the tracer must not change what the simulation does:
+        the cost clock's verdict is identical with and without it."""
+        plain = run_workload(SMALL_PARAMS, "cache_invalidate",
+                             num_operations=60, seed=11)
+        observed = run_workload(SMALL_PARAMS, "cache_invalidate",
+                                num_operations=60, seed=11,
+                                observation=CostAttribution())
+        assert observed.cost_per_access_ms == plain.cost_per_access_ms
+        assert observed.access_cost_ms == plain.access_cost_ms
+        assert observed.maintenance_cost_ms == plain.maintenance_cost_ms
+        assert observed.base_update_cost_ms == plain.base_update_cost_ms
+        assert observed.clock_total_ms == plain.clock_total_ms
+
+    def test_unobserved_clock_has_no_tracer(self):
+        run = run_workload(SMALL_PARAMS, "always_recompute",
+                           num_operations=20, seed=1)
+        assert run.phase_costs == {}
+        assert run.procedure_costs == {}
+
+
+class TestGoldenAttribution:
+    @pytest.mark.parametrize(
+        "strategy",
+        ["always_recompute", "cache_invalidate", "update_cache_avm",
+         "update_cache_rvm"],
+    )
+    def test_phase_costs_sum_exactly_to_clock_total(self, strategy):
+        report = profile_workload(
+            SMALL_PARAMS, strategy, model=1, num_operations=80, seed=5
+        )
+        assert report.is_consistent()
+        assert sum(report.phase_costs.values()) == report.total_ms
+        assert report.attribution_error_ms == 0.0
+
+    def test_ci_profile_has_expected_phases(self):
+        report = profile_workload(
+            SMALL_PARAMS, "ci", model=1, num_operations=80, seed=5
+        )
+        phases = report.phase_costs
+        assert phases.get("base.update", 0) > 0
+        assert phases.get("io.read", 0) > 0
+        assert phases.get("cache.read", 0) > 0
+        assert set(phases) <= set(PHASES)
+
+    def test_procedure_costs_cover_every_accessed_procedure(self):
+        report = profile_workload(
+            SMALL_PARAMS, "ar", model=1, num_operations=80, seed=5
+        )
+        assert report.run.procedure_costs
+        for name in report.run.procedure_costs:
+            assert name.startswith(("P1_", "P2_"))
+
+
+class TestProfileEntryPoints:
+    def test_resolve_strategy_aliases(self):
+        assert resolve_strategy("ci") == "cache_invalidate"
+        assert resolve_strategy("RVM") == "update_cache_rvm"
+        assert resolve_strategy("always_recompute") == "always_recompute"
+        with pytest.raises(ValueError):
+            resolve_strategy("nope")
+
+    def test_render_profile_reports_ok(self):
+        report = profile_workload(
+            SMALL_PARAMS, "ci", model=1, num_operations=40, seed=5
+        )
+        text = render_profile(report)
+        assert "phase sum vs clock total" in text
+        assert ": OK" in text
+        assert "base.update" in text
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        report = profile_workload(
+            SMALL_PARAMS, "avm", model=1, num_operations=40, seed=5
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["attribution_consistent"] is True
+        assert payload["strategy"] == "update_cache_avm"
+        assert payload["phases"]
+
+    def test_render_flags_mismatch(self):
+        report = profile_workload(
+            SMALL_PARAMS, "ci", model=1, num_operations=40, seed=5
+        )
+        report.run.phase_costs["io.read"] += 1.0  # corrupt on purpose
+        assert not report.is_consistent()
+        assert "MISMATCH" in render_profile(report)
+
+
+class TestProfileCli:
+    def test_profile_subcommand_smoke(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "profile", "--strategy", "ci", "--model", "1",
+            "--operations", "60", "--seed", "5",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "phase sum vs clock total" in out
+        assert ": OK" in out
+
+    def test_profile_subcommand_json(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        code = main([
+            "profile", "--strategy", "avm", "--json",
+            "--operations", "60", "--seed", "5",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["attribution_consistent"] is True
+
+
+class TestAttributionComparison:
+    def test_terms_cover_strategy_phases(self):
+        from repro.experiments.simcompare import (
+            attribution_comparison,
+            render_attribution,
+        )
+
+        points = attribution_comparison(
+            SMALL_PARAMS, "cache_invalidate", num_operations=80, seed=5
+        )
+        assert [p.term for p in points] == [
+            "cache read", "recompute+refresh", "invalidation",
+        ]
+        assert all(p.sim_ms >= 0 for p in points)
+        assert sum(p.sim_ms for p in points) > 0
+        text = render_attribution("cache_invalidate", points)
+        assert "model vs simulator" in text
+
+    def test_unknown_strategy_rejected(self):
+        from repro.experiments.simcompare import attribution_comparison
+
+        with pytest.raises(ValueError):
+            attribution_comparison(SMALL_PARAMS, "hybrid")

@@ -12,8 +12,11 @@ Two of the strongest statements the test suite makes:
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+pytestmark = pytest.mark.slow
 
 from repro.core import AlwaysRecompute, ProcedureManager, UpdateCacheRVM
 from repro.query import (

@@ -58,6 +58,7 @@ class TestClosedForm:
             space_update_cache_rvm(DEFAULTS, model=3)
 
 
+@pytest.mark.slow
 class TestAgainstSimulation:
     @pytest.fixture(scope="class")
     def sim_world(self):

@@ -80,6 +80,7 @@ class TestRunnerMixedUpdates:
             )
 
 
+@pytest.mark.slow
 class TestCrossStrategyEquivalenceUnderMixedUpdates:
     def test_all_strategies_agree_with_r2_and_r3_updates(self):
         """Correctness of CI's i-locks, AVM's inner-relation delta joins,
