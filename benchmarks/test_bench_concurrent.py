@@ -1,0 +1,64 @@
+"""Multiprogramming-level sweep benches (beyond the paper).
+
+The paper's cost model is single-stream; these benches run the five
+strategies through the discrete-event concurrency engine at MPL 1, 4 and
+16 — same total operation count at every level, so throughput movement is
+contention, not workload size — and write the sweep table to
+``results/concurrent_sweep.txt``. Scaled down in N for wall-clock
+reasons; the cost clock does the measuring.
+"""
+
+import pathlib
+
+from repro.concurrent import (
+    CONCURRENT_STRATEGIES,
+    concurrent_sweep,
+    render_concurrent_table,
+)
+from repro.experiments.simcompare import SIM_SCALE_PARAMS
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+MPLS = (1, 4, 16)
+NUM_OPERATIONS = 240
+SEED = 7
+
+
+def _write(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    print()
+    print(text)
+
+
+def test_concurrent_mpl_sweep(benchmark):
+    results = benchmark.pedantic(
+        concurrent_sweep,
+        kwargs=dict(
+            params=SIM_SCALE_PARAMS.with_update_probability(0.5),
+            strategies=CONCURRENT_STRATEGIES,
+            mpls=MPLS,
+            model=1,
+            num_operations=NUM_OPERATIONS,
+            seed=SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_concurrent_table(results)
+    _write("concurrent_sweep.txt", text)
+
+    assert len(results) == len(CONCURRENT_STRATEGIES) * len(MPLS)
+    by_key = {(r.strategy, r.mpl): r for r in results}
+    for strategy in CONCURRENT_STRATEGIES:
+        for mpl in MPLS:
+            r = by_key[(strategy, mpl)]
+            # Every operation commits at every MPL — no lost work.
+            assert sum(r.per_session_committed) == NUM_OPERATIONS, text
+            assert r.throughput_ops_per_s > 0, text
+            summary = r.latency_summary("access")
+            assert summary["p50"] <= summary["p95"] <= summary["p99"], text
+        # MPL=1 has nothing to contend with.
+        serial = by_key[(strategy, 1)]
+        assert serial.blocked_ms_total == 0.0, text
+        assert serial.aborts == 0, text

@@ -10,6 +10,8 @@ Examples::
     repro-procs compare --model 1
     repro-procs profile --strategy ci --model 1
     repro-procs profile --strategy rvm --json
+    repro-procs concurrent --mpl 1,4,16
+    repro-procs concurrent --strategy ci,rvm --mpl 8 --json
 
 (Also reachable as ``python -m repro``.)
 """
@@ -84,6 +86,75 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(
         f"  base-update total (excluded from metric): "
         f"{run.base_update_cost_ms:.0f} ms"
+    )
+    access = run.metrics.latency_summary("access_ms")
+    if access["count"]:
+        print(
+            f"  access cost percentiles: p50={access['p50']:.1f} "
+            f"p95={access['p95']:.1f} p99={access['p99']:.1f} ms"
+        )
+    return 0
+
+
+def _parse_mpl_list(text: str) -> list[int]:
+    """Parse ``"1,4,16"`` into a sorted list of distinct MPLs (>= 1)."""
+    try:
+        mpls = sorted({int(part) for part in text.split(",") if part.strip()})
+    except ValueError:
+        raise ValueError(f"--mpl expects comma-separated integers, got {text!r}")
+    if not mpls or any(mpl < 1 for mpl in mpls):
+        raise ValueError("--mpl values must be integers >= 1")
+    return mpls
+
+
+def _cmd_concurrent(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.concurrent import (
+        CONCURRENT_STRATEGIES,
+        concurrent_sweep,
+        render_concurrent_table,
+        sweep_to_dict,
+    )
+    from repro.obs.profile import resolve_strategy
+
+    try:
+        mpls = _parse_mpl_list(args.mpl)
+        if args.strategy in (None, "all"):
+            strategies: list[str] = list(CONCURRENT_STRATEGIES)
+        else:
+            strategies = [
+                resolve_strategy(part)
+                for part in args.strategy.split(",")
+                if part.strip()
+            ]
+            if not strategies:
+                raise ValueError("--strategy must name at least one strategy")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    params = SIM_SCALE_PARAMS.with_update_probability(args.update_probability)
+    results = concurrent_sweep(
+        params,
+        strategies=strategies,
+        mpls=mpls,
+        model=args.model,
+        num_operations=args.operations,
+        seed=args.seed,
+        buffer_capacity=args.buffer_capacity,
+    )
+    if args.json:
+        print(json.dumps(sweep_to_dict(results), indent=2, sort_keys=True))
+        return 0
+    print(
+        f"concurrent sweep: model={args.model} "
+        f"P={args.update_probability:g} ops={args.operations} "
+        f"(total, split across sessions) seed={args.seed}"
+    )
+    print(render_concurrent_table(results))
+    print(
+        "\nlatencies in simulated ms; 'blocked' is total lock-wait time; "
+        "MPL=1 matches the serial runner exactly."
     )
     return 0
 
@@ -262,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
             "cache_invalidate",
             "update_cache_avm",
             "update_cache_rvm",
+            "hybrid",
         ],
     )
     sim_parser.add_argument("--model", type=int, default=1, choices=(1, 2))
@@ -376,6 +448,49 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_parser.add_argument("--seed", type=int, default=7)
     cmp_parser.set_defaults(func=_cmd_compare)
 
+    conc_parser = sub.add_parser(
+        "concurrent",
+        help="multi-client discrete-event simulation (2PL, MPL sweep)",
+    )
+    conc_parser.add_argument(
+        "--mpl",
+        default="1,4,16",
+        help="comma-separated multiprogramming levels (e.g. 1,4,16)",
+    )
+    conc_parser.add_argument(
+        "--strategy",
+        default="all",
+        help=(
+            "comma-separated strategies or aliases (ar, ci, avm, rvm, "
+            "hybrid); default: all five"
+        ),
+    )
+    conc_parser.add_argument("--model", type=int, default=1, choices=(1, 2))
+    conc_parser.add_argument(
+        "-P",
+        "--update-probability",
+        type=float,
+        default=DEFAULT_PARAMS.update_probability,
+    )
+    conc_parser.add_argument(
+        "--operations",
+        type=int,
+        default=300,
+        help="total operations, split across sessions",
+    )
+    conc_parser.add_argument("--seed", type=int, default=7)
+    conc_parser.add_argument(
+        "--buffer-capacity",
+        type=int,
+        default=0,
+        help="LRU buffer frames (0 = the paper's no-caching assumption)",
+    )
+    conc_parser.add_argument(
+        "--json", action="store_true", help="emit the sweep as JSON"
+    )
+    conc_parser.set_defaults(func=_cmd_concurrent)
+
+    parser.epilog = "subcommands: " + ", ".join(sorted(sub.choices))
     return parser
 
 

@@ -1,0 +1,65 @@
+"""Multi-client concurrency: discrete-event simulation under 2PL.
+
+The paper's analysis is single-stream — one interleaved sequence of
+accesses and updates with a closed-form expected cost — but its i-lock
+design is a concurrency-control artifact. This package asks the question
+the paper could not: how do the strategies rank when accesses and
+updates *contend*?
+
+- :mod:`repro.concurrent.locks` — a lock manager implementing strict
+  two-phase locking whose shared locks are the i-lock read footprints
+  and whose exclusive locks are the update's old/new tuple values, with
+  FIFO waiters and waits-for deadlock detection (victim abort/retry);
+- :mod:`repro.concurrent.session` — per-client operation streams,
+  seeded so MPL=1 replays the serial runner exactly;
+- :mod:`repro.concurrent.engine` — the discrete-event scheduler keyed
+  on simulated milliseconds, producing a :class:`ConcurrentRunResult`
+  (throughput, p50/p95/p99 latency, blocked time, aborts);
+- :mod:`repro.concurrent.report` — MPL sweeps, the CLI table, JSON.
+"""
+
+from repro.concurrent.engine import (
+    ConcurrentRunResult,
+    collect_footprints,
+    run_concurrent_workload,
+)
+from repro.concurrent.locks import (
+    AcquireStatus,
+    LockManager,
+    LockMode,
+    LockOutcome,
+    LockUnit,
+    units_conflict,
+)
+from repro.concurrent.report import (
+    CONCURRENT_STRATEGIES,
+    concurrent_sweep,
+    render_concurrent_table,
+    sweep_to_dict,
+)
+from repro.concurrent.session import (
+    ClientSession,
+    OperationContext,
+    session_seed,
+    split_operations,
+)
+
+__all__ = [
+    "CONCURRENT_STRATEGIES",
+    "AcquireStatus",
+    "ClientSession",
+    "ConcurrentRunResult",
+    "LockManager",
+    "LockMode",
+    "LockOutcome",
+    "LockUnit",
+    "OperationContext",
+    "collect_footprints",
+    "concurrent_sweep",
+    "render_concurrent_table",
+    "run_concurrent_workload",
+    "session_seed",
+    "split_operations",
+    "sweep_to_dict",
+    "units_conflict",
+]

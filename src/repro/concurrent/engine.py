@@ -1,0 +1,502 @@
+"""The discrete-event multi-client simulation engine.
+
+Runs ``mpl`` client sessions against one shared database and procedure
+manager under strict two-phase locking. Virtual time is the simulated
+milliseconds the :class:`repro.sim.CostClock` charges: an operation's
+duration is exactly what its execution charged, sessions interleave at
+operation boundaries, and the event loop processes (time, seq) keys so
+runs are deterministic for a given seed.
+
+One operation = one transaction:
+
+1. **Prepare** (at the operation's start instant): updates draw their
+   tuple picks and new values from the session rng and pre-read the old
+   rows (charged as ``base.update``, like the serial runner); accesses
+   cost nothing here. This yields the lock request — read units from the
+   procedure's i-lock footprint, write units from the changed tuples.
+2. **Acquire**: units are requested incrementally from the
+   :class:`~repro.concurrent.locks.LockManager`. Blocking leaves the
+   session dormant until a release resumes it (FIFO); a block that
+   closes a waits-for cycle aborts the requester, which retries the
+   same operation (same change-set) immediately.
+3. **Execute** (at the grant instant): the shared manager performs the
+   access or update; the charged delta is the operation's service time.
+   Time spent blocked is charged to the clock under a ``lock.wait``
+   span, so an attached :class:`repro.obs.CostAttribution` still sums
+   exactly — waiting is a phase, not a leak.
+4. **Commit**: locks release at ``grant + service`` virtual ms, resuming
+   waiters; the session starts its next operation.
+
+Because execution is single-threaded and happens in virtual-time order,
+the database itself is never racy — locks shape *timing* (blocked time,
+throughput, aborts), not correctness. MPL=1 degenerates to the serial
+runner: same stream, same rng, no contention, identical charges.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.concurrent.locks import AcquireStatus, LockManager, LockUnit
+from repro.concurrent.session import (
+    ClientSession,
+    OperationContext,
+    session_seed,
+    split_operations,
+)
+from repro.core import ProcedureManager
+from repro.model.params import ModelParams
+from repro.query.executor import execute_plan
+from repro.query.optimizer import Optimizer
+from repro.query.plan import LockSpec
+from repro.sim import MetricSet
+from repro.workload.database import SyntheticDatabase, build_database
+from repro.workload.generator import OperationKind, generate_operations
+from repro.workload.procedures import build_procedures
+from repro.workload.runner import make_strategy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import CostAttribution
+
+#: Hard cap on deadlock aborts for a single operation — a livelock guard
+#: (victim choice guarantees progress long before this trips).
+MAX_ABORTS_PER_OPERATION = 500
+
+
+@dataclass
+class ConcurrentRunResult:
+    """Outcome of one multi-client simulated run."""
+
+    strategy: str
+    model: int
+    mpl: int
+    params: ModelParams
+    num_accesses: int
+    num_updates: int
+    #: The paper's metric, aggregated over all sessions (waits excluded —
+    #: comparable with the serial runner's number).
+    cost_per_access_ms: float
+    access_cost_ms: float
+    maintenance_cost_ms: float
+    base_update_cost_ms: float
+    #: Virtual ms from start to the last commit across all sessions.
+    makespan_ms: float = 0.0
+    #: Committed operations per simulated second.
+    throughput_ops_per_s: float = 0.0
+    #: Total virtual ms sessions spent blocked in the lock manager.
+    blocked_ms_total: float = 0.0
+    #: Operations that had to wait at least once before executing.
+    ops_blocked: int = 0
+    #: Deadlock victim aborts (every one is followed by a retry).
+    aborts: int = 0
+    #: Operations that committed after suffering at least one abort.
+    retries_succeeded: int = 0
+    space_pages: int = 0
+    metrics: MetricSet = field(default_factory=MetricSet)
+    #: Total clock charge over the measured window (work + lock.wait).
+    clock_total_ms: float = 0.0
+    phase_costs: dict[str, float] = field(default_factory=dict)
+    procedure_costs: dict[str, float] = field(default_factory=dict)
+    #: Committed operations per session (index = session id).
+    per_session_committed: list[int] = field(default_factory=list)
+
+    @property
+    def num_operations(self) -> int:
+        return self.num_accesses + self.num_updates
+
+    def latency_summary(self, kind: str = "access") -> dict[str, float]:
+        """p50/p95/p99 digest for ``"access"`` or ``"update"`` latency."""
+        return self.metrics.latency_summary(f"{kind}_latency_ms")
+
+    def to_dict(self) -> dict:
+        """JSON-ready export (what ``repro-procs concurrent --json`` emits)."""
+        return {
+            "strategy": self.strategy,
+            "model": self.model,
+            "mpl": self.mpl,
+            "num_accesses": self.num_accesses,
+            "num_updates": self.num_updates,
+            "cost_per_access_ms": self.cost_per_access_ms,
+            "makespan_ms": self.makespan_ms,
+            "throughput_ops_per_s": self.throughput_ops_per_s,
+            "blocked_ms_total": self.blocked_ms_total,
+            "ops_blocked": self.ops_blocked,
+            "aborts": self.aborts,
+            "retries_succeeded": self.retries_succeeded,
+            "space_pages": self.space_pages,
+            "access_latency": self.latency_summary("access"),
+            "update_latency": self.latency_summary("update"),
+            "phases": self.phase_costs,
+            "per_session_committed": self.per_session_committed,
+        }
+
+
+def collect_footprints(
+    db: SyntheticDatabase, manager: ProcedureManager
+) -> dict[str, list[LockSpec]]:
+    """Read footprint per procedure, from the plans the i-locks are built
+    on. Executed once pre-measurement (the clock is reset afterwards);
+    duplicate specs are collapsed keeping first-occurrence order."""
+    optimizer = Optimizer(db.catalog)
+    footprints: dict[str, list[LockSpec]] = {}
+    for name, procedure in manager.strategy.procedures.items():
+        plan = optimizer.compile_normalized(procedure.query)
+        result = execute_plan(plan, db.catalog, db.clock, collect_locks=True)
+        unique: dict[tuple, LockSpec] = {}
+        for spec in result.locks:
+            unique.setdefault((spec.relation, spec.interval), spec)
+        footprints[name] = list(unique.values())
+    return footprints
+
+
+class _Engine:
+    """The event loop. One instance per run; see module docstring."""
+
+    def __init__(
+        self,
+        db: SyntheticDatabase,
+        manager: ProcedureManager,
+        sessions: list[ClientSession],
+        footprints: dict[str, list[LockSpec]],
+    ) -> None:
+        self.db = db
+        self.manager = manager
+        self.sessions = {s.session_id: s for s in sessions}
+        self.footprints = footprints
+        self.locks = LockManager()
+        self.metrics = MetricSet()
+        self._events: list[tuple[float, int, str, int]] = []
+        self._seq = 0
+        self.makespan_ms = 0.0
+        self.blocked_ms_total = 0.0
+        self.ops_blocked = 0
+        self.aborts = 0
+        self.retries_succeeded = 0
+
+    # -- event plumbing --------------------------------------------------
+
+    def _schedule(self, time_ms: float, kind: str, session_id: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._events, (time_ms, self._seq, kind, session_id))
+
+    def run(self) -> None:
+        for session_id in self.sessions:
+            self._schedule(0.0, "start", session_id)
+        handlers = {
+            "start": self._on_start,
+            "request": self._on_request,
+            "commit": self._on_commit,
+        }
+        while self._events:
+            time_ms, _seq, kind, session_id = heapq.heappop(self._events)
+            handlers[kind](session_id, time_ms)
+
+    # -- operation lifecycle ---------------------------------------------
+
+    def _on_start(self, session_id: int, now: float) -> None:
+        session = self.sessions[session_id]
+        if session.next_index >= len(session.operations):
+            return  # stream drained; last commit already recorded
+        op = session.take_next()
+        before = self.db.clock.snapshot()
+        if op.kind is OperationKind.UPDATE:
+            context = self._prepare_update(session, op)
+        else:
+            context = self._prepare_access(op)
+        pre_ms = self.db.clock.elapsed_since(before)
+        context.op_start = now
+        context.request_time = now + pre_ms
+        session.context = context
+        self._schedule(context.request_time, "request", session_id)
+
+    def _on_request(self, session_id: int, now: float) -> None:
+        session = self.sessions[session_id]
+        context = session.context
+        assert context is not None
+        outcome = self.locks.acquire(session_id, context.units)
+        if outcome.status is AcquireStatus.GRANTED:
+            self._execute(session_id, now)
+            return
+        if outcome.status is AcquireStatus.ABORTED:
+            self._count_abort(session, now)
+            self._apply_outcome(outcome, now)
+            self._schedule(now, "request", session_id)
+        # BLOCKED: dormant until a release (or an abort) resumes us.
+
+    def _execute(self, session_id: int, now: float) -> None:
+        session = self.sessions[session_id]
+        context = session.context
+        assert context is not None
+        wait_ms = now - context.request_time
+        if wait_ms > 0:
+            self._charge_wait(wait_ms)
+            session.blocked_ms += wait_ms
+            self.blocked_ms_total += wait_ms
+            self.ops_blocked += 1
+            self.metrics.observe("lock_wait_ms", wait_ms)
+        before = self.db.clock.snapshot()
+        context.execute()
+        service_ms = self.db.clock.elapsed_since(before)
+        kind = (
+            "update"
+            if context.op.kind is OperationKind.UPDATE
+            else "access"
+        )
+        self.metrics.observe(f"{kind}_service_ms", service_ms)
+        self._schedule(now + service_ms, "commit", session_id)
+
+    def _on_commit(self, session_id: int, now: float) -> None:
+        session = self.sessions[session_id]
+        context = session.context
+        assert context is not None
+        outcome = self.locks.release(session_id)
+        session.committed += 1
+        session.last_commit_ms = now
+        self.makespan_ms = max(self.makespan_ms, now)
+        if context.aborts:
+            self.retries_succeeded += 1
+        kind = (
+            "update"
+            if context.op.kind is OperationKind.UPDATE
+            else "access"
+        )
+        self.metrics.observe(f"{kind}_latency_ms", now - context.op_start)
+        session.context = None
+        self._apply_outcome(outcome, now)
+        self._schedule(now, "start", session_id)
+
+    def _apply_outcome(self, outcome, now: float) -> None:
+        """Resume sessions a lock-manager call granted or aborted."""
+        for granted_id in outcome.granted:
+            self._execute(granted_id, now)
+        for aborted_id in outcome.aborted:
+            self._count_abort(self.sessions[aborted_id], now)
+            self._schedule(now, "request", aborted_id)
+
+    def _count_abort(self, session: ClientSession, now: float) -> None:
+        context = session.context
+        assert context is not None
+        context.aborts += 1
+        session.aborted_ops += 1
+        self.aborts += 1
+        tracer = self.db.clock.tracer
+        if tracer is not None:
+            tracer.event("lock.deadlock.abort")
+        if context.aborts > MAX_ABORTS_PER_OPERATION:
+            raise RuntimeError(
+                f"operation in session {session.session_id} aborted "
+                f"{context.aborts} times; livelock guard tripped at "
+                f"t={now:.1f} ms"
+            )
+
+    def _charge_wait(self, wait_ms: float) -> None:
+        """Charge blocked time to the clock under the ``lock.wait`` phase
+        so attribution over a concurrent window still sums exactly."""
+        clock = self.db.clock
+        tracer = clock.tracer
+        span = (
+            nullcontext() if tracer is None else tracer.span("lock.wait")
+        )
+        with span:
+            clock.charge_fixed(wait_ms)
+
+    # -- operation preparation -------------------------------------------
+
+    def _prepare_access(self, op) -> OperationContext:
+        name = op.procedure
+        units = [LockUnit.read(spec) for spec in self.footprints[name]]
+
+        def execute() -> None:
+            self.manager.access(name)
+
+        return OperationContext(op=op, units=units, execute=execute)
+
+    def _prepare_update(
+        self, session: ClientSession, op
+    ) -> OperationContext:
+        """Draw the change-set (same rng call sequence as the serial
+        runner's ``_perform_update``) and build write units from it."""
+        db = self.db
+        rng = session.rng
+        relation = op.relation
+        l_tuples = op.tuples_to_modify
+        tracer = db.clock.tracer
+        base_span = (
+            nullcontext() if tracer is None else tracer.span("base.update")
+        )
+        schema_names = db.catalog.get(relation).schema.names()
+        units: list[LockUnit] = []
+
+        def unit_for(key, old_row, new_row) -> LockUnit:
+            return LockUnit.write(
+                relation,
+                key,
+                dict(zip(schema_names, old_row)),
+                dict(zip(schema_names, new_row)),
+            )
+
+        if relation == "R1":
+            positions = rng.sample(
+                range(len(db.r1_rids)), min(l_tuples, len(db.r1_rids))
+            )
+            new_rows: list[tuple] = []
+            with base_span:
+                for pos in positions:
+                    old = db.r1.heap.read(db.r1_rids[pos])
+                    new = (old[0], rng.randrange(db.sel_domain), old[2])
+                    new_rows.append(new)
+                    # Tuple identity = position in the rid table: stable
+                    # across clustered relocations, unlike the RID.
+                    units.append(unit_for(("R1", pos), old, new))
+
+            def execute() -> None:
+                changes = [
+                    (db.r1_rids[pos], new)
+                    for pos, new in zip(positions, new_rows)
+                ]
+                self.manager.update("R1", changes, cluster_field="sel")
+                for pos, new_rid in zip(positions, self.manager.last_rids):
+                    db.r1_rids[pos] = new_rid
+
+        elif relation == "R2":
+            rids = rng.sample(db.r2_rids, min(l_tuples, len(db.r2_rids)))
+            changes2: list[tuple] = []
+            with base_span:
+                for rid in rids:
+                    old = db.r2.heap.read(rid)
+                    new = (
+                        old[0],
+                        old[1],
+                        rng.randrange(db.sel2_domain),
+                        old[3],
+                    )
+                    changes2.append((rid, new))
+                    units.append(unit_for(("R2", rid), old, new))
+
+            def execute() -> None:
+                self.manager.update("R2", changes2)
+
+        elif relation == "R3":
+            rids = rng.sample(db.r3_rids, min(l_tuples, len(db.r3_rids)))
+            changes3: list[tuple] = []
+            with base_span:
+                for rid in rids:
+                    old = db.r3.heap.read(rid)
+                    new = (old[0], old[1], rng.randrange(1_000_000))
+                    changes3.append((rid, new))
+                    units.append(unit_for(("R3", rid), old, new))
+
+            def execute() -> None:
+                self.manager.update("R3", changes3)
+
+        else:
+            raise ValueError(f"unknown update target relation {relation!r}")
+
+        return OperationContext(op=op, units=units, execute=execute)
+
+
+def run_concurrent_workload(
+    params: ModelParams,
+    strategy_name: str,
+    mpl: int = 4,
+    model: int = 1,
+    num_operations: int = 400,
+    seed: int = 0,
+    warm_caches: bool = True,
+    buffer_capacity: int = 0,
+    invalidation_scheme: str | None = None,
+    update_weights: dict[str, float] | None = None,
+    observation: "CostAttribution | None" = None,
+) -> ConcurrentRunResult:
+    """Run ``mpl`` concurrent sessions of one strategy over the shared
+    synthetic database.
+
+    ``num_operations`` is the total across sessions, split as evenly as
+    possible. With ``mpl=1`` every knob matches
+    :func:`repro.workload.runner.run_workload` and the measured
+    per-access cost is identical (the degeneracy check in the tests).
+    """
+    if mpl < 1:
+        raise ValueError("multiprogramming level mpl must be >= 1")
+    db = build_database(params, seed=seed, buffer_capacity=buffer_capacity)
+    pop = build_procedures(db, params, model=model, seed=seed)
+    strategy = make_strategy(
+        strategy_name, db, params, invalidation_scheme=invalidation_scheme
+    )
+    manager = ProcedureManager(strategy)
+    for name, expr in pop.definitions:
+        manager.define_procedure(name, expr)
+
+    if warm_caches:
+        for name in pop.names:
+            manager.access(name)
+        manager.reset_counters()
+    footprints = collect_footprints(db, manager)
+    db.clock.reset()
+
+    sessions = []
+    for i, ops_count in enumerate(split_operations(num_operations, mpl)):
+        s_seed = session_seed(seed, i)
+        operations = list(
+            generate_operations(
+                params,
+                pop.names,
+                ops_count,
+                seed=s_seed,
+                update_weights=update_weights,
+            )
+        )
+        sessions.append(
+            ClientSession(
+                session_id=i,
+                operations=operations,
+                rng=random.Random(s_seed + 3),
+            )
+        )
+
+    measure_start = db.clock.snapshot()
+    if observation is not None:
+        observation.attach(db.clock)
+    engine = _Engine(db, manager, sessions, footprints)
+    try:
+        engine.run()
+    finally:
+        if observation is not None:
+            observation.detach()
+
+    makespan = engine.makespan_ms
+    committed = sum(s.committed for s in sessions)
+    throughput = committed / makespan * 1000.0 if makespan > 0 else 0.0
+    engine.metrics.observe("sessions", float(mpl))
+    return ConcurrentRunResult(
+        strategy=strategy_name,
+        model=model,
+        mpl=mpl,
+        params=params,
+        num_accesses=manager.num_accesses,
+        num_updates=manager.num_updates,
+        cost_per_access_ms=manager.cost_per_access(),
+        access_cost_ms=manager.access_cost_ms,
+        maintenance_cost_ms=manager.maintenance_cost_ms,
+        base_update_cost_ms=manager.base_update_cost_ms,
+        makespan_ms=makespan,
+        throughput_ops_per_s=throughput,
+        blocked_ms_total=engine.blocked_ms_total,
+        ops_blocked=engine.ops_blocked,
+        aborts=engine.aborts,
+        retries_succeeded=engine.retries_succeeded,
+        space_pages=strategy.space_pages(),
+        metrics=engine.metrics,
+        clock_total_ms=db.clock.elapsed_since(measure_start),
+        phase_costs=(
+            observation.phase_costs() if observation is not None else {}
+        ),
+        procedure_costs=(
+            observation.procedure_costs() if observation is not None else {}
+        ),
+        per_session_committed=[s.committed for s in sessions],
+    )

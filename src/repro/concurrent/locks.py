@@ -1,0 +1,265 @@
+"""Two-phase locking over i-lock footprints.
+
+The serial simulator already knows what every procedure *reads* — the
+:class:`repro.query.plan.LockSpec` footprint the i-lock table records —
+and what every update transaction *writes* (the ``2l`` old/new tuple
+values whose membership in a locked range breaks an i-lock). The
+concurrency engine reuses exactly those descriptions as lock requests:
+
+- a **shared** unit is one ``LockSpec`` of a procedure's read footprint;
+- an **exclusive** unit is one modified tuple — a stable identity key
+  plus its old and new field-value dicts.
+
+Conflict detection is therefore the same predicate the i-lock table
+applies (:meth:`LockSpec.conflicts_with_write`): a reader and a writer
+conflict iff the write's old or new value falls inside a locked range;
+two writers conflict iff they touch the same tuple.
+
+Transactions (one per workload operation) acquire their units
+*incrementally in request order* and hold everything until commit —
+strict two-phase locking. Incremental acquisition means a blocked
+transaction keeps the units it already holds, which is what makes
+genuine deadlocks possible; the manager maintains the waits-for relation
+dynamically and checks for a cycle at every blocking event (both fresh
+``acquire`` calls and re-blocks during post-``release`` continuation).
+The victim is always the transaction whose blocking closed the cycle:
+aborting it releases its units, which is guaranteed to break the cycle,
+and the engine retries the operation immediately.
+
+Waiters resume in FIFO block order when units free up. A new request is
+only checked against *held* units (a compatible newcomer may overtake a
+blocked writer); the bounded workload keeps starvation theoretical, and
+the simplification is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional, Sequence
+
+from repro.query.plan import LockSpec
+
+
+class LockMode(enum.Enum):
+    """Lock compatibility classes."""
+
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+@dataclass(eq=False)
+class LockUnit:
+    """One acquirable unit of a transaction's lock request.
+
+    Shared units carry a read-footprint ``spec``; exclusive units carry
+    the written tuple's stable identity ``key`` plus the old/new
+    field-value dicts used for range-conflict tests (the paper's ``2l``
+    values). Units compare by identity — the same footprint requested by
+    two transactions is two distinct units.
+    """
+
+    mode: LockMode
+    relation: str
+    spec: Optional[LockSpec] = None
+    key: Optional[Hashable] = None
+    values: tuple = ()
+
+    @staticmethod
+    def read(spec: LockSpec) -> "LockUnit":
+        """A shared lock on one read-footprint spec."""
+        return LockUnit(LockMode.SHARED, spec.relation, spec=spec)
+
+    @staticmethod
+    def write(
+        relation: str,
+        key: Hashable,
+        old_values: dict[str, Any],
+        new_values: dict[str, Any],
+    ) -> "LockUnit":
+        """An exclusive lock on one modified tuple."""
+        return LockUnit(
+            LockMode.EXCLUSIVE,
+            relation,
+            key=key,
+            values=(old_values, new_values),
+        )
+
+
+def units_conflict(a: LockUnit, b: LockUnit) -> bool:
+    """Whether two lock units are incompatible.
+
+    Shared/shared never conflict; writer/writer conflict on tuple
+    identity; reader/writer conflict via the i-lock range test.
+    """
+    if a.mode is LockMode.SHARED and b.mode is LockMode.SHARED:
+        return False
+    if a.relation != b.relation:
+        return False
+    if a.mode is LockMode.EXCLUSIVE and b.mode is LockMode.EXCLUSIVE:
+        return a.key == b.key
+    shared, exclusive = (a, b) if a.mode is LockMode.SHARED else (b, a)
+    assert shared.spec is not None
+    return any(
+        shared.spec.conflicts_with_write(exclusive.relation, values)
+        for values in exclusive.values
+    )
+
+
+class AcquireStatus(enum.Enum):
+    """Outcome of an :meth:`LockManager.acquire` call."""
+
+    GRANTED = "granted"
+    BLOCKED = "blocked"
+    ABORTED = "aborted"
+
+
+@dataclass
+class LockOutcome:
+    """What an acquire/release call did.
+
+    Attributes:
+        status: the requester's state (``GRANTED`` for release calls).
+        granted: transactions whose pending requests completed as a side
+            effect (FIFO order) — the engine resumes these now.
+        aborted: transactions aborted as deadlock victims during the
+            call — the engine schedules their retries.
+    """
+
+    status: AcquireStatus = AcquireStatus.GRANTED
+    granted: list[int] = field(default_factory=list)
+    aborted: list[int] = field(default_factory=list)
+
+
+@dataclass
+class _TxnState:
+    txn: int
+    granted: list[LockUnit] = field(default_factory=list)
+    pending: list[LockUnit] = field(default_factory=list)
+
+    @property
+    def blocked(self) -> bool:
+        return bool(self.pending)
+
+
+class LockManager:
+    """Strict 2PL with FIFO waiters and waits-for deadlock detection."""
+
+    def __init__(self) -> None:
+        self._txns: dict[int, _TxnState] = {}
+        self._wait_fifo: list[int] = []
+        self.blocks = 0
+        self.aborts = 0
+        self.grants = 0
+
+    # -- introspection ---------------------------------------------------
+
+    def held_units(self, txn: int) -> list[LockUnit]:
+        state = self._txns.get(txn)
+        return list(state.granted) if state is not None else []
+
+    def is_blocked(self, txn: int) -> bool:
+        state = self._txns.get(txn)
+        return state is not None and state.blocked
+
+    def blockers_of(self, txn: int) -> set[int]:
+        """Holders of units conflicting with ``txn``'s next pending unit."""
+        state = self._txns.get(txn)
+        if state is None or not state.pending:
+            return set()
+        return self._conflicting_holders(txn, state.pending[0])
+
+    # -- core ------------------------------------------------------------
+
+    def _conflicting_holders(self, txn: int, unit: LockUnit) -> set[int]:
+        out: set[int] = set()
+        for other_id, other in self._txns.items():
+            if other_id == txn:
+                continue
+            if any(units_conflict(held, unit) for held in other.granted):
+                out.add(other_id)
+        return out
+
+    def _try_continue(self, state: _TxnState) -> bool:
+        """Acquire pending units in order; True when fully granted."""
+        while state.pending:
+            if self._conflicting_holders(state.txn, state.pending[0]):
+                return False
+            state.granted.append(state.pending.pop(0))
+        return True
+
+    def _has_cycle(self, start: int) -> bool:
+        """Is ``start`` part of a waits-for cycle right now?"""
+        stack = list(self.blockers_of(start))
+        seen: set[int] = set()
+        while stack:
+            txn = stack.pop()
+            if txn == start:
+                return True
+            if txn in seen:
+                continue
+            seen.add(txn)
+            stack.extend(self.blockers_of(txn))
+        return False
+
+    def _drop(self, txn: int) -> None:
+        self._txns.pop(txn, None)
+        if txn in self._wait_fifo:
+            self._wait_fifo.remove(txn)
+
+    def _grant_pass(self, outcome: LockOutcome) -> None:
+        """Resume FIFO waiters until no further progress; deadlocks found
+        while re-blocking abort the re-blocked transaction."""
+        progress = True
+        while progress:
+            progress = False
+            for txn in list(self._wait_fifo):
+                state = self._txns.get(txn)
+                if state is None or not state.blocked:
+                    self._wait_fifo.remove(txn)
+                    continue
+                before = len(state.granted)
+                if self._try_continue(state):
+                    self._wait_fifo.remove(txn)
+                    self.grants += 1
+                    outcome.granted.append(txn)
+                    progress = True
+                elif len(state.granted) != before and self._has_cycle(txn):
+                    # Partial progress re-blocked into a cycle: this txn's
+                    # new holdings closed it, so it is the victim.
+                    self.aborts += 1
+                    self._drop(txn)
+                    outcome.aborted.append(txn)
+                    progress = True
+
+    def acquire(self, txn: int, units: Sequence[LockUnit]) -> LockOutcome:
+        """Start one transaction's lock request (one request per txn).
+
+        Acquires units in order until done or blocked. Blocking that
+        closes a waits-for cycle aborts the requester on the spot — its
+        held units release and FIFO waiters resume (reported in the
+        outcome so the scheduler can reschedule everyone affected).
+        """
+        if txn in self._txns:
+            raise ValueError(f"transaction {txn} already has a lock request")
+        state = _TxnState(txn, pending=list(units))
+        self._txns[txn] = state
+        if self._try_continue(state):
+            self.grants += 1
+            return LockOutcome(status=AcquireStatus.GRANTED)
+        self.blocks += 1
+        self._wait_fifo.append(txn)
+        if self._has_cycle(txn):
+            self.aborts += 1
+            self._drop(txn)
+            outcome = LockOutcome(status=AcquireStatus.ABORTED)
+            self._grant_pass(outcome)
+            return outcome
+        return LockOutcome(status=AcquireStatus.BLOCKED)
+
+    def release(self, txn: int) -> LockOutcome:
+        """Commit ``txn``: drop its locks and resume what they blocked."""
+        self._drop(txn)
+        outcome = LockOutcome(status=AcquireStatus.GRANTED)
+        self._grant_pass(outcome)
+        return outcome

@@ -1,0 +1,84 @@
+"""Multiprogramming-level sweeps and their renderings.
+
+Backs the ``repro-procs concurrent`` CLI subcommand: run every strategy
+at each requested MPL, render one aligned throughput/latency table, and
+export the same data as JSON for the CI artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.concurrent.engine import ConcurrentRunResult, run_concurrent_workload
+from repro.model.params import ModelParams
+
+#: The five strategies the concurrency comparison covers.
+CONCURRENT_STRATEGIES: tuple[str, ...] = (
+    "always_recompute",
+    "cache_invalidate",
+    "update_cache_avm",
+    "update_cache_rvm",
+    "hybrid",
+)
+
+
+def concurrent_sweep(
+    params: ModelParams,
+    strategies: Sequence[str] = CONCURRENT_STRATEGIES,
+    mpls: Sequence[int] = (1, 4, 16),
+    model: int = 1,
+    num_operations: int = 400,
+    seed: int = 7,
+    buffer_capacity: int = 0,
+) -> list[ConcurrentRunResult]:
+    """Every (strategy, MPL) combination at one parameter point.
+
+    The same total operation count is used at every MPL, so throughput
+    differences come from contention, not workload size.
+    """
+    results: list[ConcurrentRunResult] = []
+    for strategy in strategies:
+        for mpl in mpls:
+            results.append(
+                run_concurrent_workload(
+                    params,
+                    strategy,
+                    mpl=mpl,
+                    model=model,
+                    num_operations=num_operations,
+                    seed=seed,
+                    buffer_capacity=buffer_capacity,
+                )
+            )
+    return results
+
+
+def render_concurrent_table(results: Iterable[ConcurrentRunResult]) -> str:
+    """One aligned text table: throughput, tail latency, contention."""
+    header = (
+        f"{'strategy':18s} {'mpl':>4s} {'ops/s':>8s} {'cost/acc':>9s} "
+        f"{'acc p50':>8s} {'acc p95':>8s} {'acc p99':>8s} "
+        f"{'upd p95':>8s} {'blocked':>9s} {'aborts':>6s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in results:
+        access = r.latency_summary("access")
+        update = r.latency_summary("update")
+        lines.append(
+            f"{r.strategy:18s} {r.mpl:4d} {r.throughput_ops_per_s:8.2f} "
+            f"{r.cost_per_access_ms:9.1f} "
+            f"{access['p50']:8.1f} {access['p95']:8.1f} {access['p99']:8.1f} "
+            f"{update['p95']:8.1f} {r.blocked_ms_total:9.1f} {r.aborts:6d}"
+        )
+    return "\n".join(lines)
+
+
+def sweep_to_dict(results: Iterable[ConcurrentRunResult]) -> dict:
+    """JSON-ready export of a sweep (the CI workflow artifact)."""
+    results = list(results)
+    return {
+        "kind": "concurrent_sweep",
+        "mpls": sorted({r.mpl for r in results}),
+        "strategies": sorted({r.strategy for r in results}),
+        "runs": [r.to_dict() for r in results],
+    }

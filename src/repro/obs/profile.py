@@ -26,11 +26,13 @@ STRATEGY_ALIASES: dict[str, str] = {
     "cache_invalidate": "cache_invalidate",
     "update_cache_avm": "update_cache_avm",
     "update_cache_rvm": "update_cache_rvm",
+    "hybrid": "hybrid",
 }
 """Short and canonical spellings accepted by the profile entry points.
 
-(The hybrid router is absent: it is composed per-procedure on top of the
-pure strategies and cannot be instantiated by ``make_strategy``.)
+``hybrid`` resolves to the per-procedure router with
+:func:`repro.workload.runner.make_strategy`'s default split (P1 → Cache
+and Invalidate, P2 → shared Rete maintenance).
 """
 
 

@@ -35,6 +35,7 @@ PHASES: tuple[str, ...] = (
     "cache.read",
     "cache.refresh",
     "base.update",
+    "lock.wait",
     "misc.fixed",
 )
 """The phase vocabulary used by the built-in instrumentation.
@@ -42,7 +43,9 @@ PHASES: tuple[str, ...] = (
 Instrumentation may introduce further labels; this tuple documents the
 ones the cost pie is built from (``cache.hit``/``cache.miss`` are event
 counters rather than phases — a hit charges its pages under
-``cache.read``).
+``cache.read``). ``lock.wait`` is charged by the concurrency engine
+(:mod:`repro.concurrent`) for simulated time a session spent blocked in
+the lock manager, so multi-client cost pies still sum exactly.
 """
 
 

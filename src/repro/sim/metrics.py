@@ -3,7 +3,11 @@
 The workload runner reports the paper's headline quantity — expected cost per
 procedure access — plus distributional detail (mean / min / max / stddev) that
 the analytical model cannot provide. :class:`RunningStat` implements Welford's
-online algorithm so arbitrarily long runs use constant memory.
+online algorithm for the moments, so those stay constant-memory for
+arbitrarily long runs; percentile queries (p50/p95/p99 for the concurrency
+engine's latency reports) additionally retain a bounded sample set that is
+deterministically decimated — every second sample dropped, stride doubled —
+once it exceeds ``sample_limit``.
 """
 
 from __future__ import annotations
@@ -13,14 +17,24 @@ from dataclasses import dataclass, field
 
 
 class RunningStat:
-    """Online mean/variance accumulator (Welford's algorithm)."""
+    """Online mean/variance accumulator (Welford's algorithm) plus a
+    bounded, deterministically-decimated sample set for percentiles.
 
-    def __init__(self) -> None:
+    Args:
+        sample_limit: retained-sample cap backing :meth:`percentile`;
+            0 disables sample retention entirely (moments only).
+    """
+
+    def __init__(self, sample_limit: int = 100_000) -> None:
         self._count = 0
         self._mean = 0.0
         self._m2 = 0.0
         self._min = math.inf
         self._max = -math.inf
+        self._sample_limit = sample_limit
+        self._samples: list[float] = []
+        self._sample_stride = 1
+        self._since_kept = 0
 
     def add(self, value: float) -> None:
         """Fold one observation into the statistic."""
@@ -30,6 +44,17 @@ class RunningStat:
         self._m2 += delta * (value - self._mean)
         self._min = min(self._min, value)
         self._max = max(self._max, value)
+        if self._sample_limit:
+            self._since_kept += 1
+            if self._since_kept >= self._sample_stride:
+                self._since_kept = 0
+                self._samples.append(value)
+                if len(self._samples) > self._sample_limit:
+                    # Deterministic decimation: keep every other sample and
+                    # halve the future keep rate. Percentiles degrade to an
+                    # approximation past the cap but stay reproducible.
+                    self._samples = self._samples[::2]
+                    self._sample_stride *= 2
 
     @property
     def count(self) -> int:
@@ -65,6 +90,42 @@ class RunningStat:
         """Largest observation (``-inf`` when empty)."""
         return self._max
 
+    # -- percentiles -----------------------------------------------------
+
+    def percentile(self, p: float) -> float:
+        """Linearly-interpolated percentile over the retained samples.
+
+        ``p`` is in ``[0, 100]``; 0.0 when nothing was observed. Exact
+        while the sample count is within ``sample_limit``, a deterministic
+        decimated approximation beyond it.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError("percentile p must be in [0, 100]")
+        if not self._samples:
+            return 0.0
+        data = sorted(self._samples)
+        if len(data) == 1:
+            return data[0]
+        rank = (p / 100.0) * (len(data) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return data[lo]
+        frac = rank - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
     def merge(self, other: "RunningStat") -> None:
         """Fold another accumulator into this one (parallel Welford merge)."""
         if other._count == 0:
@@ -75,6 +136,7 @@ class RunningStat:
             self._m2 = other._m2
             self._min = other._min
             self._max = other._max
+            self._merge_samples(other)
             return
         combined = self._count + other._count
         delta = other._mean - self._mean
@@ -83,6 +145,16 @@ class RunningStat:
         self._count = combined
         self._min = min(self._min, other._min)
         self._max = max(self._max, other._max)
+        self._merge_samples(other)
+
+    def _merge_samples(self, other: "RunningStat") -> None:
+        if not self._sample_limit:
+            return
+        self._samples.extend(other._samples)
+        self._sample_stride = max(self._sample_stride, other._sample_stride)
+        while len(self._samples) > self._sample_limit:
+            self._samples = self._samples[::2]
+            self._sample_stride *= 2
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return f"RunningStat(n={self._count}, mean={self.mean:.3f})"
@@ -108,3 +180,19 @@ class MetricSet:
     def as_means(self) -> dict[str, float]:
         """Map each metric name to its mean — the usual summary view."""
         return {name: stat.mean for name, stat in self.stats.items()}
+
+    def percentile(self, name: str, p: float) -> float:
+        """``name``'s interpolated percentile (0.0 if never observed)."""
+        return self.get(name).percentile(p)
+
+    def latency_summary(self, name: str) -> dict[str, float]:
+        """The standard latency digest for one metric: count, mean, and
+        the p50/p95/p99 tail the concurrency reports print."""
+        stat = self.get(name)
+        return {
+            "count": float(stat.count),
+            "mean": stat.mean,
+            "p50": stat.p50,
+            "p95": stat.p95,
+            "p99": stat.p99,
+        }

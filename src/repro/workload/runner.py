@@ -71,7 +71,41 @@ def make_strategy(
     ``invalidation_scheme`` (Cache and Invalidate only) selects a durable
     recording design from :mod:`repro.recovery` — ``"battery"``,
     ``"page_flag"``, or ``"wal"`` — instead of the flat ``C_inval`` charge.
+
+    ``"hybrid"`` builds the per-procedure router with the default split:
+    P1 selections go to Cache and Invalidate, P2 joins to the shared Rete
+    maintainer (cheap-to-recompute objects tolerate invalidation; join
+    results are the ones worth keeping current).
     """
+    if name == "hybrid":
+        if invalidation_scheme is not None:
+            raise ValueError(
+                "invalidation_scheme only applies to cache_invalidate"
+            )
+        from repro.core import HybridStrategy, StrategyName
+        from repro.core.procedure import DatabaseProcedure, ProcedureKind
+
+        def assign(procedure: DatabaseProcedure) -> StrategyName:
+            if procedure.kind is ProcedureKind.P1:
+                return StrategyName.CACHE_INVALIDATE
+            return StrategyName.UPDATE_CACHE_RVM
+
+        return HybridStrategy(
+            db.catalog,
+            db.buffer,
+            db.clock,
+            assign=assign,
+            default=StrategyName.ALWAYS_RECOMPUTE,
+            sub_strategy_kwargs={
+                StrategyName.CACHE_INVALIDATE: {
+                    "c_inval": params.inval_cost_ms,
+                    "result_tuple_bytes": params.tuple_bytes,
+                },
+                StrategyName.UPDATE_CACHE_RVM: {
+                    "result_tuple_bytes": params.tuple_bytes,
+                },
+            },
+        )
     cls = STRATEGY_CLASSES.get(name)
     if cls is None:
         raise ValueError(

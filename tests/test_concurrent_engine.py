@@ -1,0 +1,181 @@
+"""Discrete-event concurrency engine: degeneracy, determinism, deadlocks.
+
+The two load-bearing properties:
+
+1. MPL=1 is the serial runner. With a single session there is no
+   contention, so the engine must reproduce ``run_workload``'s
+   ``cost_per_access_ms`` (acceptance bound: within 1%; in practice the
+   seeding makes it bit-identical).
+2. Under heavy contention the engine must not hang: deadlock victims
+   abort, retry, and eventually commit — every operation exactly once —
+   while the cost attribution stays exact (phases, including
+   ``lock.wait``, sum to the clock total).
+"""
+
+import pytest
+
+from repro.concurrent import run_concurrent_workload, split_operations
+from repro.model.params import ModelParams
+from repro.obs import CostAttribution
+from repro.workload.runner import run_workload
+
+SMALL = ModelParams(
+    n_tuples=1500,
+    num_p1=5,
+    num_p2=5,
+    selectivity_f=0.01,
+    selectivity_f2=0.1,
+    tuples_per_update=5,
+)
+
+HOT = ModelParams(
+    n_tuples=800,
+    num_p1=4,
+    num_p2=6,
+    selectivity_f=0.05,
+    selectivity_f2=0.3,
+    tuples_per_update=20,
+    locality=0.4,
+).with_update_probability(0.7)
+
+ALL_STRATEGIES = (
+    "always_recompute",
+    "cache_invalidate",
+    "update_cache_avm",
+    "update_cache_rvm",
+    "hybrid",
+)
+
+
+class TestSplitOperations:
+    def test_even_split(self):
+        assert split_operations(12, 4) == [3, 3, 3, 3]
+
+    def test_remainder_goes_to_early_sessions(self):
+        assert split_operations(10, 4) == [3, 3, 2, 2]
+
+    def test_mpl_larger_than_total(self):
+        assert split_operations(2, 5) == [1, 1, 0, 0, 0]
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            split_operations(10, 0)
+        with pytest.raises(ValueError):
+            split_operations(-1, 2)
+
+
+class TestSerialDegeneracy:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_mpl1_matches_serial_runner(self, strategy):
+        serial = run_workload(
+            SMALL, strategy, model=1, num_operations=80, seed=3
+        )
+        concurrent = run_concurrent_workload(
+            SMALL, strategy, mpl=1, model=1, num_operations=80, seed=3
+        )
+        assert concurrent.num_accesses == serial.num_accesses
+        assert concurrent.num_updates == serial.num_updates
+        # Acceptance bound is 1%; the seeding makes MPL=1 an exact replay.
+        assert concurrent.cost_per_access_ms == pytest.approx(
+            serial.cost_per_access_ms, rel=0.01
+        )
+        assert concurrent.cost_per_access_ms == pytest.approx(
+            serial.cost_per_access_ms, rel=1e-12
+        )
+        assert concurrent.aborts == 0
+        assert concurrent.blocked_ms_total == 0.0
+
+    def test_mpl1_space_matches_serial(self):
+        serial = run_workload(
+            SMALL, "update_cache_rvm", model=1, num_operations=60, seed=5
+        )
+        concurrent = run_concurrent_workload(
+            SMALL, "update_cache_rvm", mpl=1, model=1, num_operations=60, seed=5
+        )
+        assert concurrent.space_pages == serial.space_pages
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        kwargs = dict(mpl=6, model=1, num_operations=120, seed=11)
+        a = run_concurrent_workload(HOT, "cache_invalidate", **kwargs)
+        b = run_concurrent_workload(HOT, "cache_invalidate", **kwargs)
+        assert a.to_dict() == b.to_dict()
+        assert a.per_session_committed == b.per_session_committed
+
+    def test_different_seed_differs(self):
+        a = run_concurrent_workload(
+            HOT, "cache_invalidate", mpl=6, num_operations=120, seed=11
+        )
+        b = run_concurrent_workload(
+            HOT, "cache_invalidate", mpl=6, num_operations=120, seed=12
+        )
+        assert a.to_dict() != b.to_dict()
+
+
+class TestContention:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_no_hang_and_every_operation_commits(self, seed):
+        result = run_concurrent_workload(
+            HOT,
+            "update_cache_rvm",
+            mpl=12,
+            model=1,
+            num_operations=240,
+            seed=seed,
+        )
+        # Every operation committed exactly once, across all sessions.
+        assert sum(result.per_session_committed) == 240
+        assert result.num_accesses + result.num_updates == 240
+        # Aborted operations were retried to success. ``retries_succeeded``
+        # counts distinct once-aborted operations (an op aborted twice is
+        # one retry success but two abort events), and since every
+        # operation committed, any abort implies a successful retry.
+        assert result.retries_succeeded <= result.aborts
+        if result.aborts:
+            assert result.retries_succeeded > 0
+        # This parameter point genuinely contends.
+        assert result.blocked_ms_total > 0.0
+
+    def test_deadlocks_happen_and_resolve(self):
+        aborts = 0
+        for seed in range(4):
+            result = run_concurrent_workload(
+                HOT,
+                "update_cache_rvm",
+                mpl=12,
+                num_operations=240,
+                seed=seed,
+            )
+            aborts += result.aborts
+        assert aborts > 0
+
+    def test_attribution_exact_under_contention(self):
+        obs = CostAttribution()
+        result = run_concurrent_workload(
+            HOT,
+            "update_cache_rvm",
+            mpl=12,
+            num_operations=240,
+            seed=1,
+            observation=obs,
+        )
+        phase_sum = sum(result.phase_costs.values())
+        assert phase_sum == pytest.approx(result.clock_total_ms, abs=1e-6)
+        # Blocked time is attributed to its own phase, exactly.
+        assert result.phase_costs.get("lock.wait", 0.0) == pytest.approx(
+            result.blocked_ms_total, abs=1e-6
+        )
+
+    def test_throughput_and_latency_sanity(self):
+        result = run_concurrent_workload(
+            HOT, "always_recompute", mpl=4, num_operations=160, seed=2
+        )
+        assert result.throughput_ops_per_s > 0
+        assert result.makespan_ms > 0
+        summary = result.latency_summary("access")
+        assert summary["count"] == result.num_accesses
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+        # A blocked operation's latency includes its wait.
+        assert result.mpl == 4
+        assert len(result.per_session_committed) == 4

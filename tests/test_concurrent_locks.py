@@ -1,0 +1,137 @@
+"""Unit tests for the 2PL lock manager over i-lock footprints."""
+
+import pytest
+
+from repro.concurrent import (
+    AcquireStatus,
+    LockManager,
+    LockUnit,
+    units_conflict,
+)
+from repro.query.plan import LockSpec
+from repro.query.predicate import KeyInterval
+
+
+def read_unit(lo, hi, relation="R1", fld="sel"):
+    return LockUnit.read(LockSpec(relation, KeyInterval(fld, lo, hi)))
+
+
+def write_unit(key, value, relation="R1", fld="sel", new_value=None):
+    old = {fld: value}
+    new = {fld: value if new_value is None else new_value}
+    return LockUnit.write(relation, key, old, new)
+
+
+class TestUnitConflicts:
+    def test_shared_shared_never_conflict(self):
+        a = read_unit(0, 100)
+        b = read_unit(50, 60)
+        assert not units_conflict(a, b)
+
+    def test_reader_writer_conflict_inside_range(self):
+        assert units_conflict(read_unit(10, 20), write_unit("k", 15))
+        assert units_conflict(write_unit("k", 15), read_unit(10, 20))
+
+    def test_reader_writer_no_conflict_outside_range(self):
+        assert not units_conflict(read_unit(10, 20), write_unit("k", 50))
+
+    def test_old_or_new_value_breaks_the_lock(self):
+        # Moves into the range: only the *new* value conflicts.
+        unit = write_unit("k", 500, new_value=15)
+        assert units_conflict(read_unit(10, 20), unit)
+
+    def test_whole_relation_spec_conflicts_with_any_write(self):
+        whole = LockUnit.read(LockSpec("R1", None))
+        assert units_conflict(whole, write_unit("k", 123456))
+
+    def test_different_relations_never_conflict(self):
+        assert not units_conflict(
+            read_unit(10, 20, relation="R2", fld="sel2"),
+            write_unit("k", 15),
+        )
+
+    def test_writer_writer_conflict_is_tuple_identity(self):
+        assert units_conflict(write_unit("p1", 5), write_unit("p1", 900))
+        assert not units_conflict(write_unit("p1", 5), write_unit("p2", 5))
+
+
+class TestLockManager:
+    def test_grant_when_uncontended(self):
+        mgr = LockManager()
+        out = mgr.acquire(1, [read_unit(0, 10), read_unit(20, 30)])
+        assert out.status is AcquireStatus.GRANTED
+        assert len(mgr.held_units(1)) == 2
+
+    def test_readers_share(self):
+        mgr = LockManager()
+        assert mgr.acquire(1, [read_unit(0, 10)]).status is AcquireStatus.GRANTED
+        assert mgr.acquire(2, [read_unit(5, 8)]).status is AcquireStatus.GRANTED
+
+    def test_writer_blocks_on_reader_and_resumes_fifo(self):
+        mgr = LockManager()
+        mgr.acquire(1, [read_unit(10, 20)])
+        out2 = mgr.acquire(2, [write_unit("a", 15)])
+        assert out2.status is AcquireStatus.BLOCKED
+        out3 = mgr.acquire(3, [write_unit("b", 16)])
+        assert out3.status is AcquireStatus.BLOCKED
+        release = mgr.release(1)
+        # Both were only blocked by the reader; FIFO order resumes 2 first.
+        assert release.granted == [2, 3]
+        assert not mgr.is_blocked(2) and not mgr.is_blocked(3)
+
+    def test_incremental_acquisition_holds_prefix_while_blocked(self):
+        mgr = LockManager()
+        mgr.acquire(1, [write_unit("x", 45)])
+        out = mgr.acquire(2, [read_unit(10, 20), read_unit(40, 60)])
+        assert out.status is AcquireStatus.BLOCKED
+        # The first spec was acquired and is held while waiting.
+        assert len(mgr.held_units(2)) == 1
+        assert mgr.blockers_of(2) == {1}
+
+    def test_release_of_unknown_txn_is_harmless(self):
+        mgr = LockManager()
+        out = mgr.release(99)
+        assert out.granted == [] and out.aborted == []
+
+    def test_double_request_rejected(self):
+        mgr = LockManager()
+        mgr.acquire(1, [read_unit(0, 10)])
+        with pytest.raises(ValueError):
+            mgr.acquire(1, [read_unit(20, 30)])
+
+    def test_deadlock_detected_and_requester_aborted(self):
+        """Stage the classic reader/writer cycle:
+
+        - tH holds a write on value 45 (blocks the reader's 2nd spec);
+        - t1 acquires read [10,20], blocks on read [40,60] (tH's 45);
+        - t2 acquires write(50) then requests write(15): 15 hits t1's
+          held [10,20], and t1's pending [40,60] now also conflicts with
+          t2's held 50 → cycle t2 → t1 → t2. The requester (t2) is the
+          victim; its write(50) releases.
+        """
+        mgr = LockManager()
+        assert (
+            mgr.acquire(99, [write_unit("h", 45)]).status
+            is AcquireStatus.GRANTED
+        )
+        out1 = mgr.acquire(1, [read_unit(10, 20), read_unit(40, 60)])
+        assert out1.status is AcquireStatus.BLOCKED
+        out2 = mgr.acquire(
+            2, [write_unit("p2", 50), write_unit("p1", 15)]
+        )
+        assert out2.status is AcquireStatus.ABORTED
+        assert mgr.aborts == 1
+        assert mgr.held_units(2) == []
+        # t1 is still blocked (tH's 45 remains); when tH commits, t1 runs.
+        assert mgr.is_blocked(1)
+        release = mgr.release(99)
+        assert release.granted == [1]
+        assert len(mgr.held_units(1)) == 2
+
+    def test_no_false_deadlock_on_plain_contention(self):
+        mgr = LockManager()
+        mgr.acquire(1, [read_unit(0, 100)])
+        for txn in (2, 3, 4):
+            out = mgr.acquire(txn, [write_unit(f"k{txn}", txn * 10)])
+            assert out.status is AcquireStatus.BLOCKED
+        assert mgr.aborts == 0

@@ -1,0 +1,106 @@
+"""Property test: ``ILockTable`` conflict detection vs a brute-force oracle.
+
+The table indexes lock specs by relation for fast lookup; the oracle
+below ignores all of that and checks every (procedure, spec, value)
+triple directly against the paper's rule — a lock breaks when any of the
+write's old/new values lands inside the locked range on the locked
+relation. Hypothesis drives random interval footprints and random write
+value sets through both and demands identical answers.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.locks.ilocks import ILockTable
+from repro.query.plan import LockSpec
+from repro.query.predicate import KeyInterval
+
+RELATIONS = ("R1", "R2")
+FIELDS = ("sel", "sel2")
+
+values = st.integers(min_value=0, max_value=60)
+
+
+@st.composite
+def intervals(draw):
+    fld = draw(st.sampled_from(FIELDS))
+    lo = draw(st.none() | values)
+    hi = draw(st.none() | values)
+    if lo is not None and hi is not None and lo > hi:
+        lo, hi = hi, lo
+    return KeyInterval(
+        fld,
+        lo,
+        hi,
+        lo_inclusive=draw(st.booleans()),
+        hi_inclusive=draw(st.booleans()),
+    )
+
+
+@st.composite
+def lock_specs(draw):
+    relation = draw(st.sampled_from(RELATIONS))
+    interval = draw(st.none() | intervals())
+    return LockSpec(relation, interval)
+
+
+footprints = st.dictionaries(
+    keys=st.sampled_from([f"P{i}" for i in range(6)]),
+    values=st.lists(lock_specs(), min_size=0, max_size=4),
+    max_size=6,
+)
+
+write_values = st.lists(
+    st.dictionaries(
+        keys=st.sampled_from(FIELDS), values=values, max_size=2
+    ),
+    min_size=0,
+    max_size=4,
+)
+
+
+def oracle(footprint, relation, changed_values):
+    broken = set()
+    for procedure, specs in footprint.items():
+        for spec in specs:
+            if spec.relation != relation:
+                continue
+            if spec.interval is None:
+                # A whole-relation lock breaks under any actual write;
+                # an empty write (no changed tuples) breaks nothing.
+                if changed_values:
+                    broken.add(procedure)
+                continue
+            for vals in changed_values:
+                value = vals.get(spec.interval.field)
+                if value is not None and spec.interval.contains(value):
+                    broken.add(procedure)
+    return broken
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    footprint=footprints,
+    relation=st.sampled_from(RELATIONS),
+    changed=write_values,
+)
+def test_conflicts_match_brute_force(footprint, relation, changed):
+    table = ILockTable()
+    for procedure, specs in footprint.items():
+        table.set_locks(procedure, specs)
+    assert table.conflicting_procedures(relation, changed) == oracle(
+        footprint, relation, changed
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(footprint=footprints, relation=st.sampled_from(RELATIONS))
+def test_cleared_procedures_never_conflict(footprint, relation):
+    table = ILockTable()
+    for procedure, specs in footprint.items():
+        table.set_locks(procedure, specs)
+    for procedure in footprint:
+        table.clear_locks(procedure)
+    assert table.num_locks() == 0
+    # A whole-relation write breaks nothing once all locks are cleared.
+    assert table.conflicting_procedures(relation, [{"sel": 1}]) == set()

@@ -1,0 +1,103 @@
+"""Percentile support on the streaming metrics (latency tails)."""
+
+import pytest
+
+from repro.sim.metrics import MetricSet, RunningStat
+
+
+class TestRunningStatPercentile:
+    def test_empty_returns_zero(self):
+        assert RunningStat().percentile(50) == 0.0
+
+    def test_out_of_range_rejected(self):
+        stat = RunningStat()
+        stat.add(1.0)
+        with pytest.raises(ValueError):
+            stat.percentile(-1)
+        with pytest.raises(ValueError):
+            stat.percentile(100.5)
+
+    def test_single_value_every_percentile(self):
+        stat = RunningStat()
+        stat.add(42.0)
+        for p in (0, 50, 95, 100):
+            assert stat.percentile(p) == 42.0
+
+    def test_linear_interpolation(self):
+        stat = RunningStat()
+        for v in (10.0, 20.0, 30.0, 40.0):
+            stat.add(v)
+        assert stat.percentile(0) == 10.0
+        assert stat.percentile(100) == 40.0
+        assert stat.percentile(50) == pytest.approx(25.0)
+        # rank = 0.25 * 3 = 0.75 → between 10 and 20.
+        assert stat.percentile(25) == pytest.approx(17.5)
+
+    def test_order_independent(self):
+        a, b = RunningStat(), RunningStat()
+        for v in range(100):
+            a.add(float(v))
+        for v in reversed(range(100)):
+            b.add(float(v))
+        assert a.percentile(95) == b.percentile(95)
+
+    def test_properties_are_ordered(self):
+        stat = RunningStat()
+        for v in range(1000):
+            stat.add(float(v) ** 1.3)
+        assert stat.p50 <= stat.p95 <= stat.p99 <= stat.maximum
+
+    def test_decimation_keeps_percentiles_close(self):
+        stat = RunningStat(sample_limit=512)
+        n = 50_000
+        for v in range(n):
+            stat.add(float(v))
+        assert len(stat._samples) <= 512
+        # Uniform data: p95 of 0..n-1 is ~0.95 n even after decimation.
+        assert stat.percentile(95) == pytest.approx(0.95 * n, rel=0.05)
+
+    def test_decimation_is_deterministic(self):
+        a = RunningStat(sample_limit=256)
+        b = RunningStat(sample_limit=256)
+        for v in range(10_000):
+            a.add(float(v))
+            b.add(float(v))
+        assert a._samples == b._samples
+        assert a.percentile(99) == b.percentile(99)
+
+    def test_merge_combines_samples(self):
+        a, b = RunningStat(), RunningStat()
+        for v in range(50):
+            a.add(float(v))
+        for v in range(50, 100):
+            b.add(float(v))
+        a.merge(b)
+        assert a.count == 100
+        assert a.percentile(100) == 99.0
+        assert a.percentile(50) == pytest.approx(49.5)
+
+
+class TestMetricSetHelpers:
+    def test_percentile_by_name(self):
+        metrics = MetricSet()
+        for v in (1.0, 2.0, 3.0):
+            metrics.observe("lat", v)
+        assert metrics.percentile("lat", 50) == 2.0
+
+    def test_percentile_of_missing_metric(self):
+        assert MetricSet().percentile("nope", 95) == 0.0
+
+    def test_latency_summary_shape(self):
+        metrics = MetricSet()
+        for v in range(10):
+            metrics.observe("access_latency_ms", float(v))
+        summary = metrics.latency_summary("access_latency_ms")
+        assert set(summary) == {"count", "mean", "p50", "p95", "p99"}
+        assert summary["count"] == 10
+        assert summary["mean"] == pytest.approx(4.5)
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_latency_summary_missing_metric(self):
+        summary = MetricSet().latency_summary("nope")
+        assert summary["count"] == 0
+        assert summary["p99"] == 0.0

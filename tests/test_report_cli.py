@@ -29,3 +29,81 @@ class TestBuildReport:
         text = path.read_text()
         assert text.startswith("# Reproduction report")
         assert "failed checks: none" in text
+
+
+class TestCliContract:
+    """Exit codes and discoverability shared by every subcommand."""
+
+    def test_help_epilog_lists_all_subcommands(self, capsys):
+        import pytest
+
+        from repro.cli import build_parser, main
+
+        sub_names = sorted(
+            next(
+                action
+                for action in build_parser()._actions
+                if hasattr(action, "choices") and action.choices
+            ).choices
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        helptext = capsys.readouterr().out
+        assert "subcommands:" in helptext
+        for name in sub_names:
+            assert name in helptext
+        assert "concurrent" in sub_names
+
+    def test_unknown_subcommand_exits_2(self, capsys):
+        import pytest
+
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["not-a-verb"])
+        assert excinfo.value.code == 2
+
+    def test_concurrent_bad_mpl_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["concurrent", "--mpl", "0"]) == 2
+        assert "must be integers >= 1" in capsys.readouterr().err
+        assert main(["concurrent", "--mpl", "1,x"]) == 2
+
+    def test_concurrent_bad_strategy_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["concurrent", "--strategy", "bogus"]) == 2
+        assert "unknown strategy" in capsys.readouterr().err.lower()
+
+    def test_profile_bad_strategy_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["profile", "--strategy", "bogus"]) == 2
+
+    def test_concurrent_json_smoke(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        code = main(
+            [
+                "concurrent",
+                "--mpl",
+                "1",
+                "--strategy",
+                "ar",
+                "--operations",
+                "20",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "concurrent_sweep"
+        assert payload["mpls"] == [1]
+        assert payload["strategies"] == ["always_recompute"]
+        run = payload["runs"][0]
+        assert run["throughput_ops_per_s"] > 0
+        assert run["access_latency"]["p95"] >= run["access_latency"]["p50"]

@@ -1,0 +1,52 @@
+"""Seed-determinism regression: same seed → byte-identical serial runs.
+
+Every paired comparison in the repo (strategy A vs strategy B at one
+parameter point) leans on the runner being a pure function of
+``(params, strategy, seed)``. This pins that property for every
+strategy, including the hybrid router.
+"""
+
+import pytest
+
+from repro.model.params import ModelParams
+from repro.workload.runner import run_workload
+
+PARAMS = ModelParams(
+    n_tuples=1200,
+    num_p1=5,
+    num_p2=5,
+    selectivity_f=0.01,
+    selectivity_f2=0.1,
+    tuples_per_update=5,
+)
+
+STRATEGIES = (
+    "always_recompute",
+    "cache_invalidate",
+    "update_cache_avm",
+    "update_cache_rvm",
+    "hybrid",
+)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_same_seed_is_byte_identical(strategy):
+    a = run_workload(PARAMS, strategy, model=1, num_operations=70, seed=9)
+    b = run_workload(PARAMS, strategy, model=1, num_operations=70, seed=9)
+    assert a.cost_per_access_ms == b.cost_per_access_ms
+    assert a.access_cost_ms == b.access_cost_ms
+    assert a.maintenance_cost_ms == b.maintenance_cost_ms
+    assert a.base_update_cost_ms == b.base_update_cost_ms
+    assert a.clock_total_ms == b.clock_total_ms
+    assert a.num_accesses == b.num_accesses
+    assert a.num_updates == b.num_updates
+    assert a.space_pages == b.space_pages
+    assert a.metrics.as_means() == b.metrics.as_means()
+    for name in a.metrics.names():
+        assert a.metrics.percentile(name, 95) == b.metrics.percentile(name, 95)
+
+
+def test_different_seeds_differ():
+    a = run_workload(PARAMS, "cache_invalidate", num_operations=70, seed=9)
+    b = run_workload(PARAMS, "cache_invalidate", num_operations=70, seed=10)
+    assert a.clock_total_ms != b.clock_total_ms
