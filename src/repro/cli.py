@@ -12,6 +12,8 @@ Examples::
     repro-procs profile --strategy rvm --json
     repro-procs concurrent --mpl 1,4,16
     repro-procs concurrent --strategy ci,rvm --mpl 8 --json
+    repro-procs chaos --strategy all --mpl 4 --fault-events 100
+    repro-procs chaos --strategy ci --seed 3 --json
 
 (Also reachable as ``python -m repro``.)
 """
@@ -156,6 +158,83 @@ def _cmd_concurrent(args: argparse.Namespace) -> int:
         "\nlatencies in simulated ms; 'blocked' is total lock-wait time; "
         "MPL=1 matches the serial runner exactly."
     )
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults.chaos import (
+        CHAOS_STRATEGIES,
+        chaos_sweep,
+        chaos_to_dict,
+        render_chaos_table,
+    )
+    from repro.faults.injector import FaultPlan
+    from repro.obs.profile import resolve_strategy
+
+    try:
+        try:
+            mpl = int(args.mpl)
+        except ValueError:
+            raise ValueError(f"--mpl expects one integer, got {args.mpl!r}")
+        if mpl < 1:
+            raise ValueError("--mpl must be >= 1")
+        try:
+            fault_events = int(args.fault_events)
+        except ValueError:
+            raise ValueError(
+                f"--fault-events expects an integer, got {args.fault_events!r}"
+            )
+        if fault_events < 1:
+            raise ValueError("--fault-events must be >= 1")
+        if args.strategy in (None, "all"):
+            strategies: list[str] = list(CHAOS_STRATEGIES)
+        else:
+            strategies = [
+                resolve_strategy(part)
+                for part in args.strategy.split(",")
+                if part.strip()
+            ]
+            if not strategies:
+                raise ValueError("--strategy must name at least one strategy")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    params = SIM_SCALE_PARAMS.with_update_probability(args.update_probability)
+    plan = FaultPlan.seeded(args.seed, max_faults=fault_events)
+    results = chaos_sweep(
+        params,
+        strategies=strategies,
+        plan=plan,
+        mpl=mpl,
+        model=args.model,
+        num_operations=args.operations,
+        seed=args.seed,
+    )
+    ok = all(r.oracle_ok and r.attribution_consistent for r in results)
+    if args.json:
+        print(json.dumps(chaos_to_dict(results), indent=2, sort_keys=True))
+        return 0 if ok else 1
+    print(
+        f"chaos campaign: model={args.model} mpl={mpl} "
+        f"P={args.update_probability:g} ops={args.operations} "
+        f"seed={args.seed} fault budget={fault_events}"
+    )
+    print(render_chaos_table(results))
+    print(
+        "\n'recov ms' is simulated time charged to the fault.recovery "
+        "phase; 'oracle' verifies every procedure's post-recovery answer "
+        "against a fresh recompute."
+    )
+    if not ok:
+        bad = [
+            r.strategy
+            for r in results
+            if not (r.oracle_ok and r.attribution_consistent)
+        ]
+        print(f"FAILED consistency: {bad}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -489,6 +568,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the sweep as JSON"
     )
     conc_parser.set_defaults(func=_cmd_concurrent)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help=(
+            "seeded fault-injection campaign with crash-recovery oracle "
+            "(all strategies)"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--strategy",
+        default="all",
+        help=(
+            "comma-separated strategies or aliases (ar, ci, avm, rvm, "
+            "hybrid); default: all five"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--mpl",
+        default="1",
+        help="one multiprogramming level (sessions sharing the database)",
+    )
+    chaos_parser.add_argument("--model", type=int, default=1, choices=(1, 2))
+    chaos_parser.add_argument(
+        "-P",
+        "--update-probability",
+        type=float,
+        default=DEFAULT_PARAMS.update_probability,
+    )
+    chaos_parser.add_argument(
+        "--operations",
+        type=int,
+        default=120,
+        help="total operations, split across sessions",
+    )
+    chaos_parser.add_argument("--seed", type=int, default=7)
+    chaos_parser.add_argument(
+        "--fault-events",
+        default="100",
+        help="total fault-injection budget for the campaign",
+    )
+    chaos_parser.add_argument(
+        "--json", action="store_true", help="emit the campaign as JSON"
+    )
+    chaos_parser.set_defaults(func=_cmd_chaos)
 
     parser.epilog = "subcommands: " + ", ".join(sorted(sub.choices))
     return parser

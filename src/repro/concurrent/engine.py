@@ -176,6 +176,13 @@ class _Engine:
         self.ops_blocked = 0
         self.aborts = 0
         self.retries_succeeded = 0
+        #: Chaos hook: called with an exception raised while *preparing* an
+        #: operation (before any lock is held). Return True if handled —
+        #: the operation is dropped and the session moves on — or False to
+        #: re-raise. None (the default) means no handling: prepare faults
+        #: are fatal, exactly as before.
+        self.fault_handler = None
+        self.ops_failed = 0
 
     # -- event plumbing --------------------------------------------------
 
@@ -203,10 +210,20 @@ class _Engine:
             return  # stream drained; last commit already recorded
         op = session.take_next()
         before = self.db.clock.snapshot()
-        if op.kind is OperationKind.UPDATE:
-            context = self._prepare_update(session, op)
-        else:
-            context = self._prepare_access(op)
+        try:
+            if op.kind is OperationKind.UPDATE:
+                context = self._prepare_update(session, op)
+            else:
+                context = self._prepare_access(op)
+        except Exception as exc:
+            if self.fault_handler is None or not self.fault_handler(exc):
+                raise
+            # Prepare holds no locks and has modified nothing durable, so
+            # a handled fault just drops the operation from the stream.
+            self.ops_failed += 1
+            failed_ms = self.db.clock.elapsed_since(before)
+            self._schedule(now + failed_ms, "start", session_id)
+            return
         pre_ms = self.db.clock.elapsed_since(before)
         context.op_start = now
         context.request_time = now + pre_ms
@@ -358,9 +375,16 @@ class _Engine:
                     (db.r1_rids[pos], new)
                     for pos, new in zip(positions, new_rows)
                 ]
-                self.manager.update("R1", changes, cluster_field="sel")
-                for pos, new_rid in zip(positions, self.manager.last_rids):
-                    db.r1_rids[pos] = new_rid
+                # finally: a fault mid-update may leave last_rids partial;
+                # zip truncation then fixes exactly the applied prefix so
+                # the rid table stays true to the relocations that landed.
+                try:
+                    self.manager.update("R1", changes, cluster_field="sel")
+                finally:
+                    for pos, new_rid in zip(
+                        positions, self.manager.last_rids
+                    ):
+                        db.r1_rids[pos] = new_rid
 
         elif relation == "R2":
             rids = rng.sample(db.r2_rids, min(l_tuples, len(db.r2_rids)))

@@ -169,6 +169,38 @@ class CacheAndInvalidate(ProcedureStrategy):
                 if self.c_inval:
                     self.clock.charge_fixed(self.c_inval)
 
+    # -- fault recovery ----------------------------------------------------------------
+
+    def repair_procedure(self, name: str, full_rows: list[Row]) -> None:
+        """Refresh the cache from a supervisor-recomputed value and mark it
+        valid again. The i-locks stay armed: the lock set is a static
+        property of the plan, not of the cached contents."""
+        procedure = self._procedure(name)
+        rows = procedure.project_rows(full_rows, self.catalog)
+        self._caches[name].refresh(rows)
+        if self.scheme is not None:
+            self.scheme.mark_valid(name)
+        else:
+            self._valid[name] = True
+
+    def recover_after_crash(self) -> list[str]:
+        """Recover the validity map per the configured scheme.
+
+        WAL: replay checkpoint + surviving records (invalidations were
+        forced, so recovered-valid caches are trustworthy — their pages
+        are durable at buffer capacity 0). Battery/page-flag: durable by
+        construction. No scheme: the plain dict is volatile, so every
+        procedure conservatively recovers invalid (lazy recompute on next
+        access). Nothing needs an eager repair in any case."""
+        if self.scheme is None:
+            for name in self._valid:
+                self._valid[name] = False
+        else:
+            crash_and_recover = getattr(self.scheme, "crash_and_recover", None)
+            if crash_and_recover is not None:
+                crash_and_recover()
+        return []
+
     # -- introspection -----------------------------------------------------------------
 
     def cache_of(self, name: str) -> MaterializedStore:

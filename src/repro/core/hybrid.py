@@ -137,5 +137,16 @@ class HybridStrategy(ProcedureStrategy):
         for sub in self._subs.values():
             sub.on_update(relation, inserts, deletes)
 
+    def repair_procedure(self, name: str, full_rows: list[Row]) -> None:
+        self._subs[self._routes[name]].repair_procedure(name, full_rows)
+
+    def recover_after_crash(self) -> list[str]:
+        """Each sub-strategy recovers its own state; the dirty sets (each
+        sub reports only its own procedures) concatenate without overlap."""
+        dirty: list[str] = []
+        for sub in self._subs.values():
+            dirty.extend(sub.recover_after_crash())
+        return dirty
+
     def space_pages(self) -> int:
         return sum(sub.space_pages() for sub in self._subs.values())

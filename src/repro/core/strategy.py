@@ -74,6 +74,21 @@ class ProcedureStrategy(abc.ABC):
         replaced old rows ``deletes`` in place), charging the clock for any
         maintenance work."""
 
+    # -- fault recovery (see repro.faults.supervisor) ----------------------
+
+    def repair_procedure(self, name: str, full_rows: list[Row]) -> None:
+        """Restore ``name``'s cached state from ``full_rows`` — a freshly
+        recomputed, *unprojected* result the supervisor already charged.
+        Default: nothing cached, nothing to repair (Always Recompute)."""
+
+    def recover_after_crash(self) -> list[str]:
+        """Rebuild volatile state after a simulated crash; the caller has
+        quiesced fault injection and charges everything here under the
+        ``fault.recovery`` phase. Returns the procedure names whose cached
+        values still need a recompute-repair (the supervisor performs
+        those). Default: nothing volatile, nothing dirty."""
+        return []
+
     def space_pages(self) -> int:
         """Disk pages the strategy's caches/memories currently occupy.
 

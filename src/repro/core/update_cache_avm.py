@@ -169,6 +169,18 @@ class UpdateCacheAVM(ProcedureStrategy):
     def store_of(self, name: str) -> MaterializedStore:
         return self._stores[name]
 
+    # -- fault recovery -----------------------------------------------------
+
+    def repair_procedure(self, name: str, full_rows: list[Row]) -> None:
+        self._stores[name].refresh(full_rows)
+
+    def recover_after_crash(self) -> list[str]:
+        """AVM keeps no validity metadata, so after a crash (which may have
+        interrupted maintenance mid-propagation) every materialised value
+        must conservatively be recompute-repaired — exactly the recovery
+        cost the paper's validity-map designs exist to avoid."""
+        return list(self.procedures)
+
     def space_pages(self) -> int:
         return sum(store.num_pages for store in self._stores.values())
 

@@ -65,6 +65,45 @@ class UpdateCacheRVM(ProcedureStrategy):
     ) -> None:
         self.network.apply_update(relation, inserts, deletes)
 
+    # -- fault recovery -----------------------------------------------------
+
+    def repair_procedure(self, name: str, full_rows: list[Row]) -> None:
+        """Refresh the terminal memory from a supervisor-recomputed value.
+        Shared memories are refreshed with the same correct content every
+        sharer would compute, so repairs never diverge."""
+        self.network.result_memory(name).store.refresh(full_rows)
+
+    def recover_after_crash(self) -> list[str]:
+        """Rebuild the whole network from the current base relations.
+
+        A crash may have interrupted token propagation anywhere, leaving
+        *intermediate* α/β-memories inconsistent — repairing only terminal
+        memories would let the next update propagate garbage. Dropping the
+        memory files and recompiling every procedure reinitialises all
+        memories (including shared ones) from base truth; the charge is
+        one scan of each member relation plus one write per rebuilt memory
+        page. Terminal memories come out correct, so nothing stays dirty."""
+        disk = self.buffer.disk
+        old = self.network
+        for store in old.memory_stores():
+            self.buffer.invalidate_file(store.name)
+            disk.drop_file(store.name)
+        self.network = ReteNetwork(
+            self.catalog,
+            self.buffer,
+            self.clock,
+            result_tuple_bytes=old.result_tuple_bytes,
+        )
+        relations: set[str] = set()
+        for name, procedure in self.procedures.items():
+            self.network.add_procedure(name, procedure.query)
+            relations.update(procedure.query.relations)
+        self.clock.charge_read(
+            sum(self.catalog.get(rel).heap.num_pages for rel in sorted(relations))
+        )
+        self.clock.charge_write(self.network.total_memory_pages())
+        return []
+
     def sharing_report(self) -> dict[str, int]:
         """Node counts and how many are shared (diagnostics for SF sweeps)."""
         return self.network.sharing_report()

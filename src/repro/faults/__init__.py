@@ -1,0 +1,37 @@
+"""Deterministic fault injection, recovery supervision, and chaos runs.
+
+This package namespace exports only the import-light pieces (errors and
+the injector) so the storage layer can depend on them without cycles.
+The heavier layers live in their own modules:
+
+- :mod:`repro.faults.supervisor` — :class:`RecoverySupervisor` and
+  :class:`SupervisedManager` (retry/degradation/crash-restart policy);
+- :mod:`repro.faults.chaos` — seeded chaos runs with the consistency
+  oracle, backing ``repro-procs chaos``.
+"""
+
+from repro.faults.errors import (
+    CrashSignal,
+    FaultError,
+    PageCorruptionError,
+    PersistentIOError,
+    TransientIOError,
+)
+from repro.faults.injector import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    ScheduledFault,
+)
+
+__all__ = [
+    "CrashSignal",
+    "FaultError",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "PageCorruptionError",
+    "PersistentIOError",
+    "ScheduledFault",
+    "TransientIOError",
+]

@@ -1,0 +1,352 @@
+"""Seeded chaos campaigns against the five strategies.
+
+Backs the ``repro-procs chaos`` CLI subcommand: build the synthetic
+database, wire a :class:`~repro.faults.injector.FaultInjector` into the
+storage and WAL layers, run a multi-client workload under a
+:class:`~repro.faults.supervisor.RecoverySupervisor`, and report what
+was injected, how it was survived, and whether the crash-restart
+consistency oracle held.
+
+Wiring order matters and mirrors the concurrent runner: the database is
+built and the caches warmed *before* the injector arms, so fault
+campaigns perturb the measured window only; the final oracle pass runs
+inside the observation window, so the per-phase attribution (including
+``fault.recovery`` and ``fault.oracle``) still sums exactly to the
+clock total.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.concurrent.engine import _Engine, collect_footprints
+from repro.concurrent.session import ClientSession, session_seed, split_operations
+from repro.faults.errors import CrashSignal, FaultError
+from repro.faults.injector import FaultInjector, FaultPlan
+from repro.faults.supervisor import RecoverySupervisor, SupervisedManager
+from repro.model.params import ModelParams
+from repro.obs import CostAttribution
+from repro.workload.database import SyntheticDatabase, build_database
+from repro.workload.generator import generate_operations
+from repro.workload.procedures import build_procedures
+from repro.workload.runner import make_strategy
+
+#: The five strategies a chaos campaign covers (same set as the
+#: concurrency comparison).
+CHAOS_STRATEGIES: tuple[str, ...] = (
+    "always_recompute",
+    "cache_invalidate",
+    "update_cache_avm",
+    "update_cache_rvm",
+    "hybrid",
+)
+
+
+def database_digest(db: SyntheticDatabase) -> str:
+    """CRC32 fingerprint of every occupied slot of every file — base
+    relations, caches, WAL-less metadata alike. Bit-identical database
+    states (the seed-determinism contract) produce identical digests;
+    reads nothing through the charged path, so the clock is untouched."""
+    crc = 0
+    disk = db.disk
+    for name in sorted(disk.file_names()):
+        for page_no in range(disk.num_pages(name)):
+            page = disk.peek_page(name, page_no)
+            for slot_no, row in page.rows():
+                crc = zlib.crc32(
+                    repr((name, page_no, slot_no, row)).encode(), crc
+                )
+    return f"{crc:08x}"
+
+
+def _write_ahead_logs(strategy) -> list:
+    """Every WAL reachable from ``strategy`` (Cache and Invalidate with
+    the logged scheme, possibly nested inside hybrid)."""
+    wals = []
+    stack = [strategy]
+    while stack:
+        current = stack.pop()
+        subs = getattr(current, "_subs", None)
+        if subs is not None:
+            stack.extend(subs.values())
+        scheme = getattr(current, "scheme", None)
+        wal = getattr(scheme, "wal", None)
+        if wal is not None:
+            wals.append(wal)
+    return wals
+
+
+@dataclass
+class ChaosRunResult:
+    """Outcome of one fault-injected run: what fired, what it cost to
+    survive, and whether consistency held."""
+
+    strategy: str
+    mpl: int
+    model: int
+    seed: int
+    plan_seed: int
+    num_accesses: int
+    num_updates: int
+    #: Operations dropped because their *prepare* step faulted.
+    ops_failed: int
+    faults_injected: int
+    fault_counts: dict[str, dict[str, int]]
+    retries: int
+    backoff_ms: float
+    torn_pages: int
+    corruptions_detected: int
+    crashes: int
+    degraded_accesses: int
+    repairs: int
+    ar_fallbacks: int
+    crash_restarts: int
+    update_aborts: int
+    oracle_checks: int
+    oracle_failures: int
+    oracle_ok: bool
+    clock_total_ms: float
+    #: Clock total at the end of the workload itself, before the final
+    #: oracle pass (comparable with a plain run's ``clock_total_ms``).
+    engine_ms: float
+    #: Charged to the ``fault.recovery`` phase (retry backoff + repairs).
+    recovery_ms: float
+    #: Charged to the ``fault.oracle`` phase. Inner strategy spans (e.g.
+    #: ``cache.read``) keep their own phase even inside the oracle, so
+    #: this is the oracle's *direct* charge, not its whole window.
+    oracle_ms: float
+    phase_costs: dict[str, float] = field(default_factory=dict)
+    database_digest: str = ""
+    wal_records_lost: int = 0
+
+    @property
+    def attribution_consistent(self) -> bool:
+        """Phase totals must sum exactly to the clock total — recovery is
+        a phase, not a leak."""
+        return math.isclose(
+            sum(self.phase_costs.values()),
+            self.clock_total_ms,
+            rel_tol=1e-9,
+            abs_tol=1e-6,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready export (what ``repro-procs chaos --json`` emits)."""
+        return {
+            "strategy": self.strategy,
+            "mpl": self.mpl,
+            "model": self.model,
+            "seed": self.seed,
+            "plan_seed": self.plan_seed,
+            "num_accesses": self.num_accesses,
+            "num_updates": self.num_updates,
+            "ops_failed": self.ops_failed,
+            "faults_injected": self.faults_injected,
+            "fault_counts": self.fault_counts,
+            "retries": self.retries,
+            "backoff_ms": self.backoff_ms,
+            "torn_pages": self.torn_pages,
+            "corruptions_detected": self.corruptions_detected,
+            "crashes": self.crashes,
+            "degraded_accesses": self.degraded_accesses,
+            "repairs": self.repairs,
+            "ar_fallbacks": self.ar_fallbacks,
+            "crash_restarts": self.crash_restarts,
+            "update_aborts": self.update_aborts,
+            "oracle_checks": self.oracle_checks,
+            "oracle_failures": self.oracle_failures,
+            "oracle_ok": self.oracle_ok,
+            "clock_total_ms": self.clock_total_ms,
+            "engine_ms": self.engine_ms,
+            "recovery_ms": self.recovery_ms,
+            "oracle_ms": self.oracle_ms,
+            "phases": self.phase_costs,
+            "attribution_consistent": self.attribution_consistent,
+            "database_digest": self.database_digest,
+            "wal_records_lost": self.wal_records_lost,
+        }
+
+
+def run_chaos(
+    params: ModelParams,
+    strategy_name: str,
+    plan: FaultPlan | None = None,
+    mpl: int = 1,
+    model: int = 1,
+    num_operations: int = 120,
+    seed: int = 0,
+    invalidation_scheme: str | None = "wal",
+) -> ChaosRunResult:
+    """One fault-injected multi-client run of ``strategy_name``.
+
+    ``plan`` defaults to :meth:`FaultPlan.seeded` with the workload seed.
+    ``invalidation_scheme`` applies to Cache and Invalidate only (chaos
+    defaults it to ``"wal"`` so the WAL fault points participate).
+
+    The buffer is pinned at capacity 0 — the crash model requires every
+    completed page write to be durable, so a crash loses exactly the WAL
+    tail and in-memory validity state.
+    """
+    if mpl < 1:
+        raise ValueError("multiprogramming level mpl must be >= 1")
+    if plan is None:
+        plan = FaultPlan.seeded(seed)
+    db = build_database(params, seed=seed, buffer_capacity=0)
+    pop = build_procedures(db, params, model=model, seed=seed)
+    scheme = (
+        invalidation_scheme if strategy_name == "cache_invalidate" else None
+    )
+    strategy = make_strategy(
+        strategy_name, db, params, invalidation_scheme=scheme
+    )
+    injector = FaultInjector(plan)
+    supervisor = RecoverySupervisor(strategy, injector)
+    manager = SupervisedManager(strategy, supervisor)
+    for name, expr in pop.definitions:
+        manager.define_procedure(name, expr)
+
+    # Warm every cache fault-free, then measure from a clean clock.
+    for name in pop.names:
+        manager.access(name)
+    manager.reset_counters()
+    footprints = collect_footprints(db, manager)
+    db.clock.reset()
+
+    # Wire the injector into the storage and WAL layers, then arm.
+    db.disk.injector = injector
+    wals = _write_ahead_logs(strategy)
+    for wal in wals:
+        wal.injector = injector
+    injector.arm()
+
+    sessions = []
+    for i, ops_count in enumerate(split_operations(num_operations, mpl)):
+        s_seed = session_seed(seed, i)
+        operations = list(
+            generate_operations(params, pop.names, ops_count, seed=s_seed)
+        )
+        sessions.append(
+            ClientSession(
+                session_id=i,
+                operations=operations,
+                rng=random.Random(s_seed + 3),
+            )
+        )
+
+    def handle_prepare_fault(exc: BaseException) -> bool:
+        """Prepare-time faults (base reads before any lock is held): a
+        crash restarts the system; any other fault just costs the retries
+        already charged. Either way the operation is dropped."""
+        if isinstance(exc, CrashSignal):
+            supervisor.crash_restart(exc.point)
+            return True
+        return isinstance(exc, FaultError)
+
+    observation = CostAttribution()
+    measure_start = db.clock.snapshot()
+    observation.attach(db.clock)
+    engine = _Engine(db, manager, sessions, footprints)
+    engine.fault_handler = handle_prepare_fault
+    try:
+        engine.run()
+        engine_ms = db.clock.elapsed_since(measure_start)
+        # Final oracle pass inside the observation window, so its charges
+        # are attributed like everything else.
+        oracle_ok = supervisor.verify_consistency()
+    finally:
+        observation.detach()
+
+    return ChaosRunResult(
+        strategy=strategy_name,
+        mpl=mpl,
+        model=model,
+        seed=seed,
+        plan_seed=plan.seed,
+        num_accesses=manager.num_accesses,
+        num_updates=manager.num_updates,
+        ops_failed=engine.ops_failed,
+        faults_injected=injector.total_injected,
+        fault_counts=injector.fault_counts(),
+        retries=injector.retries,
+        backoff_ms=injector.backoff_ms_total,
+        torn_pages=injector.torn_pages,
+        corruptions_detected=injector.corruptions_detected,
+        crashes=injector.crashes,
+        degraded_accesses=supervisor.degraded_accesses,
+        repairs=supervisor.repairs,
+        ar_fallbacks=supervisor.ar_fallbacks,
+        crash_restarts=supervisor.crash_restarts,
+        update_aborts=supervisor.update_aborts,
+        oracle_checks=supervisor.oracle_checks,
+        oracle_failures=supervisor.oracle_failures,
+        oracle_ok=oracle_ok and supervisor.oracle_failures == 0,
+        clock_total_ms=db.clock.elapsed_since(measure_start),
+        engine_ms=engine_ms,
+        recovery_ms=observation.phase_costs().get("fault.recovery", 0.0),
+        oracle_ms=observation.phase_costs().get("fault.oracle", 0.0),
+        phase_costs=observation.phase_costs(),
+        database_digest=database_digest(db),
+        wal_records_lost=sum(wal.records_lost for wal in wals),
+    )
+
+
+def chaos_sweep(
+    params: ModelParams,
+    strategies: Sequence[str] = CHAOS_STRATEGIES,
+    plan: FaultPlan | None = None,
+    mpl: int = 1,
+    model: int = 1,
+    num_operations: int = 120,
+    seed: int = 0,
+) -> list[ChaosRunResult]:
+    """Run the same fault campaign against each strategy. Every run gets
+    its own injector from the same plan, so campaigns are comparable
+    (same seed, same rates) without sharing RNG state across runs."""
+    return [
+        run_chaos(
+            params,
+            strategy,
+            plan=plan,
+            mpl=mpl,
+            model=model,
+            num_operations=num_operations,
+            seed=seed,
+        )
+        for strategy in strategies
+    ]
+
+
+def render_chaos_table(results: Iterable[ChaosRunResult]) -> str:
+    """One aligned text table: what fired, what it cost, did the oracle
+    hold."""
+    header = (
+        f"{'strategy':18s} {'mpl':>4s} {'faults':>6s} {'retry':>5s} "
+        f"{'torn':>4s} {'crash':>5s} {'degr':>4s} {'repair':>6s} "
+        f"{'ar_fb':>5s} {'restart':>7s} {'recov ms':>9s} {'oracle':>6s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in results:
+        lines.append(
+            f"{r.strategy:18s} {r.mpl:4d} {r.faults_injected:6d} "
+            f"{r.retries:5d} {r.torn_pages:4d} {r.crashes:5d} "
+            f"{r.degraded_accesses:4d} {r.repairs:6d} {r.ar_fallbacks:5d} "
+            f"{r.crash_restarts:7d} {r.recovery_ms:9.1f} "
+            f"{'OK' if r.oracle_ok else 'FAIL':>6s}"
+        )
+    return "\n".join(lines)
+
+
+def chaos_to_dict(results: Iterable[ChaosRunResult]) -> dict:
+    """JSON-ready export of a campaign (the CI workflow artifact)."""
+    results = list(results)
+    return {
+        "kind": "chaos_report",
+        "strategies": sorted({r.strategy for r in results}),
+        "mpls": sorted({r.mpl for r in results}),
+        "oracle_ok": all(r.oracle_ok for r in results),
+        "runs": [r.to_dict() for r in results],
+    }

@@ -1,0 +1,56 @@
+"""Fault-condition exceptions.
+
+Deliberately dependency-free: the storage and recovery layers raise and
+catch these without importing the rest of :mod:`repro.faults`, so the
+fault subsystem never creates an import cycle with the layers it wraps.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(RuntimeError):
+    """Base class for every injected-fault condition."""
+
+
+class TransientIOError(FaultError):
+    """A single transient I/O failure.
+
+    The injector retries these internally with backoff, so this type
+    rarely escapes; it exists so schedules and tests can name the
+    condition explicitly.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"transient I/O fault at {point}")
+        self.point = point
+
+
+class PersistentIOError(FaultError):
+    """A fault that survived the bounded retry budget."""
+
+    def __init__(self, point: str, attempts: int) -> None:
+        super().__init__(
+            f"I/O fault at {point} persisted through {attempts} attempts"
+        )
+        self.point = point
+        self.attempts = attempts
+
+
+class PageCorruptionError(FaultError):
+    """A page failed its checksum on read (torn write detected)."""
+
+    def __init__(self, file_name: str, page_no: int) -> None:
+        super().__init__(
+            f"checksum mismatch reading page {page_no} of {file_name!r}"
+        )
+        self.file_name = file_name
+        self.page_no = page_no
+
+
+class CrashSignal(FaultError):
+    """A full simulated crash: volatile state is lost; the supervisor
+    must run crash-restart recovery before serving anything else."""
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at {point}")
+        self.point = point

@@ -36,6 +36,8 @@ PHASES: tuple[str, ...] = (
     "cache.refresh",
     "base.update",
     "lock.wait",
+    "fault.recovery",
+    "fault.oracle",
     "misc.fixed",
 )
 """The phase vocabulary used by the built-in instrumentation.
@@ -46,6 +48,10 @@ counters rather than phases — a hit charges its pages under
 ``cache.read``). ``lock.wait`` is charged by the concurrency engine
 (:mod:`repro.concurrent`) for simulated time a session spent blocked in
 the lock manager, so multi-client cost pies still sum exactly.
+``fault.recovery`` is retry backoff plus recompute-repair work after
+injected faults, and ``fault.oracle`` is crash-consistency verification
+(:mod:`repro.faults`); both are charged under spans, so chaos-run cost
+pies still sum exactly to the clock total.
 """
 
 

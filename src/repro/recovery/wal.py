@@ -16,9 +16,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.sim import CostClock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 
 class RecordKind(enum.Enum):
@@ -56,7 +59,13 @@ class WriteAheadLog:
         self._records: list[LogRecord] = []  # durable records
         self._tail: list[LogRecord] = []  # not yet flushed
         self._next_lsn = 1
+        #: Log pages durably written — flushed pages only; crashes never
+        #: retroactively count the lost tail here.
         self.pages_written = 0
+        #: Tail records discarded by crashes, cumulative.
+        self.records_lost = 0
+        #: Optional fault injector; flushes pass the ``wal.flush`` point.
+        self.injector: "FaultInjector | None" = None
 
     @property
     def last_durable_lsn(self) -> int:
@@ -79,19 +88,37 @@ class WriteAheadLog:
         return record
 
     def flush(self) -> int:
-        """Force the tail page to disk; returns the new durable LSN."""
+        """Force the tail to disk; returns the new durable LSN.
+
+        Charges (and counts) one write per tail *page* — the tail normally
+        fits one page because :meth:`append` auto-flushes at page
+        granularity, but forced multi-page tails must not undercount.
+        An injected ``wal.flush`` fault fires before anything becomes
+        durable, so a crash here loses the whole tail.
+        """
         if self._tail:
-            self.clock.charge_write(1)
-            self.pages_written += 1
+            if self.injector is not None:
+                self.injector.on_wal_flush(self.clock)
+            pages = -(-len(self._tail) // self.records_per_page)
+            self.clock.charge_write(pages)
+            self.pages_written += pages
             self._records.extend(self._tail)
             self._tail.clear()
         return self.last_durable_lsn
 
     def crash(self) -> int:
         """Simulate a crash: the unflushed tail is lost. Returns how many
-        records were lost."""
+        records were lost.
+
+        Post-crash counters reflect only durable state: the lost records
+        are tallied in :attr:`records_lost` (never in
+        :attr:`pages_written`, which only ever counted flushed pages) and
+        LSN allocation rewinds to just past the last durable record, as a
+        restarted log manager reading the disk would."""
         lost = len(self._tail)
         self._tail.clear()
+        self.records_lost += lost
+        self._next_lsn = self.last_durable_lsn + 1
         return lost
 
     def records_after(self, lsn: int) -> Iterator[LogRecord]:
@@ -117,3 +144,8 @@ class WriteAheadLog:
     @property
     def durable_length(self) -> int:
         return len(self._records)
+
+    @property
+    def tail_length(self) -> int:
+        """Records appended but not yet durable (lost if a crash hits)."""
+        return len(self._tail)

@@ -332,6 +332,11 @@ class ReteNetwork:
             walk(tconst, 1)
         return "\n".join(lines)
 
+    def memory_stores(self) -> list:
+        """The stores backing every memory node (shared memories once) —
+        what crash recovery must drop before rebuilding the network."""
+        return [node.store for node in self._memories.values()]
+
     def total_memory_pages(self) -> int:
         """Disk pages across all memory nodes (shared memories counted
         once — the space saving of subexpression sharing)."""

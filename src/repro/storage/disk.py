@@ -8,8 +8,13 @@ Caching, when wanted, is layered on top by :class:`repro.storage.BufferPool`.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.sim import CostClock
 from repro.storage.page import Page
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 
 class UnknownFileError(KeyError):
@@ -39,6 +44,10 @@ class DiskManager:
         self.clock = clock
         self.block_bytes = block_bytes
         self._files: dict[str, list[Page]] = {}
+        #: Optional fault injector (chaos runs only). ``None`` keeps every
+        #: I/O on the exact pre-fault-subsystem path — the zero-overhead
+        #: guard, mirroring ``clock.tracer is None``.
+        self.injector: "FaultInjector | None" = None
 
     def create_file(self, name: str) -> None:
         """Register an empty file; idempotent re-creation is an error."""
@@ -90,7 +99,12 @@ class DiskManager:
             tracer.event("disk.read.pages")
             tracer.event(f"disk.read.pages:{_file_group(name)}")
         self.clock.charge_read(1)
-        return pages[page_no]
+        page = pages[page_no]
+        if self.injector is not None:
+            self.injector.before_read(name, page, self.clock)
+            if not page.checksum_ok():
+                self.injector.corruption_detected(name, page_no, self.clock)
+        return page
 
     def write_page(self, name: str, page_no: int) -> None:
         """Charge one disk write for flushing ``page_no``.
@@ -107,6 +121,8 @@ class DiskManager:
             tracer.event("disk.write.pages")
             tracer.event(f"disk.write.pages:{_file_group(name)}")
         self.clock.charge_write(1)
+        if self.injector is not None:
+            self.injector.before_write(name, pages[page_no], self.clock)
 
     def peek_page(self, name: str, page_no: int) -> Page:
         """Fetch a page *without* charging I/O.

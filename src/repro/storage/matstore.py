@@ -193,6 +193,12 @@ class MaterializedStore:
         """Read the full contents — one ``C2`` per occupied page (the
         paper's ``C_read``). Empty pages left by deletes are skipped, the
         way a page directory allows."""
+        disk = self.buffer.disk
+        if disk.injector is not None:
+            # The ``cache.read`` fault point: may tear one of this store's
+            # pages just before the read, so the checksum verification in
+            # the page fetches below detects it in-flight.
+            disk.injector.on_cache_read(self, disk.clock)
         out: list[Row] = []
         for page_no in range(self.num_pages):
             page = self.buffer.disk.peek_page(self.name, page_no)

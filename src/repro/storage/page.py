@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
@@ -27,9 +28,16 @@ class Page:
     (40 tuples per 4 000-byte block at the default 100-byte tuples). Deleted
     slots become holes that later inserts may reuse, so update-in-place keeps
     RIDs stable, as the paper's in-place update model requires.
+
+    Integrity: each page carries a lazy stored checksum. ``None`` means the
+    stored checksum is in sync with the contents (the common case — every
+    legitimate mutation resets it), so :meth:`checksum_ok` costs nothing
+    until fault injection tears a page by recording a *wrong* stored
+    checksum via :meth:`mark_torn`. The disk verifies only when a
+    :class:`~repro.faults.injector.FaultInjector` is installed.
     """
 
-    __slots__ = ("page_no", "capacity", "_slots", "_live")
+    __slots__ = ("page_no", "capacity", "_slots", "_live", "_stored_checksum")
 
     def __init__(self, page_no: int, capacity: int) -> None:
         if capacity <= 0:
@@ -38,6 +46,7 @@ class Page:
         self.capacity = capacity
         self._slots: list[Optional[Row]] = [None] * capacity
         self._live = 0
+        self._stored_checksum: Optional[int] = None
 
     def __len__(self) -> int:
         return self._live
@@ -58,6 +67,7 @@ class Page:
             if existing is None:
                 self._slots[slot_no] = row
                 self._live += 1
+                self._stored_checksum = None
                 return slot_no
         raise PageFullError(f"page {self.page_no} has inconsistent occupancy")
 
@@ -73,13 +83,38 @@ class Page:
         if self._slots[slot_no] is None:
             raise KeyError(f"slot {slot_no} of page {self.page_no} is empty")
         self._slots[slot_no] = row
+        self._stored_checksum = None
 
     def delete(self, slot_no: int) -> Row:
         """Remove and return the row in ``slot_no``."""
         row = self.read(slot_no)
         self._slots[slot_no] = None
         self._live -= 1
+        self._stored_checksum = None
         return row
+
+    # -- integrity --------------------------------------------------------
+
+    def compute_checksum(self) -> int:
+        """CRC32 over the page image. ``repr`` bytes rather than ``hash()``
+        because string hashing is salted per process; CRC is stable across
+        runs, which seed-determinism tests rely on."""
+        return zlib.crc32(repr(self._slots).encode())
+
+    def checksum_ok(self) -> bool:
+        """Whether the stored checksum (if any) matches the contents."""
+        stored = self._stored_checksum
+        return stored is None or stored == self.compute_checksum()
+
+    def mark_torn(self) -> None:
+        """Corrupt the page in place (a torn write): record a stored
+        checksum that cannot match the contents. Any subsequent legitimate
+        mutation rewrites the page and heals it."""
+        self._stored_checksum = self.compute_checksum() ^ 0xA5A5A5A5
+
+    @property
+    def is_torn(self) -> bool:
+        return not self.checksum_ok()
 
     def rows(self) -> Iterator[tuple[int, Row]]:
         """Yield ``(slot_no, row)`` for every occupied slot, in slot order."""

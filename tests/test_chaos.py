@@ -1,0 +1,154 @@
+"""Integration tests for the chaos harness: the crash-restart consistency
+oracle across every strategy and MPL, exact phase attribution of recovery
+work, and campaign determinism."""
+
+import pytest
+
+from repro.faults.chaos import (
+    CHAOS_STRATEGIES,
+    chaos_to_dict,
+    database_digest,
+    render_chaos_table,
+    run_chaos,
+)
+from repro.faults.injector import FaultPlan
+from repro.model.params import ModelParams
+
+PARAMS = ModelParams(
+    n_tuples=800,
+    num_p1=4,
+    num_p2=4,
+    selectivity_f=0.01,
+    selectivity_f2=0.1,
+    tuples_per_update=4,
+)
+
+#: Triple the default rates so a short run still exercises every fault
+#: kind; the 100-event budget is the acceptance criterion's schedule size.
+PLAN = FaultPlan.seeded(3, max_faults=100, scale=3.0)
+
+
+@pytest.mark.parametrize("strategy", CHAOS_STRATEGIES)
+@pytest.mark.parametrize("mpl", (1, 4))
+def test_oracle_holds_under_faults(strategy, mpl):
+    """The acceptance matrix: after a seeded 100-event fault campaign,
+    every strategy's post-recovery answers are bit-identical to fresh
+    recomputes, at MPL 1 and MPL 4."""
+    result = run_chaos(
+        PARAMS, strategy, plan=PLAN, mpl=mpl, num_operations=60, seed=3
+    )
+    assert result.faults_injected > 0, "campaign injected nothing"
+    assert result.oracle_ok
+    assert result.oracle_failures == 0
+    assert result.oracle_checks >= 1  # the final pass at minimum
+    # Recovery is a phase, not a leak: totals still sum to the clock.
+    assert result.attribution_consistent
+    # Operations are conserved: committed + dropped = the stream.
+    assert (
+        result.num_accesses + result.num_updates + result.ops_failed <= 60
+    )
+
+
+def test_recovery_phase_is_attributed():
+    result = run_chaos(
+        PARAMS,
+        "cache_invalidate",
+        plan=PLAN,
+        mpl=2,
+        num_operations=60,
+        seed=3,
+    )
+    assert result.retries > 0
+    assert result.phase_costs.get("fault.recovery", 0.0) > 0
+    assert result.recovery_ms == result.phase_costs["fault.recovery"]
+    assert result.oracle_ms == result.phase_costs["fault.oracle"] > 0
+
+
+def test_same_seed_same_plan_is_byte_identical():
+    """Same seed + same FaultPlan => identical fault firings, metrics,
+    and final database state (the chaos determinism contract)."""
+    a = run_chaos(
+        PARAMS, "update_cache_rvm", plan=PLAN, mpl=2, num_operations=50, seed=5
+    )
+    b = run_chaos(
+        PARAMS, "update_cache_rvm", plan=PLAN, mpl=2, num_operations=50, seed=5
+    )
+    assert a.to_dict() == b.to_dict()
+    assert a.database_digest == b.database_digest
+
+
+def test_different_plan_seed_differs():
+    kwargs = dict(mpl=2, num_operations=50, seed=5)
+    a = run_chaos(
+        PARAMS, "update_cache_avm", plan=FaultPlan.seeded(1, scale=3.0), **kwargs
+    )
+    b = run_chaos(
+        PARAMS, "update_cache_avm", plan=FaultPlan.seeded(2, scale=3.0), **kwargs
+    )
+    assert a.fault_counts != b.fault_counts or a.clock_total_ms != b.clock_total_ms
+
+
+def test_faultless_plan_matches_unfaulted_run():
+    """An armed injector with an all-zero plan must not change a single
+    charge relative to the plain concurrent runner (zero-overhead)."""
+    from repro.concurrent.engine import run_concurrent_workload
+
+    quiet = FaultPlan()  # no rates, no schedule
+    chaos = run_chaos(
+        PARAMS,
+        "cache_invalidate",
+        plan=quiet,
+        mpl=2,
+        num_operations=40,
+        seed=2,
+        invalidation_scheme="wal",
+    )
+    plain = run_concurrent_workload(
+        PARAMS,
+        "cache_invalidate",
+        mpl=2,
+        num_operations=40,
+        seed=2,
+        invalidation_scheme="wal",
+    )
+    assert chaos.faults_injected == 0
+    assert chaos.degraded_accesses == 0
+    # The chaos window additionally contains the final oracle pass;
+    # everything before it is bit-identical.
+    assert chaos.engine_ms == plain.clock_total_ms
+    assert chaos.num_accesses == plain.num_accesses
+    assert chaos.num_updates == plain.num_updates
+
+
+def test_render_and_export_shapes():
+    results = [
+        run_chaos(PARAMS, s, plan=PLAN, mpl=1, num_operations=30, seed=3)
+        for s in ("always_recompute", "hybrid")
+    ]
+    table = render_chaos_table(results)
+    assert "oracle" in table.splitlines()[0]
+    assert "always_recompute" in table and "hybrid" in table
+    payload = chaos_to_dict(results)
+    assert payload["kind"] == "chaos_report"
+    assert payload["oracle_ok"] is True
+    assert len(payload["runs"]) == 2
+    run = payload["runs"][0]
+    for key in ("fault_counts", "database_digest", "attribution_consistent"):
+        assert key in run
+
+
+def test_digest_reflects_database_state():
+    from repro.workload.database import build_database
+
+    a = build_database(PARAMS, seed=1, buffer_capacity=0)
+    b = build_database(PARAMS, seed=1, buffer_capacity=0)
+    assert database_digest(a) == database_digest(b)
+    rid = b.r3_rids[0]
+    row = b.r3.heap.read(rid)
+    b.r3.update(rid, (row[0], row[1], row[2] + 1))
+    assert database_digest(a) != database_digest(b)
+
+
+def test_bad_mpl_rejected():
+    with pytest.raises(ValueError):
+        run_chaos(PARAMS, "always_recompute", mpl=0)

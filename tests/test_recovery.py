@@ -80,6 +80,44 @@ class TestWriteAheadLog:
         with pytest.raises(ValueError):
             WriteAheadLog(clock, records_per_page=0)
 
+    def test_crash_accounting_reflects_only_durable_state(self, clock):
+        """Regression: post-crash counters describe durable state only —
+        pages_written never counts lost-tail pages, the loss is tallied
+        in records_lost, and LSN allocation rewinds to just past the last
+        durable record (as a restarted log manager reading the disk
+        would)."""
+        wal = WriteAheadLog(clock, records_per_page=10)
+        for i in range(13):
+            wal.append(RecordKind.INVALIDATE, f"P{i}")
+        assert wal.pages_written == 1
+        assert wal.tail_length == 3
+        lost = wal.crash()
+        assert lost == 3
+        assert wal.records_lost == 3
+        assert wal.pages_written == 1  # unchanged by the crash
+        assert wal.tail_length == 0
+        # LSNs rewind: the next append reuses the first lost LSN.
+        record = wal.append(RecordKind.VALIDATE, "Q")
+        assert record.lsn == wal.last_durable_lsn + 1 == 11
+        wal.crash()
+        assert wal.records_lost == 4  # cumulative across crashes
+
+    def test_forced_multi_page_tail_charges_per_page(self, clock):
+        """Regression companion: a flush of a tail spanning several pages
+        charges (and counts) one write per page, not one per flush."""
+        from repro.recovery.wal import LogRecord
+
+        wal = WriteAheadLog(clock, records_per_page=10)
+        # Build a 25-record tail directly (append would auto-flush).
+        wal._tail = [
+            LogRecord(lsn=i + 1, kind=RecordKind.INVALIDATE, payload=i)
+            for i in range(25)
+        ]
+        wal._next_lsn = 26
+        wal.flush()
+        assert wal.pages_written == 3
+        assert clock.disk_writes == 3
+
 
 class TestRecoverableValidityMap:
     def _fresh(self, clock, force=True):

@@ -82,6 +82,45 @@ class TestCliContract:
 
         assert main(["profile", "--strategy", "bogus"]) == 2
 
+    def test_chaos_bad_args_exit_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--mpl", "0"]) == 2
+        assert "--mpl" in capsys.readouterr().err
+        assert main(["chaos", "--mpl", "two"]) == 2
+        assert main(["chaos", "--strategy", "bogus"]) == 2
+        assert "unknown strategy" in capsys.readouterr().err.lower()
+        assert main(["chaos", "--fault-events", "0"]) == 2
+        assert "--fault-events" in capsys.readouterr().err
+
+    def test_chaos_json_smoke(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        code = main(
+            [
+                "chaos",
+                "--strategy",
+                "ar",
+                "--operations",
+                "20",
+                "--fault-events",
+                "15",
+                "--seed",
+                "3",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "chaos_report"
+        assert payload["oracle_ok"] is True
+        run = payload["runs"][0]
+        assert run["strategy"] == "always_recompute"
+        assert run["attribution_consistent"] is True
+        assert "fault_counts" in run and "database_digest" in run
+
     def test_concurrent_json_smoke(self, capsys):
         import json
 

@@ -50,3 +50,19 @@ def test_different_seeds_differ():
     a = run_workload(PARAMS, "cache_invalidate", num_operations=70, seed=9)
     b = run_workload(PARAMS, "cache_invalidate", num_operations=70, seed=10)
     assert a.clock_total_ms != b.clock_total_ms
+
+
+@pytest.mark.parametrize("strategy", ("cache_invalidate", "hybrid"))
+def test_chaos_runs_are_seed_deterministic(strategy):
+    """Same seed + same FaultPlan => identical fault firings, identical
+    metrics, identical final database state (digest included)."""
+    from repro.faults.chaos import run_chaos
+    from repro.faults.injector import FaultPlan
+
+    plan = FaultPlan.seeded(9, max_faults=40, scale=3.0)
+    a = run_chaos(PARAMS, strategy, plan=plan, mpl=2, num_operations=40, seed=9)
+    b = run_chaos(PARAMS, strategy, plan=plan, mpl=2, num_operations=40, seed=9)
+    assert a.to_dict() == b.to_dict()
+    assert a.fault_counts == b.fault_counts
+    assert a.database_digest == b.database_digest
+    assert a.clock_total_ms == b.clock_total_ms

@@ -1,0 +1,147 @@
+"""Property test: WAL crash/replay recovery matches an exact in-memory
+durability oracle.
+
+The oracle mirrors the log manager's durability rules record by record —
+validates ride group commit in a tail that becomes durable when its page
+fills or a flush forces it; invalidations force the whole tail; a
+checkpoint snapshots the true map — so after any interleaving of
+transitions, flushes, checkpoints, and a crash, recovery must agree with
+the oracle *exactly*, not just conservatively (the companion test in
+``test_recovery.py`` checks conservativeness alone)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.recovery import RecoverableValidityMap, WriteAheadLog
+from repro.sim import CostClock
+
+NAMES = [f"P{i}" for i in range(5)]
+RECORDS_PER_PAGE = 3  # small, so group-commit auto-flush happens often
+
+ACTIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("valid"), st.integers(0, len(NAMES) - 1)),
+        st.tuples(st.just("invalid"), st.integers(0, len(NAMES) - 1)),
+        st.tuples(st.just("flush"), st.just(0)),
+        st.tuples(st.just("checkpoint"), st.just(0)),
+        st.tuples(st.just("crash_recover"), st.just(0)),
+    ),
+    max_size=50,
+)
+
+
+class DurabilityOracle:
+    """What a crash-proof observer knows survives: the durable effect of
+    every record, tracked at record granularity."""
+
+    def __init__(self):
+        self.durable = {name: False for name in NAMES}  # replayed state
+        self.tail: list[tuple[str, str]] = []  # (kind, name), not yet durable
+        self.live = {name: False for name in NAMES}  # pre-crash truth
+
+    def _flush(self):
+        for kind, name in self.tail:
+            self.durable[name] = kind == "valid"
+        self.tail.clear()
+
+    def mark(self, kind, name):
+        self.live[name] = kind == "valid"
+        self.tail.append((kind, name))
+        if len(self.tail) >= RECORDS_PER_PAGE:
+            self._flush()
+        if kind == "invalid":
+            # force_on_invalidate hardens the whole tail immediately.
+            self._flush()
+
+    def flush(self):
+        self._flush()
+
+    def checkpoint(self):
+        # A checkpoint flushes the log, then snapshots the live map
+        # durably — after it, the durable state IS the live state.
+        self._flush()
+        self.durable = dict(self.live)
+
+    def crash_recover(self):
+        # The tail is lost; the system restarts from the durable state.
+        self.tail.clear()
+        self.live = dict(self.durable)
+
+
+@given(script=ACTIONS)
+@settings(max_examples=150, deadline=None)
+def test_wal_recovery_matches_durability_oracle(script):
+    clock = CostClock()
+    wal = WriteAheadLog(clock, records_per_page=RECORDS_PER_PAGE)
+    vmap = RecoverableValidityMap(clock, wal, force_on_invalidate=True)
+    for name in NAMES:
+        vmap.register(name)
+    oracle = DurabilityOracle()
+
+    for action, idx in script:
+        name = NAMES[idx]
+        if action == "valid":
+            vmap.mark_valid(name)
+            oracle.mark("valid", name)
+        elif action == "invalid":
+            vmap.mark_invalid(name)
+            oracle.mark("invalid", name)
+        elif action == "flush":
+            wal.flush()
+            oracle.flush()
+        elif action == "checkpoint":
+            vmap.checkpoint()
+            oracle.checkpoint()
+        else:
+            vmap.crash()
+            vmap.recover(NAMES)
+            oracle.crash_recover()
+        # Live state always agrees (durability aside).
+        for n in NAMES:
+            assert vmap.is_valid(n) == oracle.live[n]
+
+    # Final crash: the recovered map must equal the oracle's durable view.
+    vmap.crash()
+    vmap.recover(NAMES)
+    oracle.crash_recover()
+    for n in NAMES:
+        assert vmap.is_valid(n) == oracle.live[n], (
+            f"{n}: recovered {vmap.is_valid(n)}, oracle {oracle.live[n]}"
+        )
+
+
+@given(script=ACTIONS)
+@settings(max_examples=100, deadline=None)
+def test_crash_accounting_invariants(script):
+    """Whatever the interleaving: pages_written only ever counts flushed
+    pages, records_lost sums exactly the tails crashes discarded, and LSN
+    allocation rewinds over lost records."""
+    clock = CostClock()
+    wal = WriteAheadLog(clock, records_per_page=RECORDS_PER_PAGE)
+    vmap = RecoverableValidityMap(clock, wal, force_on_invalidate=False)
+    for name in NAMES:
+        vmap.register(name)
+    lost_total = 0
+    for action, idx in script:
+        name = NAMES[idx]
+        if action == "valid":
+            vmap.mark_valid(name)
+        elif action == "invalid":
+            vmap.mark_invalid(name)
+        elif action == "flush":
+            wal.flush()
+        elif action == "checkpoint":
+            vmap.checkpoint()
+        else:
+            expected_loss = wal.tail_length
+            durable_before = wal.last_durable_lsn
+            pages_before = wal.pages_written
+            lost = wal.crash()
+            lost_total += lost
+            assert lost == expected_loss
+            assert wal.last_durable_lsn == durable_before
+            assert wal.pages_written == pages_before
+            assert wal.tail_length == 0
+            vmap._valid = {}
+            vmap.recover(NAMES)
+    assert wal.records_lost == lost_total
