@@ -3,7 +3,8 @@
 Every bench regenerates one of the paper's tables/figures (timed with
 pytest-benchmark), asserts the embedded paper-claim checks, prints the same
 rows/series the paper reports, and writes the rendering to
-``results/<figure_id>.txt`` so the regenerated data survives the run.
+``results/<figure_id>.txt`` (plus a schema-versioned
+``results/<figure_id>.json``) so the regenerated data survives the run.
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ import pathlib
 import pytest
 
 from repro.experiments import render_result, run_experiment
+from repro.experiments.export import write_json
 from repro.experiments.figures import FigureResult
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
@@ -32,6 +34,7 @@ def regenerate(benchmark):
         )
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{figure_id}.txt").write_text(text + "\n")
+        write_json(result, str(RESULTS_DIR / f"{figure_id}.json"))
         print()
         print(text)
         return result

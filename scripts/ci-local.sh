@@ -34,4 +34,7 @@ fi
 
 run python -m pytest benchmarks -q --benchmark-disable
 
+run python -m repro bench --operations 120 --seed 7 \
+    --compare results/bench_baseline.json --tolerance 0.5
+
 exit $status

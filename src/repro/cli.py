@@ -14,6 +14,10 @@ Examples::
     repro-procs concurrent --strategy ci,rvm --mpl 8 --json
     repro-procs chaos --strategy all --mpl 4 --fault-events 100
     repro-procs chaos --strategy ci --seed 3 --json
+    repro-procs chaos --strategy ci --mpl 4 --trace-out chaos.trace.json
+    repro-procs profile --strategy rvm --manifest
+    repro-procs bench
+    repro-procs bench --compare results/bench_baseline.json
 
 (Also reachable as ``python -m repro``.)
 """
@@ -22,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.experiments import REGISTRY, render_result, run_experiment
 from repro.experiments.simcompare import (
@@ -41,9 +46,20 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    start = time.perf_counter()
     result = run_experiment(args.experiment)
+    wall = time.perf_counter() - start
     chart = args.chart and result.kind in ("curves", "sf_curves")
     print(render_result(result, show_checks=not args.no_checks, chart=chart))
+    if args.manifest:
+        from repro.experiments.export import to_json
+
+        _write_run_artifacts(
+            args,
+            "run",
+            wall_time_s=wall,
+            result_summary=to_json(result),
+        )
     if not args.no_checks and not result.all_checks_pass:
         print(
             f"\nFAILED checks: {result.failed_checks()}", file=sys.stderr
@@ -54,12 +70,121 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_all(args: argparse.Namespace) -> int:
     status = 0
+    checks_by_experiment: dict[str, bool] = {}
+    start = time.perf_counter()
     for figure_id in REGISTRY:
         result = run_experiment(figure_id)
         print(render_result(result, show_checks=not args.no_checks))
         print()
+        checks_by_experiment[figure_id] = result.all_checks_pass
         if not result.all_checks_pass:
             status = 1
+    if args.manifest:
+        _write_run_artifacts(
+            args,
+            "all",
+            wall_time_s=time.perf_counter() - start,
+            result_summary={
+                "checks_pass_by_experiment": checks_by_experiment
+            },
+        )
+    return status
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from repro.obs.ledger import (
+        append_history,
+        compare_snapshots,
+        load_snapshot,
+        regressions,
+        render_delta_table,
+        run_bench_suite,
+        validate_snapshot,
+        write_latest,
+    )
+
+    if args.operations < 1:
+        print("error: --operations must be >= 1", file=sys.stderr)
+        return 2
+    if args.tolerance < 0:
+        print("error: --tolerance must be >= 0", file=sys.stderr)
+        return 2
+    baseline = None
+    if args.compare:
+        try:
+            baseline = load_snapshot(args.compare)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(
+                f"error: cannot load baseline {args.compare!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    start = time.perf_counter()
+    snapshot = run_bench_suite(operations=args.operations, seed=args.seed)
+    wall = time.perf_counter() - start
+    problems = validate_snapshot(snapshot)
+    if problems:  # pragma: no cover - guards suite bugs, not user input
+        print(f"error: snapshot failed validation: {problems}",
+              file=sys.stderr)
+        return 1
+    if args.history:
+        append_history(args.history, snapshot)
+    if args.latest:
+        write_latest(args.latest, snapshot)
+    deltas = None
+    if baseline is not None:
+        try:
+            deltas = compare_snapshots(
+                baseline, snapshot, tolerance=args.tolerance
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.json:
+        payload = dict(snapshot)
+        if deltas is not None:
+            payload["comparison"] = {
+                "baseline_path": args.compare,
+                "tolerance": args.tolerance,
+                "deltas": [dataclasses.asdict(d) for d in deltas],
+                "regressions": [d.key for d in regressions(deltas)],
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            f"bench suite v{snapshot['suite_version']}: "
+            f"{len(snapshot['metrics'])} metrics, "
+            f"{len(snapshot['checks'])} checks "
+            f"(ops={snapshot['operations']}, seed={snapshot['seed']}) "
+            f"in {wall:.1f}s wall"
+        )
+        for key in sorted(snapshot["metrics"]):
+            entry = snapshot["metrics"][key]
+            print(f"  {key:44s} {entry['value']:12.2f} {entry['unit']}")
+        if args.history:
+            print(f"appended snapshot to {args.history}")
+        if args.latest:
+            print(f"wrote latest snapshot to {args.latest}")
+        if deltas is not None:
+            print()
+            print(render_delta_table(deltas, tolerance=args.tolerance))
+    status = 0
+    failed_checks = sorted(
+        key for key, ok in snapshot["checks"].items() if not ok
+    )
+    if failed_checks:
+        print(f"FAILED checks: {failed_checks}", file=sys.stderr)
+        status = 1
+    if deltas is not None and regressions(deltas):
+        print(
+            f"PERF REGRESSION vs {args.compare}: "
+            f"{[d.key for d in regressions(deltas)]}",
+            file=sys.stderr,
+        )
+        status = 1
     return status
 
 
@@ -109,6 +234,65 @@ def _parse_mpl_list(text: str) -> list[int]:
     return mpls
 
 
+def _wants_artifacts(args: argparse.Namespace) -> bool:
+    """Whether any flight-recorder artifact flag was passed."""
+    return bool(
+        getattr(args, "trace_out", None)
+        or getattr(args, "span_log", None)
+        or getattr(args, "manifest", False)
+    )
+
+
+def _merged_metrics(metric_sets):
+    """One :class:`MetricSet` folding per-run stats together (manifest
+    histograms aggregate over every run a sweep executed)."""
+    from repro.sim.metrics import MetricSet, RunningStat
+
+    merged = MetricSet()
+    for metrics in metric_sets:
+        for name in metrics.names():
+            merged.stats.setdefault(name, RunningStat()).merge(
+                metrics.get(name)
+            )
+    return merged
+
+
+def _write_run_artifacts(
+    args: argparse.Namespace,
+    command: str,
+    observation=None,
+    trace_label: str = "run",
+    **manifest_fields,
+) -> None:
+    """Write the ``--trace-out`` / ``--span-log`` / ``--manifest``
+    artifacts for one completed run.
+
+    Artifact paths are announced on stderr so ``--json`` stdout stays
+    machine-parseable.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    span_log = getattr(args, "span_log", None)
+    if trace_out:
+        from repro.obs.flight import write_chrome_trace
+
+        write_chrome_trace(trace_out, observation, label=trace_label)
+        print(f"wrote Chrome trace to {trace_out}", file=sys.stderr)
+    if span_log:
+        from repro.obs.flight import write_span_jsonl
+
+        rows = write_span_jsonl(span_log, observation)
+        print(f"wrote {rows} span records to {span_log}", file=sys.stderr)
+    if getattr(args, "manifest", False):
+        from repro.obs.manifest import build_run_manifest, write_run_manifest
+
+        arg_values = {
+            key: value for key, value in vars(args).items() if key != "func"
+        }
+        manifest = build_run_manifest(command, arg_values, **manifest_fields)
+        path = write_run_manifest(manifest)
+        print(f"wrote run manifest to {path}", file=sys.stderr)
+
+
 def _cmd_concurrent(args: argparse.Namespace) -> int:
     import json
 
@@ -132,10 +316,30 @@ def _cmd_concurrent(args: argparse.Namespace) -> int:
             ]
             if not strategies:
                 raise ValueError("--strategy must name at least one strategy")
+        if (args.trace_out or args.span_log) and (
+            len(strategies) != 1 or len(mpls) != 1
+        ):
+            raise ValueError(
+                "--trace-out/--span-log need exactly one strategy and one "
+                "MPL (a trace is one run's timeline)"
+            )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     params = SIM_SCALE_PARAMS.with_update_probability(args.update_probability)
+    observations: list = []
+    observation_factory = None
+    if _wants_artifacts(args):
+        from repro.obs import CostAttribution
+
+        keep = None if (args.trace_out or args.span_log) else 1024
+
+        def observation_factory():
+            observation = CostAttribution(keep_events=keep)
+            observations.append(observation)
+            return observation
+
+    start = time.perf_counter()
     results = concurrent_sweep(
         params,
         strategies=strategies,
@@ -144,20 +348,46 @@ def _cmd_concurrent(args: argparse.Namespace) -> int:
         num_operations=args.operations,
         seed=args.seed,
         buffer_capacity=args.buffer_capacity,
+        observation_factory=observation_factory,
     )
+    wall = time.perf_counter() - start
     if args.json:
         print(json.dumps(sweep_to_dict(results), indent=2, sort_keys=True))
-        return 0
-    print(
-        f"concurrent sweep: model={args.model} "
-        f"P={args.update_probability:g} ops={args.operations} "
-        f"(total, split across sessions) seed={args.seed}"
-    )
-    print(render_concurrent_table(results))
-    print(
-        "\nlatencies in simulated ms; 'blocked' is total lock-wait time; "
-        "MPL=1 matches the serial runner exactly."
-    )
+    else:
+        print(
+            f"concurrent sweep: model={args.model} "
+            f"P={args.update_probability:g} ops={args.operations} "
+            f"(total, split across sessions) seed={args.seed}"
+        )
+        print(render_concurrent_table(results))
+        print(
+            "\nlatencies in simulated ms; 'blocked' is total lock-wait time; "
+            "MPL=1 matches the serial runner exactly."
+        )
+    if _wants_artifacts(args):
+        phase_costs: dict[str, float] = {}
+        for r in results:
+            for phase, ms in r.phase_costs.items():
+                phase_costs[phase] = phase_costs.get(phase, 0.0) + ms
+        counters: dict[str, float] = {}
+        for observation in observations:
+            for name, value in observation.registry.counter_values().items():
+                counters[name] = counters.get(name, 0.0) + value
+        _write_run_artifacts(
+            args,
+            "concurrent",
+            observation=observations[0] if observations else None,
+            trace_label=f"concurrent {','.join(strategies)}",
+            params=params,
+            seed=args.seed,
+            strategy=",".join(strategies),
+            wall_time_s=wall,
+            simulated_ms_total=sum(r.clock_total_ms for r in results),
+            phase_costs=phase_costs,
+            counters=counters,
+            metrics=_merged_metrics([r.metrics for r in results]),
+            result_summary=sweep_to_dict(results),
+        )
     return 0
 
 
@@ -198,11 +428,29 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             ]
             if not strategies:
                 raise ValueError("--strategy must name at least one strategy")
+        if (args.trace_out or args.span_log) and len(strategies) != 1:
+            raise ValueError(
+                "--trace-out/--span-log need exactly one strategy "
+                "(a trace is one run's timeline)"
+            )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     params = SIM_SCALE_PARAMS.with_update_probability(args.update_probability)
     plan = FaultPlan.seeded(args.seed, max_faults=fault_events)
+    observations: list = []
+    observation_factory = None
+    if _wants_artifacts(args):
+        from repro.obs import CostAttribution
+
+        keep = None if (args.trace_out or args.span_log) else 1024
+
+        def observation_factory():
+            observation = CostAttribution(keep_events=keep)
+            observations.append(observation)
+            return observation
+
+    start = time.perf_counter()
     results = chaos_sweep(
         params,
         strategies=strategies,
@@ -211,22 +459,48 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         model=args.model,
         num_operations=args.operations,
         seed=args.seed,
+        observation_factory=observation_factory,
     )
+    wall = time.perf_counter() - start
     ok = all(r.oracle_ok and r.attribution_consistent for r in results)
     if args.json:
         print(json.dumps(chaos_to_dict(results), indent=2, sort_keys=True))
-        return 0 if ok else 1
-    print(
-        f"chaos campaign: model={args.model} mpl={mpl} "
-        f"P={args.update_probability:g} ops={args.operations} "
-        f"seed={args.seed} fault budget={fault_events}"
-    )
-    print(render_chaos_table(results))
-    print(
-        "\n'recov ms' is simulated time charged to the fault.recovery "
-        "phase; 'oracle' verifies every procedure's post-recovery answer "
-        "against a fresh recompute."
-    )
+    else:
+        print(
+            f"chaos campaign: model={args.model} mpl={mpl} "
+            f"P={args.update_probability:g} ops={args.operations} "
+            f"seed={args.seed} fault budget={fault_events}"
+        )
+        print(render_chaos_table(results))
+        print(
+            "\n'recov ms' is simulated time charged to the fault.recovery "
+            "phase; 'oracle' verifies every procedure's post-recovery answer "
+            "against a fresh recompute."
+        )
+    if _wants_artifacts(args):
+        phase_costs: dict[str, float] = {}
+        for r in results:
+            for phase, ms in r.phase_costs.items():
+                phase_costs[phase] = phase_costs.get(phase, 0.0) + ms
+        counters: dict[str, float] = {}
+        for observation in observations:
+            for name, value in observation.registry.counter_values().items():
+                counters[name] = counters.get(name, 0.0) + value
+        _write_run_artifacts(
+            args,
+            "chaos",
+            observation=observations[0] if observations else None,
+            trace_label=f"chaos {','.join(strategies)} mpl={mpl}",
+            params=params,
+            seed=args.seed,
+            strategy=",".join(strategies),
+            wall_time_s=wall,
+            simulated_ms_total=sum(r.clock_total_ms for r in results),
+            phase_costs=phase_costs,
+            counters=counters,
+            metrics=_merged_metrics([r.metrics for r in results]),
+            result_summary=chaos_to_dict(results),
+        )
     if not ok:
         bad = [
             r.strategy
@@ -323,6 +597,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     params = SIM_SCALE_PARAMS.with_update_probability(args.update_probability)
+    observation = None
+    if _wants_artifacts(args):
+        from repro.obs import FlightRecorder
+
+        observation = FlightRecorder().observation
+    start = time.perf_counter()
     report = profile_workload(
         params,
         strategy,
@@ -330,7 +610,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         num_operations=args.operations,
         seed=args.seed,
         buffer_capacity=args.buffer_capacity,
+        observation=observation,
     )
+    wall = time.perf_counter() - start
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -345,6 +627,22 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             )
             print()
             print(render_attribution(strategy, points))
+    if _wants_artifacts(args):
+        _write_run_artifacts(
+            args,
+            "profile",
+            observation=report.observation,
+            trace_label=f"profile {strategy}",
+            params=params,
+            seed=args.seed,
+            strategy=strategy,
+            wall_time_s=wall,
+            simulated_ms_total=report.total_ms,
+            phase_costs=report.phase_costs,
+            counters=report.observation.registry.counter_values(),
+            metrics=report.run.metrics,
+            result_summary=report.to_dict(),
+        )
     if not report.is_consistent():
         print(
             f"attribution mismatch: phases sum to "
@@ -368,6 +666,36 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     )
     print(render_comparison(points))
     return 0
+
+
+def _add_artifact_flags(
+    parser: argparse.ArgumentParser, trace: bool = True
+) -> None:
+    """Attach the flight-recorder artifact flags to one subcommand."""
+    parser.add_argument(
+        "--manifest",
+        action="store_true",
+        help=(
+            "write a reproducibility manifest (seed, params, git sha, "
+            "cost pie, counters, histograms) to results/runs/"
+        ),
+    )
+    if trace:
+        parser.add_argument(
+            "--trace-out",
+            default=None,
+            metavar="PATH",
+            help=(
+                "export the run as Chrome trace-event JSON "
+                "(load in chrome://tracing or Perfetto)"
+            ),
+        )
+        parser.add_argument(
+            "--span-log",
+            default=None,
+            metavar="PATH",
+            help="export the span stream as compact JSONL",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -395,10 +723,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append an ASCII line chart (curve figures)",
     )
+    _add_artifact_flags(run_parser, trace=False)
     run_parser.set_defaults(func=_cmd_run)
 
     all_parser = sub.add_parser("all", help="regenerate every figure/table")
     all_parser.add_argument("--no-checks", action="store_true")
+    _add_artifact_flags(all_parser, trace=False)
     all_parser.set_defaults(func=_cmd_all)
 
     sim_parser = sub.add_parser(
@@ -511,6 +841,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append the term-by-term model-vs-simulator comparison",
     )
+    _add_artifact_flags(prof_parser)
     prof_parser.set_defaults(func=_cmd_profile)
 
     cmp_parser = sub.add_parser(
@@ -567,6 +898,7 @@ def build_parser() -> argparse.ArgumentParser:
     conc_parser.add_argument(
         "--json", action="store_true", help="emit the sweep as JSON"
     )
+    _add_artifact_flags(conc_parser)
     conc_parser.set_defaults(func=_cmd_concurrent)
 
     chaos_parser = sub.add_parser(
@@ -611,7 +943,52 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument(
         "--json", action="store_true", help="emit the campaign as JSON"
     )
+    _add_artifact_flags(chaos_parser)
     chaos_parser.set_defaults(func=_cmd_chaos)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help=(
+            "run the pinned perf suite, update the benchmark ledger, and "
+            "optionally gate against a baseline"
+        ),
+    )
+    bench_parser.add_argument(
+        "--operations",
+        type=int,
+        default=120,
+        help="operation budget for the simulated scenarios",
+    )
+    bench_parser.add_argument("--seed", type=int, default=7)
+    bench_parser.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        help="JSONL ledger to append the snapshot to ('' skips)",
+    )
+    bench_parser.add_argument(
+        "--latest",
+        default="BENCH_latest.json",
+        help="latest-snapshot JSON to overwrite ('' skips)",
+    )
+    bench_parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help=(
+            "baseline snapshot (JSON or JSONL history) to diff against; "
+            "exits 1 when any metric regresses past the tolerance"
+        ),
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="relative regression tolerance for --compare (default 0.10)",
+    )
+    bench_parser.add_argument(
+        "--json", action="store_true", help="emit the snapshot as JSON"
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
 
     parser.epilog = "subcommands: " + ", ".join(sorted(sub.choices))
     return parser

@@ -7,10 +7,13 @@ export the same data as JSON for the CI artifact.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.concurrent.engine import ConcurrentRunResult, run_concurrent_workload
 from repro.model.params import ModelParams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import CostAttribution
 
 #: The five strategies the concurrency comparison covers.
 CONCURRENT_STRATEGIES: tuple[str, ...] = (
@@ -30,11 +33,16 @@ def concurrent_sweep(
     num_operations: int = 400,
     seed: int = 7,
     buffer_capacity: int = 0,
+    observation_factory: "Callable[[], CostAttribution] | None" = None,
 ) -> list[ConcurrentRunResult]:
     """Every (strategy, MPL) combination at one parameter point.
 
     The same total operation count is used at every MPL, so throughput
     differences come from contention, not workload size.
+
+    ``observation_factory`` (e.g. ``CostAttribution``) builds one fresh
+    attribution per run, filling each result's phase/procedure costs —
+    what the manifest-writing CLI paths use.
     """
     results: list[ConcurrentRunResult] = []
     for strategy in strategies:
@@ -48,6 +56,11 @@ def concurrent_sweep(
                     num_operations=num_operations,
                     seed=seed,
                     buffer_capacity=buffer_capacity,
+                    observation=(
+                        observation_factory()
+                        if observation_factory is not None
+                        else None
+                    ),
                 )
             )
     return results
@@ -75,8 +88,11 @@ def render_concurrent_table(results: Iterable[ConcurrentRunResult]) -> str:
 
 def sweep_to_dict(results: Iterable[ConcurrentRunResult]) -> dict:
     """JSON-ready export of a sweep (the CI workflow artifact)."""
+    from repro.obs.flight import SCHEMA_VERSION
+
     results = list(results)
     return {
+        "schema_version": SCHEMA_VERSION,
         "kind": "concurrent_sweep",
         "mpls": sorted({r.mpl for r in results}),
         "strategies": sorted({r.strategy for r in results}),

@@ -1,17 +1,21 @@
-"""CSV export of regenerated figure data.
+"""CSV and JSON export of regenerated figure data.
 
 Every curve figure exports one row per x-value with one column per
 strategy; region/closeness figures export one row per grid cell; tables
 export verbatim. Useful for replotting the paper's figures with external
-tools (`python -m repro export fig05 out.csv`).
+tools (`python -m repro export fig05 out.csv`). The JSON form carries
+the repo-wide ``schema_version`` so downstream diff tooling (the bench
+ledger, trend dashboards) can evolve against a stable contract.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import json
 
 from repro.experiments.figures import FigureResult
+from repro.obs.flight import SCHEMA_VERSION
 
 
 def to_csv(result: FigureResult) -> str:
@@ -43,3 +47,42 @@ def write_csv(result: FigureResult, path: str) -> None:
     """Write :func:`to_csv` output to ``path``."""
     with open(path, "w", newline="") as handle:
         handle.write(to_csv(result))
+
+
+def to_json(result: FigureResult) -> dict:
+    """One experiment's data as a JSON-ready, schema-versioned object."""
+    payload: dict = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "figure_result",
+        "figure_kind": result.kind,
+        "figure_id": result.figure_id,
+        "title": result.title,
+        "checks_pass": result.all_checks_pass,
+    }
+    if result.kind in ("curves", "sf_curves"):
+        payload["x_label"] = result.x_label
+        payload["x_values"] = list(result.x_values)
+        payload["series"] = {
+            name: list(values) for name, values in result.series.items()
+        }
+    elif result.kind in ("regions", "closeness"):
+        grid = result.grid
+        assert grid is not None
+        payload["grid"] = {
+            "p_values": list(grid.p_values),
+            "f_values": list(grid.f_values),
+            "labels": [list(row) for row in grid.labels],
+        }
+    elif result.kind == "table":
+        payload["table_header"] = list(result.table_header)
+        payload["table_rows"] = [list(row) for row in result.table_rows]
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"cannot export result kind {result.kind!r}")
+    return payload
+
+
+def write_json(result: FigureResult, path: str) -> None:
+    """Write :func:`to_json` output to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(to_json(result), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -29,7 +29,8 @@ from repro.faults.errors import CrashSignal, FaultError
 from repro.faults.injector import FaultInjector, FaultPlan
 from repro.faults.supervisor import RecoverySupervisor, SupervisedManager
 from repro.model.params import ModelParams
-from repro.obs import CostAttribution
+from repro.obs import SCHEMA_VERSION, CostAttribution
+from repro.sim import MetricSet
 from repro.workload.database import SyntheticDatabase, build_database
 from repro.workload.generator import generate_operations
 from repro.workload.procedures import build_procedures
@@ -122,6 +123,9 @@ class ChaosRunResult:
     phase_costs: dict[str, float] = field(default_factory=dict)
     database_digest: str = ""
     wal_records_lost: int = 0
+    #: Per-operation latency/service stats from the engine (manifest
+    #: histograms are built from these; excluded from the JSON export).
+    metrics: MetricSet = field(default_factory=MetricSet)
 
     @property
     def attribution_consistent(self) -> bool:
@@ -137,6 +141,7 @@ class ChaosRunResult:
     def to_dict(self) -> dict:
         """JSON-ready export (what ``repro-procs chaos --json`` emits)."""
         return {
+            "schema_version": SCHEMA_VERSION,
             "strategy": self.strategy,
             "mpl": self.mpl,
             "model": self.model,
@@ -180,12 +185,16 @@ def run_chaos(
     num_operations: int = 120,
     seed: int = 0,
     invalidation_scheme: str | None = "wal",
+    observation: CostAttribution | None = None,
 ) -> ChaosRunResult:
     """One fault-injected multi-client run of ``strategy_name``.
 
     ``plan`` defaults to :meth:`FaultPlan.seeded` with the workload seed.
     ``invalidation_scheme`` applies to Cache and Invalidate only (chaos
     defaults it to ``"wal"`` so the WAL fault points participate).
+    ``observation`` substitutes a pre-built attribution (a flight
+    recorder's unbounded one for trace export); by default each run
+    builds its own.
 
     The buffer is pinned at capacity 0 — the crash model requires every
     completed page write to be durable, so a crash loses exactly the WAL
@@ -246,7 +255,8 @@ def run_chaos(
             return True
         return isinstance(exc, FaultError)
 
-    observation = CostAttribution()
+    if observation is None:
+        observation = CostAttribution()
     measure_start = db.clock.snapshot()
     observation.attach(db.clock)
     engine = _Engine(db, manager, sessions, footprints)
@@ -291,6 +301,7 @@ def run_chaos(
         phase_costs=observation.phase_costs(),
         database_digest=database_digest(db),
         wal_records_lost=sum(wal.records_lost for wal in wals),
+        metrics=engine.metrics,
     )
 
 
@@ -302,10 +313,13 @@ def chaos_sweep(
     model: int = 1,
     num_operations: int = 120,
     seed: int = 0,
+    observation_factory=None,
 ) -> list[ChaosRunResult]:
     """Run the same fault campaign against each strategy. Every run gets
     its own injector from the same plan, so campaigns are comparable
-    (same seed, same rates) without sharing RNG state across runs."""
+    (same seed, same rates) without sharing RNG state across runs.
+    ``observation_factory`` builds one attribution per run (manifest and
+    trace-export paths)."""
     return [
         run_chaos(
             params,
@@ -315,6 +329,11 @@ def chaos_sweep(
             model=model,
             num_operations=num_operations,
             seed=seed,
+            observation=(
+                observation_factory()
+                if observation_factory is not None
+                else None
+            ),
         )
         for strategy in strategies
     ]
@@ -344,6 +363,7 @@ def chaos_to_dict(results: Iterable[ChaosRunResult]) -> dict:
     """JSON-ready export of a campaign (the CI workflow artifact)."""
     results = list(results)
     return {
+        "schema_version": SCHEMA_VERSION,
         "kind": "chaos_report",
         "strategies": sorted({r.strategy for r in results}),
         "mpls": sorted({r.mpl for r in results}),

@@ -21,9 +21,24 @@ Tracing is opt-in and zero-cost when off: the clock's sink is ``None``
 and every instrumented call site guards on ``clock.tracer is None``, so
 an unobserved run charges exactly the same simulated milliseconds as the
 uninstrumented code did.
+
+On top of attribution sits the **flight recorder**
+(:mod:`repro.obs.flight`): Chrome-trace / JSONL exports of completed
+span streams, per-run provenance manifests (:mod:`repro.obs.manifest`),
+and the benchmark ledger with its regression gate
+(:mod:`repro.obs.ledger`).
 """
 
 from repro.obs.attribution import DEFAULT_PHASE_FOR_KIND, CostAttribution
+from repro.obs.flight import (
+    SCHEMA_VERSION,
+    FlightRecorder,
+    phase_totals_from_events,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_span_jsonl,
+)
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -37,9 +52,11 @@ from repro.obs.tracer import (
 __all__ = [
     "NULL_TRACER",
     "PHASES",
+    "SCHEMA_VERSION",
     "CostAttribution",
     "Counter",
     "DEFAULT_PHASE_FOR_KIND",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -47,4 +64,9 @@ __all__ = [
     "Span",
     "SpanRecord",
     "Tracer",
+    "phase_totals_from_events",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_span_jsonl",
 ]

@@ -48,13 +48,14 @@ class CostAttribution:
         registry: metrics registry to use (a fresh one by default); the
             attribution also feeds ``charge.<kind>.ms`` / ``.count``
             counters into it.
-        keep_events: span-record retention for the tracer.
+        keep_events: span-record retention for the tracer (``None``
+            keeps every record — required for complete trace exports).
     """
 
     def __init__(
         self,
         registry: MetricsRegistry | None = None,
-        keep_events: int = 1024,
+        keep_events: int | None = 1024,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.keep_events = keep_events
@@ -65,6 +66,7 @@ class CostAttribution:
         self._procedure_phase_ms: dict[str, dict[str, float]] = defaultdict(
             lambda: defaultdict(float)
         )
+        self._unspanned_ms: dict[str, float] = defaultdict(float)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -98,6 +100,15 @@ class CostAttribution:
         if phase is None:
             phase = DEFAULT_PHASE_FOR_KIND.get(kind, "misc.fixed")
         self._phase_ms[phase] += ms
+        # Credit the innermost span's self time (the flight recorder's
+        # per-slice charge), or the un-spanned pool when no span is open.
+        span = tracer.innermost_span() if tracer is not None else None
+        if span is not None:
+            if span.charges is None:
+                span.charges = {}
+            span.charges[phase] = span.charges.get(phase, 0.0) + ms
+        else:
+            self._unspanned_ms[phase] += ms
         procedure = (
             tracer.current_procedure() if tracer is not None else None
         )
@@ -128,6 +139,11 @@ class CostAttribution:
         return dict(
             sorted(self._procedure_ms.items(), key=lambda kv: -kv[1])
         )
+
+    def unspanned_phase_costs(self) -> dict[str, float]:
+        """Milliseconds charged while *no* span was active, per attributed
+        phase (the complement of every span's ``self_ms_by_phase``)."""
+        return dict(sorted(self._unspanned_ms.items(), key=lambda kv: -kv[1]))
 
     def procedure_phase_costs(self) -> dict[str, dict[str, float]]:
         """Per-procedure phase breakdown (nested plain dicts)."""

@@ -1,0 +1,274 @@
+"""The flight recorder: exportable trace timelines for observed runs.
+
+Everything the cost-attribution layer learns about a run dies with the
+process unless it is exported. This module turns a completed
+:class:`repro.obs.CostAttribution` window into two durable artifacts:
+
+- **Chrome trace-event JSON** (:func:`to_chrome_trace` /
+  :func:`write_chrome_trace`): loadable in ``chrome://tracing`` or
+  Perfetto. Every completed span becomes one complete (``"X"``) slice on
+  the run's timeline track, nested exactly as the spans nested, with
+  timestamps in simulated time (1 trace µs = 1 simulated ms ÷ 1000).
+  Charges attributed while *no* span was open (e.g. warm plan charges
+  that fall back to per-kind default phases) are emitted as synthetic
+  slices on a separate ``unspanned`` track, so the trace accounts for
+  every charged millisecond.
+- **A compact JSONL event log** (:func:`write_span_jsonl`): one JSON
+  object per span record, for ad-hoc grepping and diffing without a
+  trace viewer.
+
+The export preserves the attribution invariant: summing each slice's
+``args.self_ms_by_phase`` across the whole trace reproduces the run's
+per-phase cost pie exactly (:func:`phase_totals_from_events` is the
+checker CI and the tests use).
+
+Use :class:`FlightRecorder` to get an attribution pre-configured with
+unbounded span retention — a bounded tracer drops the oldest spans and
+the exported totals would silently stop summing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.obs.attribution import CostAttribution
+from repro.obs.tracer import SpanRecord
+
+#: Version stamped into every JSON artifact this repo's tooling emits
+#: (CLI reports, manifests, traces, bench snapshots). Bump on breaking
+#: shape changes so downstream diff tooling can evolve safely.
+SCHEMA_VERSION = 1
+
+#: pid used for all slices of one exported run.
+TRACE_PID = 1
+#: tid of the main span timeline and of the synthetic unspanned track.
+TRACE_TID_TIMELINE = 0
+TRACE_TID_UNSPANNED = 1
+
+
+class FlightRecorder:
+    """A :class:`CostAttribution` wired for complete trace export.
+
+    Thin convenience: constructs the attribution with ``keep_events=None``
+    (every span retained) and exposes the export helpers bound to it::
+
+        recorder = FlightRecorder()
+        run = run_workload(..., observation=recorder.observation)
+        recorder.write_chrome_trace("run.trace.json", label="ci run")
+    """
+
+    def __init__(self) -> None:
+        self.observation = CostAttribution(keep_events=None)
+
+    def trace_events(self, label: str = "run") -> list[dict]:
+        """The run's Chrome trace events (see :func:`to_trace_events`)."""
+        return to_trace_events(self.observation, label=label)
+
+    def write_chrome_trace(
+        self, path: str, label: str = "run", metadata: dict | None = None
+    ) -> None:
+        """Write the Chrome trace JSON for the observed window."""
+        write_chrome_trace(path, self.observation, label=label,
+                           metadata=metadata)
+
+    def write_span_jsonl(self, path: str) -> int:
+        """Write the compact JSONL span log; returns records written."""
+        return write_span_jsonl(path, self.observation)
+
+
+def span_to_dict(record: SpanRecord) -> dict:
+    """One span record as a compact JSON-ready object (the JSONL row)."""
+    row: dict = {
+        "phase": record.phase,
+        "procedure": record.procedure,
+        "start_ms": record.start_ms,
+        "duration_ms": record.duration_ms,
+        "depth": record.depth,
+    }
+    if record.self_ms_by_phase:
+        row["self_ms_by_phase"] = record.self_ms_by_phase
+    return row
+
+
+def to_trace_events(
+    observation: CostAttribution, label: str = "run"
+) -> list[dict]:
+    """Chrome trace events for one observed window.
+
+    Ordering: metadata first, then spans in completion order (the trace
+    format does not require sorting; viewers sort by ``ts``).
+    """
+    if observation.tracer is None:
+        raise ValueError(
+            "observation was never attached to a clock; nothing to export"
+        )
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": TRACE_TID_TIMELINE,
+            "args": {"name": f"repro-procs {label}"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": TRACE_TID_TIMELINE,
+            "args": {"name": "timeline (simulated ms)"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": TRACE_TID_UNSPANNED,
+            "args": {"name": "unspanned charges"},
+        },
+    ]
+    for record in observation.tracer.events:
+        name = record.phase or (
+            f"proc:{record.procedure}" if record.procedure else "span"
+        )
+        args: dict = {}
+        if record.procedure is not None:
+            args["procedure"] = record.procedure
+        if record.self_ms_by_phase:
+            args["self_ms_by_phase"] = record.self_ms_by_phase
+        events.append(
+            {
+                "name": name,
+                "cat": "phase" if record.phase else "procedure",
+                "ph": "X",
+                "pid": TRACE_PID,
+                "tid": TRACE_TID_TIMELINE,
+                "ts": record.start_ms * 1000.0,
+                "dur": record.duration_ms * 1000.0,
+                "args": args,
+            }
+        )
+    # Synthetic slices for charges made outside any span: placed at the
+    # start of the unspanned track, one per phase, sized by their cost so
+    # the trace still accounts for every charged millisecond.
+    cursor = 0.0
+    for phase, ms in observation.unspanned_phase_costs().items():
+        events.append(
+            {
+                "name": f"unspanned:{phase}",
+                "cat": "unspanned",
+                "ph": "X",
+                "pid": TRACE_PID,
+                "tid": TRACE_TID_UNSPANNED,
+                "ts": cursor,
+                "dur": ms * 1000.0,
+                "args": {"self_ms_by_phase": {phase: ms}},
+            }
+        )
+        cursor += ms * 1000.0
+    return events
+
+
+def to_chrome_trace(
+    observation: CostAttribution,
+    label: str = "run",
+    metadata: dict | None = None,
+) -> dict:
+    """The full Chrome trace JSON object for one observed window."""
+    return {
+        "traceEvents": to_trace_events(observation, label=label),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema_version": SCHEMA_VERSION,
+            "label": label,
+            "phase_costs_ms": observation.phase_costs(),
+            **(metadata or {}),
+        },
+    }
+
+
+def write_chrome_trace(
+    path: str,
+    observation: CostAttribution,
+    label: str = "run",
+    metadata: dict | None = None,
+) -> None:
+    """Serialize :func:`to_chrome_trace` to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(
+            to_chrome_trace(observation, label=label, metadata=metadata),
+            handle,
+            sort_keys=True,
+        )
+        handle.write("\n")
+
+
+def write_span_jsonl(path: str, observation: CostAttribution) -> int:
+    """Write one JSON object per completed span; returns the row count."""
+    if observation.tracer is None:
+        raise ValueError(
+            "observation was never attached to a clock; nothing to export"
+        )
+    count = 0
+    with open(path, "w") as handle:
+        for record in observation.tracer.events:
+            handle.write(json.dumps(span_to_dict(record), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def phase_totals_from_events(events: Iterable[dict]) -> dict[str, float]:
+    """Per-phase charge totals recovered from exported trace events.
+
+    Sums every slice's ``args.self_ms_by_phase``; by construction this
+    equals the attribution's phase cost pie (the invariant the tests and
+    CI assert with :func:`validate_chrome_trace`'s caller).
+    """
+    totals: dict[str, float] = {}
+    for event in events:
+        charges = event.get("args", {}).get("self_ms_by_phase")
+        if not charges:
+            continue
+        for phase, ms in charges.items():
+            totals[phase] = totals.get(phase, 0.0) + ms
+    return totals
+
+
+def validate_chrome_trace(trace: dict) -> list[str]:
+    """Structural validation against the Chrome trace-event format.
+
+    Returns a list of problems (empty = valid): the object form must
+    carry a ``traceEvents`` list; every event needs ``name``/``ph``/
+    ``pid``/``tid``; complete (``"X"``) events need finite non-negative
+    ``ts`` and ``dur``; only ``"X"`` and metadata (``"M"``) phases are
+    emitted by this exporter.
+    """
+    problems: list[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                problems.append(f"event {i}: missing {key!r}")
+        ph = event.get("ph")
+        if ph not in ("X", "M"):
+            problems.append(f"event {i}: unexpected ph {ph!r}")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if (
+                    not isinstance(value, (int, float))
+                    or value != value  # NaN
+                    or value < 0
+                ):
+                    problems.append(
+                        f"event {i}: {key} must be a non-negative number, "
+                        f"got {value!r}"
+                    )
+        if ph == "M" and "name" not in event.get("args", {}):
+            problems.append(f"event {i}: metadata event lacks args.name")
+    return problems

@@ -1,0 +1,338 @@
+"""The benchmark ledger: pinned perf suite, history, and regression gate.
+
+Backs ``repro-procs bench``. The suite is *pinned* — a fixed set of
+representative scenarios (analytical model-1/model-2 figures, a
+multiprogramming-level sweep, a chaos smoke) whose metrics are
+normalized into flat ``{key: {value, unit, direction}}`` records — so
+every snapshot is comparable with every other snapshot of the same
+``SUITE_VERSION``. Snapshots append to ``BENCH_history.jsonl`` (the perf
+trajectory) and overwrite ``BENCH_latest.json``; ``bench --compare
+<baseline>`` diffs the fresh snapshot against a stored one and fails
+when any metric moves in its bad direction by more than the tolerance.
+
+Everything measured is simulated milliseconds or derived throughput, so
+snapshots are bit-deterministic for a (seed, operations) pair: the gate
+trips on *code* changes, never on machine noise.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass
+
+from repro.obs.flight import SCHEMA_VERSION
+from repro.obs.manifest import git_sha
+
+#: Bump when the pinned scenario set or metric keys change shape;
+#: snapshots of different suite versions refuse to compare.
+SUITE_VERSION = "1"
+
+#: Default relative tolerance for the regression gate (deterministic
+#: metrics — the default is headroom for intentional small shifts, not
+#: for noise).
+DEFAULT_TOLERANCE = 0.10
+
+#: Figure scenarios: (figure id, model number, P value to sample).
+_FIGURE_POINTS: tuple[tuple[str, int, float], ...] = (
+    ("fig05", 1, 0.5),
+    ("fig17", 2, 0.5),
+)
+
+#: MPL sweep scenario: strategies and multiprogramming levels.
+_SWEEP_STRATEGIES: tuple[str, ...] = ("cache_invalidate", "update_cache_rvm")
+_SWEEP_MPLS: tuple[int, ...] = (1, 4)
+
+#: Chaos smoke scenario knobs.
+_CHAOS_STRATEGY = "cache_invalidate"
+_CHAOS_MPL = 2
+_CHAOS_FAULT_BUDGET = 40
+
+
+def run_bench_suite(operations: int = 120, seed: int = 7) -> dict:
+    """Execute the pinned suite and return one normalized snapshot.
+
+    ``operations`` scales the simulated scenarios (the analytical figure
+    points are closed-form and unaffected); the pinned *shape* — which
+    scenarios, which metric keys — never varies with it.
+    """
+    from repro.concurrent import concurrent_sweep
+    from repro.experiments import run_experiment
+    from repro.experiments.simcompare import SIM_SCALE_PARAMS
+    from repro.faults.chaos import run_chaos
+    from repro.faults.injector import FaultPlan
+
+    metrics: dict[str, dict] = {}
+    checks: dict[str, bool] = {}
+
+    def metric(key, value, unit, direction) -> None:
+        metrics[key] = {
+            "value": float(value), "unit": unit, "direction": direction
+        }
+
+    for figure_id, model, p_value in _FIGURE_POINTS:
+        result = run_experiment(figure_id)
+        checks[f"{figure_id}.checks_pass"] = result.all_checks_pass
+        index = min(
+            range(len(result.x_values)),
+            key=lambda i: abs(result.x_values[i] - p_value),
+        )
+        for strategy, series in result.series.items():
+            metric(
+                f"{figure_id}.{strategy}.cost_ms",
+                series[index],
+                "ms/access",
+                "lower",
+            )
+
+    params = SIM_SCALE_PARAMS.with_update_probability(0.5)
+    for run in concurrent_sweep(
+        params,
+        strategies=_SWEEP_STRATEGIES,
+        mpls=_SWEEP_MPLS,
+        num_operations=operations,
+        seed=seed,
+    ):
+        prefix = f"concurrent.{run.strategy}.mpl{run.mpl}"
+        metric(
+            f"{prefix}.throughput_ops_per_s",
+            run.throughput_ops_per_s,
+            "ops/s",
+            "higher",
+        )
+        metric(
+            f"{prefix}.cost_per_access_ms",
+            run.cost_per_access_ms,
+            "ms/access",
+            "lower",
+        )
+
+    chaos = run_chaos(
+        params,
+        _CHAOS_STRATEGY,
+        plan=FaultPlan.seeded(seed, max_faults=_CHAOS_FAULT_BUDGET),
+        mpl=_CHAOS_MPL,
+        num_operations=max(20, operations // 2),
+        seed=seed,
+    )
+    prefix = f"chaos.{chaos.strategy}.mpl{chaos.mpl}"
+    metric(f"{prefix}.recovery_ms", chaos.recovery_ms, "ms", "lower")
+    metric(f"{prefix}.clock_total_ms", chaos.clock_total_ms, "ms", "lower")
+    checks[f"{prefix}.oracle_ok"] = chaos.oracle_ok
+    checks[f"{prefix}.attribution_consistent"] = chaos.attribution_consistent
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "bench_snapshot",
+        "suite_version": SUITE_VERSION,
+        "created_unix": time.time(),
+        "created_iso": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_sha": git_sha(),
+        "operations": operations,
+        "seed": seed,
+        "metrics": metrics,
+        "checks": checks,
+    }
+
+
+def validate_snapshot(snapshot: dict) -> list[str]:
+    """Structural validation of a bench snapshot; returns problems
+    (empty = valid). The repo-consistency test runs this against the
+    committed baseline so the schema cannot silently drift."""
+    problems: list[str] = []
+    for key in ("schema_version", "kind", "suite_version", "metrics",
+                "checks", "operations", "seed"):
+        if key not in snapshot:
+            problems.append(f"missing top-level key {key!r}")
+    if snapshot.get("kind") != "bench_snapshot":
+        problems.append(f"kind is {snapshot.get('kind')!r}")
+    metrics = snapshot.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        problems.append("metrics missing or empty")
+        return problems
+    for key, entry in metrics.items():
+        if not isinstance(entry, dict):
+            problems.append(f"metric {key!r}: not an object")
+            continue
+        if not isinstance(entry.get("value"), (int, float)):
+            problems.append(f"metric {key!r}: value is not a number")
+        if entry.get("direction") not in ("lower", "higher"):
+            problems.append(
+                f"metric {key!r}: direction must be 'lower' or 'higher'"
+            )
+        if not isinstance(entry.get("unit"), str):
+            problems.append(f"metric {key!r}: unit is not a string")
+    for key, value in (snapshot.get("checks") or {}).items():
+        if not isinstance(value, bool):
+            problems.append(f"check {key!r}: not a boolean")
+    return problems
+
+
+def append_history(path: str, snapshot: dict) -> None:
+    """Append one snapshot as a JSONL line (the perf trajectory)."""
+    with open(path, "a") as handle:
+        handle.write(json.dumps(snapshot, sort_keys=True))
+        handle.write("\n")
+
+
+def write_latest(path: str, snapshot: dict) -> None:
+    """Overwrite the latest-snapshot file (the CI artifact)."""
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_snapshot(path: str) -> dict:
+    """Read one snapshot from JSON (also accepts the last JSONL line of
+    a history file, so a baseline can point at either artifact)."""
+    with open(path) as handle:
+        text = handle.read().strip()
+    if "\n" in text and not text.lstrip().startswith("{\n"):
+        # JSONL history: take the most recent entry.
+        lines = [line for line in text.splitlines() if line.strip()]
+        try:
+            return json.loads(lines[-1])
+        except json.JSONDecodeError:
+            pass
+    return json.loads(text)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared metric: baseline vs current and the verdict."""
+
+    key: str
+    direction: str
+    baseline: float | None
+    current: float | None
+    #: Relative change (current-baseline)/baseline; ±inf when the
+    #: baseline is zero and the value moved; None when not comparable.
+    delta_frac: float | None
+    #: "ok", "regression", "missing" (gone from current) or "new".
+    status: str
+
+    @property
+    def is_regression(self) -> bool:
+        """Whether this row should fail the gate."""
+        return self.status in ("regression", "missing")
+
+
+def compare_snapshots(
+    baseline: dict, current: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> list[MetricDelta]:
+    """Diff two snapshots metric-by-metric under ``tolerance``.
+
+    A metric regresses when it moves in its bad direction (up for
+    ``lower``-is-better, down for ``higher``) by more than ``tolerance``
+    (relative). A baseline metric absent from the current snapshot is a
+    regression (coverage loss); a new current-only metric is reported
+    but never fails. A check that was true in the baseline and is false
+    now is a regression with ``delta_frac=None``. Snapshots of different
+    suite versions refuse to compare.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    if baseline.get("suite_version") != current.get("suite_version"):
+        raise ValueError(
+            f"suite versions differ: baseline "
+            f"{baseline.get('suite_version')!r} vs current "
+            f"{current.get('suite_version')!r}"
+        )
+    deltas: list[MetricDelta] = []
+    base_metrics: dict = baseline.get("metrics", {})
+    cur_metrics: dict = current.get("metrics", {})
+    for key in sorted(set(base_metrics) | set(cur_metrics)):
+        base_entry = base_metrics.get(key)
+        cur_entry = cur_metrics.get(key)
+        if base_entry is None:
+            deltas.append(MetricDelta(
+                key=key,
+                direction=cur_entry["direction"],
+                baseline=None,
+                current=cur_entry["value"],
+                delta_frac=None,
+                status="new",
+            ))
+            continue
+        direction = base_entry["direction"]
+        if cur_entry is None:
+            deltas.append(MetricDelta(
+                key=key,
+                direction=direction,
+                baseline=base_entry["value"],
+                current=None,
+                delta_frac=None,
+                status="missing",
+            ))
+            continue
+        base_value = base_entry["value"]
+        cur_value = cur_entry["value"]
+        if base_value == 0.0:
+            delta = 0.0 if cur_value == 0.0 else math.copysign(
+                math.inf, cur_value
+            )
+        else:
+            delta = (cur_value - base_value) / abs(base_value)
+        worse = (
+            delta > tolerance
+            if direction == "lower"
+            else delta < -tolerance
+        )
+        deltas.append(MetricDelta(
+            key=key,
+            direction=direction,
+            baseline=base_value,
+            current=cur_value,
+            delta_frac=delta,
+            status="regression" if worse else "ok",
+        ))
+    base_checks: dict = baseline.get("checks", {})
+    cur_checks: dict = current.get("checks", {})
+    for key in sorted(base_checks):
+        if base_checks[key] and not cur_checks.get(key, False):
+            deltas.append(MetricDelta(
+                key=key,
+                direction="higher",
+                baseline=1.0,
+                current=0.0,
+                delta_frac=None,
+                status="regression",
+            ))
+    return deltas
+
+
+def regressions(deltas: list[MetricDelta]) -> list[MetricDelta]:
+    """The gate-failing subset of :func:`compare_snapshots` output."""
+    return [d for d in deltas if d.is_regression]
+
+
+def render_delta_table(
+    deltas: list[MetricDelta], tolerance: float = DEFAULT_TOLERANCE
+) -> str:
+    """One aligned per-metric delta table (the ``--compare`` output)."""
+    header = (
+        f"{'metric':44s} {'dir':>6s} {'baseline':>12s} {'current':>12s} "
+        f"{'delta':>8s} {'status':>10s}"
+    )
+    lines = [header, "-" * len(header)]
+    for d in deltas:
+        base = f"{d.baseline:12.2f}" if d.baseline is not None else " " * 12
+        cur = f"{d.current:12.2f}" if d.current is not None else " " * 12
+        if d.delta_frac is None:
+            delta = " " * 8
+        elif math.isinf(d.delta_frac):
+            delta = f"{'+inf' if d.delta_frac > 0 else '-inf':>8s}"
+        else:
+            delta = f"{d.delta_frac:+7.1%}"
+        status = d.status.upper() if d.is_regression else d.status
+        lines.append(
+            f"{d.key:44s} {d.direction:>6s} {base} {cur} {delta} "
+            f"{status:>10s}"
+        )
+    bad = regressions(deltas)
+    lines.append(
+        f"{len(deltas)} metrics compared at ±{tolerance:.0%} tolerance; "
+        + (f"{len(bad)} REGRESSED" if bad else "no regressions")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Run provenance: one manifest JSON per observed CLI run.
+
+A ``results/*.txt`` file or a ``--json`` dump answers *what* a run
+produced; a **run manifest** answers *how to reproduce and diff it*:
+seed, the full parameter set, the git commit, the command and its
+arguments, wall-clock and simulated totals, the per-phase cost pie, the
+event counters (cache hits/misses, lock and fault events), and
+fixed-boundary latency histograms. Every CLI verb that simulates work
+(``profile``, ``concurrent``, ``chaos``, ``run``/``all`` via
+``--manifest``) writes one of these to ``results/runs/<run_id>.json``;
+the directory is gitignored except for committed baselines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+import time
+import uuid
+
+from repro.model.params import ModelParams
+from repro.obs.flight import SCHEMA_VERSION
+from repro.sim.metrics import MetricSet
+
+#: Fixed bucket boundaries (simulated ms) for manifest latency
+#: histograms. Fixed across runs so histograms diff bucket-by-bucket;
+#: roughly logarithmic from one predicate test to minutes of simulated
+#: work.
+LATENCY_BOUNDS_MS: tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1_000.0, 2_000.0, 5_000.0, 10_000.0, 30_000.0, 60_000.0,
+)
+
+#: Where per-run manifests land, relative to the working directory.
+DEFAULT_RUNS_DIR = os.path.join("results", "runs")
+
+
+def git_sha(root: str | None = None) -> str | None:
+    """The checkout's commit hash, or ``None`` outside a git repo (the
+    manifest records provenance best-effort; absence is explicit)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def new_run_id(command: str) -> str:
+    """A unique, sortable run id: ``<command>-<utc stamp>-<nonce>``."""
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    return f"{command}-{stamp}-{uuid.uuid4().hex[:8]}"
+
+
+def metric_histograms(
+    metrics: MetricSet | None,
+    bounds: tuple[float, ...] = LATENCY_BOUNDS_MS,
+) -> dict[str, dict]:
+    """Fixed-boundary histograms for every metric that retained samples."""
+    if metrics is None:
+        return {}
+    out: dict[str, dict] = {}
+    for name in metrics.names():
+        stat = metrics.get(name)
+        if stat.has_samples:
+            out[name] = stat.histogram(bounds)
+    return out
+
+
+def build_run_manifest(
+    command: str,
+    args: dict,
+    params: ModelParams | None = None,
+    seed: int | None = None,
+    strategy: str | None = None,
+    wall_time_s: float = 0.0,
+    simulated_ms_total: float | None = None,
+    phase_costs: dict[str, float] | None = None,
+    counters: dict[str, float] | None = None,
+    metrics: MetricSet | None = None,
+    result_summary: dict | None = None,
+) -> dict:
+    """Assemble one JSON-ready run manifest.
+
+    Args:
+        command: the CLI verb (``profile``, ``chaos``, ...).
+        args: the parsed argument values the run was invoked with.
+        params: the full :class:`ModelParams` point (serialized field by
+            field), when the command simulates a workload.
+        seed / strategy: headline reproducibility knobs, duplicated out
+            of ``args`` for easy grepping.
+        wall_time_s: real elapsed seconds for the whole command.
+        simulated_ms_total: total simulated clock charge (``None`` for
+            analytical-only commands like ``run``).
+        phase_costs: the per-phase cost pie from attribution.
+        counters: event counters (cache hit/miss, lock waits, faults).
+        metrics: a :class:`MetricSet` to summarize into fixed-boundary
+            histograms.
+        result_summary: per-command payload (e.g. the sweep/campaign
+            JSON) embedded verbatim.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "run_manifest",
+        "run_id": new_run_id(command),
+        "command": command,
+        "created_unix": time.time(),
+        "created_iso": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+        "git_sha": git_sha(),
+        "argv": {key: _jsonable(value) for key, value in sorted(args.items())},
+        "seed": seed,
+        "strategy": strategy,
+        "params": dataclasses.asdict(params) if params is not None else None,
+        "wall_time_s": wall_time_s,
+        "simulated_ms_total": simulated_ms_total,
+        "phase_costs_ms": dict(phase_costs or {}),
+        "counters": dict(counters or {}),
+        "histograms": metric_histograms(metrics),
+        "result_summary": result_summary or {},
+    }
+
+
+def _jsonable(value):
+    """Coerce an argparse value into something JSON-serializable."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return repr(value)
+
+
+def write_run_manifest(
+    manifest: dict, runs_dir: str = DEFAULT_RUNS_DIR
+) -> str:
+    """Write ``manifest`` to ``<runs_dir>/<run_id>.json``; returns the
+    path. Creates the directory on first use."""
+    os.makedirs(runs_dir, exist_ok=True)
+    path = os.path.join(runs_dir, f"{manifest['run_id']}.json")
+    with open(path, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

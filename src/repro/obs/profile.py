@@ -78,8 +78,12 @@ class ProfileReport:
 
     def to_dict(self) -> dict:
         """JSON-ready export of the whole profile."""
+        from repro.obs.flight import SCHEMA_VERSION
+
         run = self.run
         return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "profile_report",
             "strategy": run.strategy,
             "model": run.model,
             "num_accesses": run.num_accesses,
@@ -100,10 +104,17 @@ def profile_workload(
     num_operations: int = 400,
     seed: int = 7,
     buffer_capacity: int = 0,
-    keep_events: int = 1024,
+    keep_events: int | None = 1024,
+    observation: CostAttribution | None = None,
 ) -> ProfileReport:
-    """Run ``strategy`` once with cost attribution attached."""
-    observation = CostAttribution(keep_events=keep_events)
+    """Run ``strategy`` once with cost attribution attached.
+
+    ``observation`` substitutes a pre-built attribution (e.g. a
+    :class:`repro.obs.FlightRecorder`'s, whose unbounded span retention
+    a trace export needs); ``keep_events`` configures the default one.
+    """
+    if observation is None:
+        observation = CostAttribution(keep_events=keep_events)
     run = run_workload(
         params,
         resolve_strategy(strategy),

@@ -9,6 +9,8 @@ constant memory however long the run.
 
 from __future__ import annotations
 
+import bisect
+
 from repro.sim.metrics import RunningStat
 
 
@@ -54,16 +56,44 @@ class Gauge:
 
 
 class Histogram:
-    """A distribution summary (Welford mean/variance, min/max, total)."""
+    """A distribution summary (Welford mean/variance, min/max, total),
+    optionally with fixed bucket boundaries.
 
-    __slots__ = ("name", "stat")
+    Args:
+        name: metric name.
+        bounds: optional strictly-increasing upper bucket boundaries;
+            when given, :meth:`observe` also maintains ``len(bounds)+1``
+            bucket counts (the last bucket is the ``> bounds[-1]``
+            overflow), so exports can diff distributions across runs
+            without retaining samples.
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = ("name", "stat", "bounds", "bucket_counts")
+
+    def __init__(
+        self, name: str, bounds: tuple[float, ...] | None = None
+    ) -> None:
         self.name = name
         self.stat = RunningStat()
+        if bounds is not None:
+            bounds = tuple(float(b) for b in bounds)
+            if not bounds or any(
+                b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+            ):
+                raise ValueError(
+                    f"histogram {name!r} bounds must be non-empty and "
+                    f"strictly increasing, got {bounds!r}"
+                )
+        self.bounds = bounds
+        self.bucket_counts = (
+            [0] * (len(bounds) + 1) if bounds is not None else None
+        )
 
     def observe(self, value: float) -> None:
+        """Fold one observation into the summary (and its bucket)."""
         self.stat.add(value)
+        if self.bounds is not None:
+            self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
 
     @property
     def count(self) -> int:
@@ -77,20 +107,28 @@ class Histogram:
     def total(self) -> float:
         return self.stat.total
 
-    def summary(self) -> dict[str, float]:
-        """The usual export view of the distribution."""
+    def summary(self) -> dict:
+        """The usual export view of the distribution (bucket counts
+        included when fixed bounds were configured)."""
         stat = self.stat
         if not stat.count:
-            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
-                    "stddev": 0.0, "total": 0.0}
-        return {
-            "count": stat.count,
-            "mean": stat.mean,
-            "min": stat.minimum,
-            "max": stat.maximum,
-            "stddev": stat.stddev,
-            "total": stat.total,
-        }
+            summary: dict = {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                             "stddev": 0.0, "total": 0.0}
+        else:
+            summary = {
+                "count": stat.count,
+                "mean": stat.mean,
+                "min": stat.minimum,
+                "max": stat.maximum,
+                "stddev": stat.stddev,
+                "total": stat.total,
+            }
+        if self.bounds is not None:
+            summary["buckets"] = {
+                "bounds": list(self.bounds),
+                "counts": list(self.bucket_counts),
+            }
+        return summary
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return f"Histogram({self.name}, n={self.count}, mean={self.mean:.3f})"
@@ -135,11 +173,27 @@ class MetricsRegistry:
             instrument = self._gauges[name] = Gauge(name)
         return instrument
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] | None = None
+    ) -> Histogram:
+        """The histogram named ``name``, created on first use.
+
+        ``bounds`` configures fixed bucket boundaries at creation time;
+        asking again with *different* bounds is an error (it would
+        silently fork the metric), asking with ``None`` returns the
+        existing instrument unchanged.
+        """
         instrument = self._histograms.get(name)
         if instrument is None:
             self._check_unique(name, "histogram")
-            instrument = self._histograms[name] = Histogram(name)
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        elif bounds is not None and instrument.bounds != tuple(
+            float(b) for b in bounds
+        ):
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{instrument.bounds!r}"
+            )
         return instrument
 
     # -- export ----------------------------------------------------------
@@ -150,7 +204,7 @@ class MetricsRegistry:
     def gauge_values(self) -> dict[str, float]:
         return {name: g.value for name, g in sorted(self._gauges.items())}
 
-    def histogram_summaries(self) -> dict[str, dict[str, float]]:
+    def histogram_summaries(self) -> dict[str, dict]:
         return {
             name: h.summary() for name, h in sorted(self._histograms.items())
         }

@@ -57,19 +57,30 @@ pies still sum exactly to the clock total.
 
 @dataclass(frozen=True)
 class SpanRecord:
-    """One completed span: what, for whom, when (simulated ms), how much."""
+    """One completed span: what, for whom, when (simulated ms), how much.
+
+    ``self_ms_by_phase`` is filled by an attached
+    :class:`repro.obs.CostAttribution`: clock charges made while this
+    span was the *innermost* span, keyed by the phase they were
+    attributed to. Summing it across every record (plus the
+    attribution's un-spanned charges) reproduces the cost pie exactly,
+    which is what the flight recorder's trace export relies on. ``None``
+    when the run was traced without attribution or the span charged
+    nothing directly.
+    """
 
     phase: Optional[str]
     procedure: Optional[str]
     start_ms: float
     duration_ms: float
     depth: int
+    self_ms_by_phase: Optional[dict] = None
 
 
 class Span:
     """A context manager pushing phase/procedure context onto a tracer."""
 
-    __slots__ = ("tracer", "phase", "procedure", "_start_ms")
+    __slots__ = ("tracer", "phase", "procedure", "_start_ms", "charges")
 
     def __init__(
         self, tracer: "Tracer", phase: Optional[str], procedure: Optional[str]
@@ -78,6 +89,9 @@ class Span:
         self.phase = phase
         self.procedure = procedure
         self._start_ms = 0.0
+        #: Lazily-created ``{phase: ms}`` of charges attributed while
+        #: this span was innermost (written by CostAttribution).
+        self.charges: Optional[dict] = None
 
     def __enter__(self) -> "Span":
         self._start_ms = self.tracer._now_ms()
@@ -97,7 +111,9 @@ class Tracer:
         clock: optional :class:`repro.sim.CostClock` used to timestamp
             span records in simulated milliseconds.
         keep_events: how many completed span records to retain (oldest
-            dropped first); 0 disables the event log entirely.
+            dropped first); 0 disables the event log entirely and
+            ``None`` retains every record (what the flight recorder
+            needs to export a complete timeline).
     """
 
     enabled = True
@@ -106,7 +122,7 @@ class Tracer:
         self,
         registry: "MetricsRegistry | None" = None,
         clock: "CostClock | None" = None,
-        keep_events: int = 1024,
+        keep_events: int | None = 1024,
     ) -> None:
         self.registry = registry
         self.clock = clock
@@ -132,6 +148,11 @@ class Tracer:
     def current_procedure(self) -> Optional[str]:
         """The innermost active procedure tag, or ``None``."""
         return self._procedure_stack[-1] if self._procedure_stack else None
+
+    def innermost_span(self) -> Optional[Span]:
+        """The innermost *active* span object, or ``None`` outside any
+        span (used by attribution to credit per-span self charges)."""
+        return self._stack[-1] if self._stack else None
 
     def _now_ms(self) -> float:
         return self.clock.elapsed_ms if self.clock is not None else 0.0
@@ -160,6 +181,7 @@ class Tracer:
                     start_ms=span._start_ms,
                     duration_ms=now - span._start_ms,
                     depth=len(self._stack),
+                    self_ms_by_phase=span.charges,
                 )
             )
 

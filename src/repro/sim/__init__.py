@@ -8,12 +8,13 @@ are directly comparable to the analytical model's output.
 """
 
 from repro.sim.clock import CostClock, CostParams, CostSnapshot
-from repro.sim.metrics import MetricSet, RunningStat
+from repro.sim.metrics import EmptySampleError, MetricSet, RunningStat
 
 __all__ = [
     "CostClock",
     "CostParams",
     "CostSnapshot",
+    "EmptySampleError",
     "MetricSet",
     "RunningStat",
 ]

@@ -12,8 +12,20 @@ once it exceeds ``sample_limit``.
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass, field
+
+
+class EmptySampleError(ValueError):
+    """Raised when a percentile (or bucketed histogram) is requested from
+    a statistic that retains no samples — either nothing was ever
+    observed, or sample retention was disabled (``sample_limit=0``).
+
+    An explicit error instead of a silent ``0.0``: a zero p99 looks like
+    a perfect latency, not like a missing measurement. Callers that want
+    a soft default should guard on :attr:`RunningStat.has_samples`.
+    """
 
 
 class RunningStat:
@@ -92,17 +104,27 @@ class RunningStat:
 
     # -- percentiles -----------------------------------------------------
 
+    @property
+    def has_samples(self) -> bool:
+        """Whether any samples are retained (percentiles answerable)."""
+        return bool(self._samples)
+
     def percentile(self, p: float) -> float:
         """Linearly-interpolated percentile over the retained samples.
 
-        ``p`` is in ``[0, 100]``; 0.0 when nothing was observed. Exact
-        while the sample count is within ``sample_limit``, a deterministic
-        decimated approximation beyond it.
+        ``p`` is in ``[0, 100]``. A single sample answers every ``p``
+        with that sample. Exact while the sample count is within
+        ``sample_limit``, a deterministic decimated approximation beyond
+        it. Raises :class:`EmptySampleError` when no samples are
+        retained (never observed, or retention disabled).
         """
         if not 0 <= p <= 100:
             raise ValueError("percentile p must be in [0, 100]")
         if not self._samples:
-            return 0.0
+            raise EmptySampleError(
+                "percentile of an empty sample set is undefined "
+                f"(count={self._count}, sample_limit={self._sample_limit})"
+            )
         data = sorted(self._samples)
         if len(data) == 1:
             return data[0]
@@ -125,6 +147,40 @@ class RunningStat:
     @property
     def p99(self) -> float:
         return self.percentile(99.0)
+
+    def histogram(self, bounds: tuple[float, ...]) -> dict:
+        """Bucket the *retained* samples under fixed boundaries.
+
+        ``bounds`` are strictly-increasing upper bucket edges; the
+        result has ``len(bounds)+1`` counts (last = overflow). Because
+        decimation keeps every ``sample_stride``-th observation, bucket
+        counts past the cap are a uniform subsample: ``scale`` (true
+        count over retained count) is the factor that estimates true
+        bucket populations, and the shape is deterministic for a given
+        observation sequence. Raises :class:`EmptySampleError` when no
+        samples are retained.
+        """
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram bounds must be non-empty and strictly "
+                f"increasing, got {bounds!r}"
+            )
+        if not self._samples:
+            raise EmptySampleError(
+                "histogram of an empty sample set is undefined "
+                f"(count={self._count}, sample_limit={self._sample_limit})"
+            )
+        counts = [0] * (len(bounds) + 1)
+        for value in self._samples:
+            counts[bisect.bisect_left(bounds, value)] += 1
+        return {
+            "bounds": list(bounds),
+            "counts": counts,
+            "sampled": len(self._samples),
+            "count": self._count,
+            "scale": self._count / len(self._samples),
+        }
 
     def merge(self, other: "RunningStat") -> None:
         """Fold another accumulator into this one (parallel Welford merge)."""
@@ -182,13 +238,30 @@ class MetricSet:
         return {name: stat.mean for name, stat in self.stats.items()}
 
     def percentile(self, name: str, p: float) -> float:
-        """``name``'s interpolated percentile (0.0 if never observed)."""
+        """``name``'s interpolated percentile. Raises
+        :class:`EmptySampleError` for a never-observed metric — percentiles
+        of nothing are a missing measurement, not a great latency."""
         return self.get(name).percentile(p)
+
+    def histogram(self, name: str, bounds: tuple[float, ...]) -> dict:
+        """``name``'s fixed-boundary bucket histogram (see
+        :meth:`RunningStat.histogram`)."""
+        return self.get(name).histogram(bounds)
 
     def latency_summary(self, name: str) -> dict[str, float]:
         """The standard latency digest for one metric: count, mean, and
-        the p50/p95/p99 tail the concurrency reports print."""
+        the p50/p95/p99 tail the concurrency reports print. A metric
+        with no retained samples reports zero percentiles alongside its
+        zero count (the digest shape stays fixed for tables/JSON)."""
         stat = self.get(name)
+        if not stat.has_samples:
+            return {
+                "count": float(stat.count),
+                "mean": stat.mean,
+                "p50": 0.0,
+                "p95": 0.0,
+                "p99": 0.0,
+            }
         return {
             "count": float(stat.count),
             "mean": stat.mean,

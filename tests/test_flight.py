@@ -1,0 +1,188 @@
+"""Flight-recorder trace export: format validity and the slice-sum
+invariant (every charged simulated millisecond appears in the trace)."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.simcompare import SIM_SCALE_PARAMS
+from repro.faults.chaos import run_chaos
+from repro.faults.injector import FaultPlan
+from repro.obs import CostAttribution, FlightRecorder
+from repro.obs.flight import (
+    SCHEMA_VERSION,
+    phase_totals_from_events,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_span_jsonl,
+)
+from repro.obs.profile import profile_workload
+from repro.obs.tracer import PHASES
+
+PARAMS = SIM_SCALE_PARAMS.with_update_probability(0.5)
+
+
+def _assert_trace_matches_pie(observation, phase_costs):
+    """The acceptance invariant: slice self-times sum to the cost pie."""
+    trace = to_chrome_trace(observation)
+    assert validate_chrome_trace(trace) == []
+    totals = phase_totals_from_events(trace["traceEvents"])
+    assert sorted(totals) == sorted(k for k, v in phase_costs.items() if v)
+    for phase, ms in totals.items():
+        assert math.isclose(
+            ms, phase_costs[phase], rel_tol=1e-9, abs_tol=1e-6
+        ), phase
+    return trace
+
+
+class TestChaosTrace:
+    """The ISSUE's acceptance scenario: a chaos run at MPL 4."""
+
+    def test_chaos_mpl4_trace_valid_and_sums_to_cost_pie(self):
+        recorder = FlightRecorder()
+        result = run_chaos(
+            PARAMS,
+            "cache_invalidate",
+            plan=FaultPlan.seeded(7, max_faults=40),
+            mpl=4,
+            num_operations=80,
+            seed=7,
+            observation=recorder.observation,
+        )
+        assert result.attribution_consistent
+        trace = _assert_trace_matches_pie(
+            recorder.observation, result.phase_costs
+        )
+        # And the total across all slices equals the clock total.
+        totals = phase_totals_from_events(trace["traceEvents"])
+        assert math.isclose(
+            sum(totals.values()),
+            result.clock_total_ms,
+            rel_tol=1e-9,
+            abs_tol=1e-6,
+        )
+
+    def test_trace_shape(self):
+        recorder = FlightRecorder()
+        run_chaos(
+            PARAMS,
+            "update_cache_rvm",
+            plan=FaultPlan.seeded(3, max_faults=20),
+            mpl=2,
+            num_operations=40,
+            seed=3,
+            observation=recorder.observation,
+        )
+        trace = to_chrome_trace(recorder.observation, label="chaos test")
+        assert trace["otherData"]["schema_version"] == SCHEMA_VERSION
+        assert trace["otherData"]["label"] == "chaos test"
+        assert trace["displayTimeUnit"] == "ms"
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        metas = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert slices and metas
+        # 1 trace microsecond = 1 simulated ms / 1000.
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in slices)
+
+
+class TestSerialTrace:
+    def test_profile_trace_sums_to_cost_pie(self):
+        recorder = FlightRecorder()
+        report = profile_workload(
+            PARAMS,
+            "cache_invalidate",
+            num_operations=60,
+            seed=7,
+            observation=recorder.observation,
+        )
+        _assert_trace_matches_pie(recorder.observation, report.phase_costs)
+
+    def test_trace_is_json_serializable(self):
+        recorder = FlightRecorder()
+        profile_workload(
+            PARAMS,
+            "update_cache_rvm",
+            num_operations=40,
+            seed=1,
+            observation=recorder.observation,
+        )
+        text = json.dumps(to_chrome_trace(recorder.observation))
+        assert validate_chrome_trace(json.loads(text)) == []
+
+    def test_unattached_observation_rejected(self):
+        with pytest.raises(ValueError):
+            to_chrome_trace(CostAttribution())
+
+
+class TestSpanJsonl:
+    def test_roundtrip(self, tmp_path):
+        recorder = FlightRecorder()
+        profile_workload(
+            PARAMS,
+            "always_recompute",
+            num_operations=40,
+            seed=7,
+            observation=recorder.observation,
+        )
+        path = tmp_path / "spans.jsonl"
+        rows = write_span_jsonl(str(path), recorder.observation)
+        lines = path.read_text().splitlines()
+        assert rows == len(lines) > 0
+        for line in lines:
+            record = json.loads(line)
+            assert {"phase", "procedure", "start_ms", "duration_ms",
+                    "depth"} <= set(record)
+
+
+class TestPhaseVocabulary:
+    """Satellite: every emitted phase label is in the documented
+    ``PHASES`` vocabulary, across serial, concurrent, and chaos runs."""
+
+    def _observed_phases(self):
+        from repro.concurrent import run_concurrent_workload
+
+        seen: set[str] = set()
+
+        def collect(observation):
+            for record in observation.tracer.events:
+                if record.phase is not None:
+                    seen.add(record.phase)
+            seen.update(observation.phase_costs())
+            seen.update(observation.unspanned_phase_costs())
+
+        recorder = FlightRecorder()
+        profile_workload(
+            PARAMS, "hybrid", num_operations=60, seed=7,
+            observation=recorder.observation,
+        )
+        collect(recorder.observation)
+
+        for strategy in ("cache_invalidate", "update_cache_rvm"):
+            observation = CostAttribution(keep_events=None)
+            run_concurrent_workload(
+                PARAMS, strategy, mpl=4, num_operations=60, seed=7,
+                observation=observation,
+            )
+            collect(observation)
+
+        observation = CostAttribution(keep_events=None)
+        run_chaos(
+            PARAMS,
+            "update_cache_avm",
+            plan=FaultPlan.seeded(7, max_faults=30),
+            mpl=2,
+            num_operations=40,
+            seed=7,
+            observation=observation,
+        )
+        collect(observation)
+        return seen
+
+    def test_all_emitted_phases_are_documented(self):
+        seen = self._observed_phases()
+        assert seen, "instrumentation emitted no phases at all"
+        undocumented = seen - set(PHASES)
+        assert not undocumented, (
+            f"phases emitted but missing from obs.tracer.PHASES: "
+            f"{sorted(undocumented)}"
+        )

@@ -1,0 +1,158 @@
+"""The benchmark ledger: pinned suite, history files, regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.flight import SCHEMA_VERSION
+from repro.obs.ledger import (
+    SUITE_VERSION,
+    append_history,
+    compare_snapshots,
+    load_snapshot,
+    regressions,
+    render_delta_table,
+    run_bench_suite,
+    validate_snapshot,
+    write_latest,
+)
+
+# One suite execution shared by the whole module (the suite is
+# deterministic, and it simulates real work).
+_SNAPSHOT = None
+
+
+def snapshot():
+    global _SNAPSHOT
+    if _SNAPSHOT is None:
+        _SNAPSHOT = run_bench_suite(operations=60, seed=7)
+    return _SNAPSHOT
+
+
+class TestSuite:
+    def test_snapshot_shape(self):
+        snap = snapshot()
+        assert validate_snapshot(snap) == []
+        assert snap["schema_version"] == SCHEMA_VERSION
+        assert snap["suite_version"] == SUITE_VERSION
+        assert snap["operations"] == 60
+        # The pinned scenarios all contribute metrics.
+        prefixes = {key.split(".")[0] for key in snap["metrics"]}
+        assert {"fig05", "fig17", "concurrent", "chaos"} <= prefixes
+        for entry in snap["metrics"].values():
+            assert entry["direction"] in ("lower", "higher")
+
+    def test_suite_is_deterministic(self):
+        again = run_bench_suite(operations=60, seed=7)
+        assert again["metrics"] == snapshot()["metrics"]
+        assert again["checks"] == snapshot()["checks"]
+
+    def test_checks_pass_on_healthy_tree(self):
+        assert all(snapshot()["checks"].values())
+
+
+class TestValidate:
+    def test_rejects_malformed(self):
+        bad = copy.deepcopy(snapshot())
+        del bad["suite_version"]
+        bad["metrics"]["fig05.always_recompute.cost_ms"]["direction"] = "up"
+        problems = validate_snapshot(bad)
+        assert any("suite_version" in p for p in problems)
+        assert any("direction" in p for p in problems)
+
+    def test_rejects_empty_metrics(self):
+        assert validate_snapshot({"metrics": {}}) != []
+
+
+class TestHistoryFiles:
+    def test_append_and_latest_roundtrip(self, tmp_path):
+        history = tmp_path / "BENCH_history.jsonl"
+        latest = tmp_path / "BENCH_latest.json"
+        append_history(str(history), snapshot())
+        append_history(str(history), snapshot())
+        write_latest(str(latest), snapshot())
+        lines = history.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["kind"] == "bench_snapshot"
+        assert load_snapshot(str(latest))["metrics"] == snapshot()["metrics"]
+        # A baseline may point at the history file: last line wins.
+        assert load_snapshot(str(history))["metrics"] == \
+            snapshot()["metrics"]
+
+
+class TestCompare:
+    def test_self_compare_is_clean(self):
+        deltas = compare_snapshots(snapshot(), snapshot(), tolerance=0.0)
+        assert deltas
+        assert regressions(deltas) == []
+        assert all(d.status == "ok" for d in deltas
+                   if d.delta_frac is not None)
+
+    def test_injected_regression_detected(self):
+        baseline = copy.deepcopy(snapshot())
+        key = "concurrent.cache_invalidate.mpl4.cost_per_access_ms"
+        # The baseline was twice as cheap → current regressed by +100%.
+        baseline["metrics"][key]["value"] /= 2.0
+        deltas = compare_snapshots(baseline, snapshot(), tolerance=0.10)
+        bad = regressions(deltas)
+        assert [d.key for d in bad] == [key]
+        assert bad[0].status == "regression"
+        assert bad[0].delta_frac == pytest.approx(1.0)
+        table = render_delta_table(deltas, tolerance=0.10)
+        assert "REGRESSED" in table and key in table
+
+    def test_higher_is_better_direction(self):
+        baseline = copy.deepcopy(snapshot())
+        key = "concurrent.cache_invalidate.mpl4.throughput_ops_per_s"
+        baseline["metrics"][key]["value"] *= 2.0  # throughput halved since
+        deltas = compare_snapshots(baseline, snapshot(), tolerance=0.10)
+        assert [d.key for d in regressions(deltas)] == [key]
+
+    def test_tolerance_forgives_small_moves(self):
+        baseline = copy.deepcopy(snapshot())
+        key = "chaos.cache_invalidate.mpl2.clock_total_ms"
+        baseline["metrics"][key]["value"] *= 0.95  # +5.3% move
+        assert regressions(
+            compare_snapshots(baseline, snapshot(), tolerance=0.10)
+        ) == []
+        assert regressions(
+            compare_snapshots(baseline, snapshot(), tolerance=0.01)
+        ) != []
+
+    def test_missing_metric_is_a_regression(self):
+        baseline = copy.deepcopy(snapshot())
+        baseline["metrics"]["old.coverage.metric"] = {
+            "value": 1.0, "unit": "ms", "direction": "lower",
+        }
+        deltas = compare_snapshots(baseline, snapshot())
+        missing = [d for d in deltas if d.key == "old.coverage.metric"]
+        assert missing[0].status == "missing"
+        assert missing[0].is_regression
+
+    def test_new_metric_is_reported_not_failed(self):
+        current = copy.deepcopy(snapshot())
+        current["metrics"]["brand.new.metric"] = {
+            "value": 1.0, "unit": "ms", "direction": "lower",
+        }
+        deltas = compare_snapshots(snapshot(), current)
+        new = [d for d in deltas if d.key == "brand.new.metric"]
+        assert new[0].status == "new"
+        assert not new[0].is_regression
+
+    def test_failed_check_is_a_regression(self):
+        current = copy.deepcopy(snapshot())
+        key = next(iter(current["checks"]))
+        current["checks"][key] = False
+        deltas = compare_snapshots(snapshot(), current)
+        assert key in [d.key for d in regressions(deltas)]
+
+    def test_suite_version_mismatch_rejected(self):
+        other = copy.deepcopy(snapshot())
+        other["suite_version"] = "999"
+        with pytest.raises(ValueError):
+            compare_snapshots(other, snapshot())
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_snapshots(snapshot(), snapshot(), tolerance=-0.1)

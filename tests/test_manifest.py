@@ -1,0 +1,102 @@
+"""Run manifests: provenance fields, serialization, and histograms."""
+
+import json
+
+from repro.experiments.simcompare import SIM_SCALE_PARAMS
+from repro.obs.flight import SCHEMA_VERSION
+from repro.obs.manifest import (
+    LATENCY_BOUNDS_MS,
+    build_run_manifest,
+    git_sha,
+    metric_histograms,
+    new_run_id,
+    write_run_manifest,
+)
+from repro.sim.metrics import MetricSet
+
+PARAMS = SIM_SCALE_PARAMS.with_update_probability(0.5)
+
+
+class TestBuildManifest:
+    def test_required_fields(self):
+        metrics = MetricSet()
+        for v in (5.0, 50.0, 500.0):
+            metrics.observe("access_ms", v)
+        manifest = build_run_manifest(
+            "profile",
+            {"strategy": "ci", "seed": 7, "func": None},
+            params=PARAMS,
+            seed=7,
+            strategy="cache_invalidate",
+            wall_time_s=1.25,
+            simulated_ms_total=1234.5,
+            phase_costs={"io.read": 1000.0, "predicate.test": 234.5},
+            counters={"cache.hit": 10},
+            metrics=metrics,
+            result_summary={"kind": "profile_report"},
+        )
+        assert manifest["schema_version"] == SCHEMA_VERSION
+        assert manifest["kind"] == "run_manifest"
+        assert manifest["command"] == "profile"
+        assert manifest["run_id"].startswith("profile-")
+        assert manifest["seed"] == 7
+        assert manifest["strategy"] == "cache_invalidate"
+        assert manifest["wall_time_s"] == 1.25
+        assert manifest["simulated_ms_total"] == 1234.5
+        assert manifest["phase_costs_ms"]["io.read"] == 1000.0
+        assert manifest["counters"] == {"cache.hit": 10}
+        assert manifest["params"]["n_tuples"] == PARAMS.n_tuples
+        # git_sha is best-effort: a 40-hex string in a checkout, None
+        # outside one — both are valid manifests.
+        assert manifest["git_sha"] is None or len(manifest["git_sha"]) == 40
+        assert "access_ms" in manifest["histograms"]
+        hist = manifest["histograms"]["access_ms"]
+        assert hist["bounds"] == list(LATENCY_BOUNDS_MS)
+        assert sum(hist["counts"]) == 3
+
+    def test_argv_is_jsonable(self):
+        manifest = build_run_manifest(
+            "run", {"experiment": "fig05", "func": print, "mpls": (1, 4)}
+        )
+        json.dumps(manifest)  # must not raise
+        assert manifest["argv"]["mpls"] == [1, 4]
+
+    def test_analytical_run_has_no_simulated_total(self):
+        manifest = build_run_manifest("run", {"experiment": "fig05"})
+        assert manifest["simulated_ms_total"] is None
+        assert manifest["phase_costs_ms"] == {}
+        assert manifest["histograms"] == {}
+
+
+class TestWriteManifest:
+    def test_write_creates_dir_and_file(self, tmp_path):
+        manifest = build_run_manifest("profile", {"seed": 7})
+        runs_dir = tmp_path / "results" / "runs"
+        path = write_run_manifest(manifest, runs_dir=str(runs_dir))
+        on_disk = json.loads((runs_dir / f"{manifest['run_id']}.json")
+                             .read_text())
+        assert path.endswith(f"{manifest['run_id']}.json")
+        assert on_disk["schema_version"] == SCHEMA_VERSION
+        assert on_disk["run_id"] == manifest["run_id"]
+
+
+class TestHelpers:
+    def test_run_ids_are_unique(self):
+        ids = {new_run_id("bench") for _ in range(20)}
+        assert len(ids) == 20
+        assert all(i.startswith("bench-") for i in ids)
+
+    def test_git_sha_in_repo(self):
+        sha = git_sha()
+        # The test suite runs inside the repo checkout.
+        assert sha is None or (len(sha) == 40 and set(sha) <=
+                               set("0123456789abcdef"))
+
+    def test_metric_histograms_skips_empty(self):
+        metrics = MetricSet()
+        metrics.observe("lat", 3.0)
+        metrics.stats.setdefault("never_sampled", type(metrics.get("lat"))())
+        out = metric_histograms(metrics)
+        assert "lat" in out
+        assert "never_sampled" not in out
+        assert metric_histograms(None) == {}

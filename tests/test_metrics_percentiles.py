@@ -2,12 +2,32 @@
 
 import pytest
 
-from repro.sim.metrics import MetricSet, RunningStat
+from repro.sim.metrics import EmptySampleError, MetricSet, RunningStat
 
 
 class TestRunningStatPercentile:
-    def test_empty_returns_zero(self):
-        assert RunningStat().percentile(50) == 0.0
+    def test_empty_raises(self):
+        # A zero p99 would masquerade as a perfect latency; an empty
+        # sample set must be an explicit error, not a silent 0.0.
+        with pytest.raises(EmptySampleError):
+            RunningStat().percentile(50)
+
+    def test_empty_error_is_a_value_error(self):
+        # Callers that caught ValueError before keep working.
+        with pytest.raises(ValueError):
+            RunningStat().percentile(50)
+
+    def test_no_retained_samples_raises(self):
+        stat = RunningStat(sample_limit=0)
+        stat.add(1.0)
+        with pytest.raises(EmptySampleError):
+            stat.percentile(50)
+
+    def test_has_samples(self):
+        stat = RunningStat()
+        assert not stat.has_samples
+        stat.add(1.0)
+        assert stat.has_samples
 
     def test_out_of_range_rejected(self):
         stat = RunningStat()
@@ -84,8 +104,15 @@ class TestMetricSetHelpers:
             metrics.observe("lat", v)
         assert metrics.percentile("lat", 50) == 2.0
 
-    def test_percentile_of_missing_metric(self):
-        assert MetricSet().percentile("nope", 95) == 0.0
+    def test_percentile_of_missing_metric_raises(self):
+        with pytest.raises(EmptySampleError):
+            MetricSet().percentile("nope", 95)
+
+    def test_single_sample_defined(self):
+        metrics = MetricSet()
+        metrics.observe("lat", 7.0)
+        for p in (0, 50, 99, 100):
+            assert metrics.percentile("lat", p) == 7.0
 
     def test_latency_summary_shape(self):
         metrics = MetricSet()
@@ -101,3 +128,65 @@ class TestMetricSetHelpers:
         summary = MetricSet().latency_summary("nope")
         assert summary["count"] == 0
         assert summary["p99"] == 0.0
+
+
+class TestHistogram:
+    def test_fixed_bounds_bucketing(self):
+        stat = RunningStat()
+        for v in (0.5, 1.0, 1.5, 10.0, 99.0):
+            stat.add(v)
+        hist = stat.histogram((1.0, 2.0, 50.0))
+        assert hist["bounds"] == [1.0, 2.0, 50.0]
+        # bisect_left: values == a bound land in that bound's bucket.
+        assert hist["counts"] == [2, 1, 1, 1]
+        assert hist["sampled"] == hist["count"] == 5
+        assert hist["scale"] == 1.0
+
+    def test_counts_sum_to_sampled(self):
+        stat = RunningStat()
+        for v in range(100):
+            stat.add(float(v))
+        hist = stat.histogram((10.0, 50.0))
+        assert sum(hist["counts"]) == hist["sampled"] == 100
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptySampleError):
+            RunningStat().histogram((1.0, 2.0))
+
+    def test_bad_bounds_rejected(self):
+        stat = RunningStat()
+        stat.add(1.0)
+        with pytest.raises(ValueError):
+            stat.histogram(())
+        with pytest.raises(ValueError):
+            stat.histogram((2.0, 1.0))
+        with pytest.raises(ValueError):
+            stat.histogram((1.0, 1.0))
+
+    def test_decimated_histogram_scales(self):
+        # Past the sample cap the retained set is a uniform subsample:
+        # counts sum to `sampled`, and `scale` recovers the true total.
+        stat = RunningStat(sample_limit=512)
+        n = 50_000
+        for v in range(n):
+            stat.add(float(v))
+        hist = stat.histogram((float(n) / 2,))
+        assert sum(hist["counts"]) == hist["sampled"] <= 512
+        assert hist["count"] == n
+        assert hist["scale"] > 1.0
+        assert hist["scale"] == pytest.approx(n / hist["sampled"])
+        # Uniform data: roughly half the samples under the midpoint.
+        assert hist["counts"][0] == pytest.approx(hist["sampled"] / 2, rel=0.1)
+        # Scaled counts estimate the true bucket populations.
+        assert hist["counts"][0] * hist["scale"] == pytest.approx(
+            n / 2, rel=0.1
+        )
+
+    def test_metric_set_histogram(self):
+        metrics = MetricSet()
+        for v in (1.0, 5.0):
+            metrics.observe("lat", v)
+        hist = metrics.histogram("lat", (2.0,))
+        assert hist["counts"] == [1, 1]
+        with pytest.raises(EmptySampleError):
+            metrics.histogram("nope", (2.0,))

@@ -81,6 +81,42 @@ class TestExperimentsDocument:
             )
 
 
+class TestBenchBaseline:
+    """The committed perf baseline must stay loadable and schema-valid,
+    or `bench --compare results/bench_baseline.json` rots in CI."""
+
+    BASELINE = ROOT / "results" / "bench_baseline.json"
+
+    def test_baseline_exists(self):
+        assert self.BASELINE.exists(), (
+            "committed bench baseline missing; regenerate with "
+            "`repro-procs bench --history '' "
+            "--latest results/bench_baseline.json`"
+        )
+
+    def test_baseline_matches_ledger_schema(self):
+        from repro.obs.ledger import (
+            SUITE_VERSION,
+            load_snapshot,
+            validate_snapshot,
+        )
+
+        snapshot = load_snapshot(str(self.BASELINE))
+        assert validate_snapshot(snapshot) == []
+        assert snapshot["suite_version"] == SUITE_VERSION, (
+            "suite version changed; regenerate the committed baseline"
+        )
+
+    def test_baseline_is_gitignored_only_for_per_run_artifacts(self):
+        """results/runs/ and the ledger outputs are ignored, but the
+        committed baseline itself must not be."""
+        gitignore = (ROOT / ".gitignore").read_text()
+        assert "results/runs/" in gitignore
+        assert "BENCH_history.jsonl" in gitignore
+        assert "BENCH_latest.json" in gitignore
+        assert "bench_baseline" not in gitignore
+
+
 class TestReadme:
     def test_quickstart_numbers_match_model(self):
         """README quotes the default-point costs; they must stay true."""

@@ -146,3 +146,118 @@ class TestCliContract:
         run = payload["runs"][0]
         assert run["throughput_ops_per_s"] > 0
         assert run["access_latency"]["p95"] >= run["access_latency"]["p50"]
+
+
+class TestJsonSchemaVersion:
+    """Satellite contract: every CLI-emitted JSON carries schema_version."""
+
+    def _json_out(self, capsys, argv):
+        import json
+
+        from repro.cli import main
+
+        code = main(argv)
+        return code, json.loads(capsys.readouterr().out)
+
+    def test_profile_json(self, capsys):
+        from repro.obs.flight import SCHEMA_VERSION
+
+        code, payload = self._json_out(
+            capsys,
+            ["profile", "--strategy", "ci", "--operations", "20", "--json"],
+        )
+        assert code == 0
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["kind"] == "profile_report"
+
+    def test_concurrent_json(self, capsys):
+        from repro.obs.flight import SCHEMA_VERSION
+
+        code, payload = self._json_out(
+            capsys,
+            ["concurrent", "--mpl", "1", "--strategy", "ar",
+             "--operations", "20", "--json"],
+        )
+        assert code == 0
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_chaos_json(self, capsys):
+        from repro.obs.flight import SCHEMA_VERSION
+
+        code, payload = self._json_out(
+            capsys,
+            ["chaos", "--strategy", "ar", "--operations", "20",
+             "--fault-events", "15", "--json"],
+        )
+        assert code == 0
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert all(
+            run["schema_version"] == SCHEMA_VERSION
+            for run in payload["runs"]
+        )
+
+
+class TestBenchCli:
+    """The perf-regression gate subcommand."""
+
+    def test_bad_args_exit_2(self, capsys, tmp_path, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--operations", "0"]) == 2
+        assert main(["bench", "--tolerance", "-1"]) == 2
+        assert main(["bench", "--compare", "no-such-file.json"]) == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+    def test_bench_writes_ledger_and_self_compares(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json
+
+        from repro.cli import main
+        from repro.obs.flight import SCHEMA_VERSION
+
+        monkeypatch.chdir(tmp_path)
+        code = main(["bench", "--operations", "40", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["kind"] == "bench_snapshot"
+        assert (tmp_path / "BENCH_latest.json").exists()
+        history = (tmp_path / "BENCH_history.jsonl").read_text()
+        assert len(history.splitlines()) == 1
+
+        # Self-comparison against the just-written snapshot is clean.
+        code = main(
+            ["bench", "--operations", "40",
+             "--compare", "BENCH_latest.json", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["comparison"]["regressions"] == []
+        assert len((tmp_path / "BENCH_history.jsonl")
+                   .read_text().splitlines()) == 2
+
+    def test_bench_gate_trips_on_regression(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json
+
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--operations", "40"]) == 0
+        capsys.readouterr()
+        baseline = json.loads((tmp_path / "BENCH_latest.json").read_text())
+        # Pretend the baseline was far cheaper: the fresh run regresses.
+        key = "concurrent.cache_invalidate.mpl4.cost_per_access_ms"
+        baseline["metrics"][key]["value"] /= 10.0
+        (tmp_path / "doctored.json").write_text(json.dumps(baseline))
+        code = main(
+            ["bench", "--operations", "40", "--compare", "doctored.json"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "REGRESSED" in captured.out
+        assert key in captured.err
