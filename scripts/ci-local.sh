@@ -26,10 +26,18 @@ else
     echo "==> ruff not installed; skipping lint (pip install 'ruff>=0.4')"
 fi
 
+# Coverage flags mirror CI when pytest-cov is importable (offline boxes
+# without it still run the plain suite).
+cov_flags=()
+if python -c "import pytest_cov" >/dev/null 2>&1; then
+    cov_flags=(--cov=repro --cov-report=xml --cov-report=term
+               --cov-fail-under=81)
+fi
+
 if [ "${CI_LOCAL_FAST:-0}" = "1" ]; then
-    run python -m pytest -x -q -m "not slow"
+    run python -m pytest -x -q -m "not slow" ${cov_flags[@]+"${cov_flags[@]}"}
 else
-    run python -m pytest -x -q
+    run python -m pytest -x -q ${cov_flags[@]+"${cov_flags[@]}"}
 fi
 
 run python -m pytest benchmarks -q --benchmark-disable

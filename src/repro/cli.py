@@ -196,10 +196,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         model=args.model,
         num_operations=args.operations,
         seed=args.seed,
+        batch_size=args.batch_size,
     )
+    batch_note = f" batch={run.batch_size}" if run.batch_size else ""
     print(
         f"strategy={run.strategy} model={run.model} "
-        f"P={args.update_probability:g} ops={args.operations}"
+        f"P={args.update_probability:g} ops={args.operations}{batch_note}"
     )
     print(f"cost per access: {run.cost_per_access_ms:.1f} simulated ms")
     print(
@@ -349,6 +351,7 @@ def _cmd_concurrent(args: argparse.Namespace) -> int:
         seed=args.seed,
         buffer_capacity=args.buffer_capacity,
         observation_factory=observation_factory,
+        batch_size=args.batch_size,
     )
     wall = time.perf_counter() - start
     if args.json:
@@ -611,6 +614,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         seed=args.seed,
         buffer_capacity=args.buffer_capacity,
         observation=observation,
+        batch_size=args.batch_size,
     )
     wall = time.perf_counter() - start
     if args.json:
@@ -754,6 +758,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sim_parser.add_argument("--operations", type=int, default=400)
     sim_parser.add_argument("--seed", type=int, default=7)
+    sim_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help=(
+            "group up to N consecutive same-relation update transactions "
+            "into one maintenance batch (default: per-transaction)"
+        ),
+    )
     sim_parser.set_defaults(func=_cmd_simulate)
 
     report_parser = sub.add_parser(
@@ -831,6 +844,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU buffer frames (0 = the paper's no-caching assumption)",
     )
     prof_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help=(
+            "group up to N consecutive same-relation update transactions "
+            "into one maintenance batch (default: per-transaction)"
+        ),
+    )
+    prof_parser.add_argument(
         "--top", type=int, default=5, help="procedures to list by cost"
     )
     prof_parser.add_argument(
@@ -894,6 +916,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="LRU buffer frames (0 = the paper's no-caching assumption)",
+    )
+    conc_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help=(
+            "group up to N consecutive same-relation update transactions "
+            "into one maintenance batch per session (default: "
+            "per-transaction)"
+        ),
     )
     conc_parser.add_argument(
         "--json", action="store_true", help="emit the sweep as JSON"

@@ -48,7 +48,7 @@ from repro.concurrent.session import (
     session_seed,
     split_operations,
 )
-from repro.core import ProcedureManager
+from repro.core import BatchAccumulator, ProcedureManager
 from repro.model.params import ModelParams
 from repro.query.executor import execute_plan
 from repro.query.optimizer import Optimizer
@@ -162,11 +162,22 @@ class _Engine:
         manager: ProcedureManager,
         sessions: list[ClientSession],
         footprints: dict[str, list[LockSpec]],
+        batch_size: int | None = None,
     ) -> None:
         self.db = db
         self.manager = manager
         self.sessions = {s.session_id: s for s in sessions}
         self.footprints = footprints
+        #: Cross-session update batching (group commit): maintenance for
+        #: committed updates is deferred into a shared accumulator and
+        #: flushed before any access executes — single-threaded virtual
+        #: time makes the deferral deterministic, and 2PL still shapes
+        #: timing the same way (the lock footprints are unchanged).
+        self.batcher = (
+            None
+            if batch_size is None
+            else BatchAccumulator(manager, batch_size)
+        )
         self.locks = LockManager()
         self.metrics = MetricSet()
         self._events: list[tuple[float, int, str, int]] = []
@@ -323,11 +334,36 @@ class _Engine:
 
     # -- operation preparation -------------------------------------------
 
+    def _apply_update(
+        self, relation: str, changes: list, cluster_field: str | None = None
+    ) -> None:
+        """Route one committed update through the batcher (deferred
+        maintenance) or straight to the manager (legacy path)."""
+        if self.batcher is None:
+            self.manager.update(
+                relation, changes, cluster_field=cluster_field
+            )
+        else:
+            self.batcher.add(
+                relation, changes, cluster_field=cluster_field
+            )
+
+    def drain_batches(self) -> float:
+        """Flush any maintenance still pending at end of stream."""
+        if self.batcher is None:
+            return 0.0
+        return self.batcher.flush()
+
     def _prepare_access(self, op) -> OperationContext:
         name = op.procedure
         units = [LockUnit.read(spec) for spec in self.footprints[name]]
 
         def execute() -> None:
+            # Reads must observe fully maintained caches: drain the
+            # pending update batch before serving the access (the flush
+            # cost lands in this operation's service time — group commit).
+            if self.batcher is not None:
+                self.batcher.flush()
             self.manager.access(name)
 
         return OperationContext(op=op, units=units, execute=execute)
@@ -379,7 +415,7 @@ class _Engine:
                 # zip truncation then fixes exactly the applied prefix so
                 # the rid table stays true to the relocations that landed.
                 try:
-                    self.manager.update("R1", changes, cluster_field="sel")
+                    self._apply_update("R1", changes, cluster_field="sel")
                 finally:
                     for pos, new_rid in zip(
                         positions, self.manager.last_rids
@@ -402,7 +438,7 @@ class _Engine:
                     units.append(unit_for(("R2", rid), old, new))
 
             def execute() -> None:
-                self.manager.update("R2", changes2)
+                self._apply_update("R2", changes2)
 
         elif relation == "R3":
             rids = rng.sample(db.r3_rids, min(l_tuples, len(db.r3_rids)))
@@ -415,7 +451,7 @@ class _Engine:
                     units.append(unit_for(("R3", rid), old, new))
 
             def execute() -> None:
-                self.manager.update("R3", changes3)
+                self._apply_update("R3", changes3)
 
         else:
             raise ValueError(f"unknown update target relation {relation!r}")
@@ -435,6 +471,7 @@ def run_concurrent_workload(
     invalidation_scheme: str | None = None,
     update_weights: dict[str, float] | None = None,
     observation: "CostAttribution | None" = None,
+    batch_size: int | None = None,
 ) -> ConcurrentRunResult:
     """Run ``mpl`` concurrent sessions of one strategy over the shared
     synthetic database.
@@ -443,9 +480,18 @@ def run_concurrent_workload(
     possible. With ``mpl=1`` every knob matches
     :func:`repro.workload.runner.run_workload` and the measured
     per-access cost is identical (the degeneracy check in the tests).
+
+    ``batch_size`` enables cross-session update batching: committed
+    updates accumulate maintenance into a shared
+    :class:`repro.core.BatchAccumulator` that flushes when full, when the
+    target relation changes, before any access executes, and at end of
+    stream. ``None`` (default) keeps the legacy immediate-maintenance
+    path.
     """
     if mpl < 1:
         raise ValueError("multiprogramming level mpl must be >= 1")
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be >= 1 (or None for unbatched)")
     db = build_database(params, seed=seed, buffer_capacity=buffer_capacity)
     pop = build_procedures(db, params, model=model, seed=seed)
     strategy = make_strategy(
@@ -485,9 +531,10 @@ def run_concurrent_workload(
     measure_start = db.clock.snapshot()
     if observation is not None:
         observation.attach(db.clock)
-    engine = _Engine(db, manager, sessions, footprints)
+    engine = _Engine(db, manager, sessions, footprints, batch_size=batch_size)
     try:
         engine.run()
+        engine.drain_batches()
     finally:
         if observation is not None:
             observation.detach()

@@ -34,6 +34,7 @@ def concurrent_sweep(
     seed: int = 7,
     buffer_capacity: int = 0,
     observation_factory: "Callable[[], CostAttribution] | None" = None,
+    batch_size: int | None = None,
 ) -> list[ConcurrentRunResult]:
     """Every (strategy, MPL) combination at one parameter point.
 
@@ -42,7 +43,8 @@ def concurrent_sweep(
 
     ``observation_factory`` (e.g. ``CostAttribution``) builds one fresh
     attribution per run, filling each result's phase/procedure costs —
-    what the manifest-writing CLI paths use.
+    what the manifest-writing CLI paths use. ``batch_size`` enables
+    batched update propagation (see :mod:`repro.core.batch`).
     """
     results: list[ConcurrentRunResult] = []
     for strategy in strategies:
@@ -61,6 +63,7 @@ def concurrent_sweep(
                         if observation_factory is not None
                         else None
                     ),
+                    batch_size=batch_size,
                 )
             )
     return results

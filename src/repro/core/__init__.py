@@ -19,6 +19,7 @@ paper's per-access metric needs.
 
 from repro.core.procedure import DatabaseProcedure, ProcedureKind
 from repro.core.strategy import ProcedureStrategy, StrategyName
+from repro.core.batch import BatchAccumulator, DeltaBatch, net_deltas
 from repro.core.always_recompute import AlwaysRecompute
 from repro.core.cache_invalidate import CacheAndInvalidate
 from repro.core.update_cache_avm import UpdateCacheAVM
@@ -49,6 +50,9 @@ __all__ = [
     "AccessResult",
     "UpdateResult",
     "STRATEGY_CLASSES",
+    "BatchAccumulator",
+    "DeltaBatch",
+    "net_deltas",
     "GroupedAggregate",
     "GLOBAL_GROUP",
     "DeltaJoiner",

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.batch import DeltaBatch
 from repro.core.procedure import DatabaseProcedure
 from repro.core.strategy import ProcedureStrategy, StrategyName
 from repro.locks import ILockTable
@@ -168,6 +169,51 @@ class CacheAndInvalidate(ProcedureStrategy):
                 self._valid[name] = False
                 if self.c_inval:
                     self.clock.charge_fixed(self.c_inval)
+
+    def on_update_batch(self, batch: DeltaBatch) -> None:
+        """Group invalidation: sweep the batch's merged (un-netted) write
+        footprint over the i-lock table once instead of probing it per
+        transaction.
+
+        Validity is monotone between accesses (nothing revalidates inside
+        a batch), so the procedures newly invalidated by the sweep are
+        exactly those the per-transaction probes would have flagged, at
+        the same per-procedure recording cost; durable schemes may
+        additionally group-commit the records (one log force per batch).
+        """
+        if batch.num_transactions <= 1:
+            super().on_update_batch(batch)  # bit-identical legacy path
+            return
+        tracer = self.clock.tracer
+        if tracer is None:
+            self._break_locks_grouped(batch)
+            return
+        with tracer.span("ilock.check"):
+            self._break_locks_grouped(batch)
+
+    def _break_locks_grouped(self, batch: DeltaBatch) -> None:
+        names = self.catalog.get(batch.relation).schema.names()
+        changed = batch.changed_dicts(names)
+        broken = self._locks.conflicting_procedures_swept(
+            batch.relation, changed
+        )
+        newly_invalid = sorted(
+            name for name in broken if self.is_valid(name)
+        )
+        if not newly_invalid:
+            return
+        tracer = self.clock.tracer
+        self.invalidation_count += len(newly_invalid)
+        if tracer is not None:
+            for _ in newly_invalid:
+                tracer.event("ilock.invalidation")
+        if self.scheme is not None:
+            self.scheme.mark_invalid_group(newly_invalid)
+            return
+        for name in newly_invalid:
+            self._valid[name] = False
+        if self.c_inval:
+            self.clock.charge_fixed(self.c_inval * len(newly_invalid))
 
     # -- fault recovery ----------------------------------------------------------------
 

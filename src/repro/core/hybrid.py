@@ -137,6 +137,12 @@ class HybridStrategy(ProcedureStrategy):
         for sub in self._subs.values():
             sub.on_update(relation, inserts, deletes)
 
+    def on_update_batch(self, batch) -> None:
+        """Broadcast the whole batch: each sub-strategy applies its own
+        batched algorithm (CI sweeps, RVM nets) over its own procedures."""
+        for sub in self._subs.values():
+            sub.on_update_batch(batch)
+
     def repair_procedure(self, name: str, full_rows: list[Row]) -> None:
         self._subs[self._routes[name]].repair_procedure(name, full_rows)
 

@@ -19,12 +19,16 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.procedure import DatabaseProcedure
 from repro.core.strategy import ProcedureStrategy
 from repro.query.expr import Expression
 from repro.storage.page import RID
 from repro.storage.tuples import Row
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.batch import DeltaBatch
 
 
 @dataclass
@@ -157,6 +161,50 @@ class ProcedureManager:
             base_cost_ms=base_cost,
             maintenance_cost_ms=maint_cost,
         )
+
+    def update_deferred(
+        self,
+        relation_name: str,
+        changes: list[tuple[RID, Row]],
+        cluster_field: str | None = None,
+    ) -> tuple[list[Row], list[Row]]:
+        """Apply one update transaction's base changes *without* running
+        strategy maintenance; returns the explicit ``(inserts, deletes)``
+        row lists for the caller to accumulate into a
+        :class:`repro.core.batch.DeltaBatch` and later hand to
+        :meth:`maintain_batch`. Base accounting (cost bucket,
+        ``num_updates``, :attr:`last_rids`) is identical to
+        :meth:`update`."""
+        relation = self.catalog.get(relation_name)
+        before_base = self.clock.snapshot()
+        deletes: list[Row] = []
+        inserts: list[Row] = []
+        self.last_rids = []
+        with self._base_update_span():
+            for rid, new_row in changes:
+                if cluster_field is None:
+                    old_row = relation.update(rid, new_row)
+                    new_rid = rid
+                else:
+                    old_row, new_rid = relation.update_clustered(
+                        rid, new_row, cluster_field
+                    )
+                self.last_rids.append(new_rid)
+                deletes.append(old_row)
+                inserts.append(new_row)
+        self.base_update_cost_ms += self.clock.elapsed_since(before_base)
+        self.num_updates += 1
+        return inserts, deletes
+
+    def maintain_batch(self, batch: "DeltaBatch") -> float:
+        """Run the strategy's deferred maintenance for ``batch`` (whose
+        base changes :meth:`update_deferred` already applied); returns the
+        simulated ms charged, accrued to the maintenance bucket."""
+        before = self.clock.snapshot()
+        self.strategy.on_update_batch(batch)
+        maint_cost = self.clock.elapsed_since(before)
+        self.maintenance_cost_ms += maint_cost
+        return maint_cost
 
     def insert(self, relation_name: str, rows: list[Row]) -> UpdateResult:
         """Apply one insert transaction and let the strategy maintain its

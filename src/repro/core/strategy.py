@@ -14,12 +14,16 @@ from __future__ import annotations
 
 import abc
 import enum
+from typing import TYPE_CHECKING
 
 from repro.core.procedure import DatabaseProcedure
 from repro.sim import CostClock
 from repro.storage.buffer import BufferPool
 from repro.storage.catalog import Catalog
 from repro.storage.tuples import Row
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.batch import DeltaBatch
 
 
 class StrategyName(str, enum.Enum):
@@ -73,6 +77,21 @@ class ProcedureStrategy(abc.ABC):
         """React to an applied update transaction (new rows ``inserts``
         replaced old rows ``deletes`` in place), charging the clock for any
         maintenance work."""
+
+    def on_update_batch(self, batch: "DeltaBatch") -> None:
+        """React to a group of applied update transactions against one
+        relation (see :class:`repro.core.batch.DeltaBatch`).
+
+        The default replays the batch transaction by transaction through
+        :meth:`on_update` — cost- and state-identical to the unbatched
+        pipeline at every batch size. Strategies override this to exploit
+        the group: merged i-lock sweeps, whole-delta-set algebra, or
+        set-at-a-time token propagation. Overrides must preserve the
+        contract that a single-transaction batch is bit-identical to one
+        :meth:`on_update` call.
+        """
+        for inserts, deletes in batch.transactions:
+            self.on_update(batch.relation, inserts, deletes)
 
     # -- fault recovery (see repro.faults.supervisor) ----------------------
 

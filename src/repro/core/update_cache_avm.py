@@ -18,6 +18,7 @@ Accessing a procedure just reads its stored value (``C2 * ProcSize``).
 
 from __future__ import annotations
 
+from repro.core.batch import DeltaBatch
 from repro.core.delta import DeltaJoiner
 from repro.core.procedure import DatabaseProcedure
 from repro.core.strategy import ProcedureStrategy, StrategyName
@@ -244,6 +245,24 @@ class UpdateCacheAVM(ProcedureStrategy):
             )
             for observer in observers:
                 observer(ins_combined, del_combined)
+
+    def on_update_batch(self, batch: DeltaBatch) -> None:
+        """Evaluate the delta expressions once over the batch's *net*
+        delta set: one screening pass, one delta join per procedure, one
+        store refresh touching each affected page once.
+
+        Valid by linearity of the join over multiset sums — the other
+        member relations are static for the batch's duration (a batch
+        never spans relations and a flush precedes every access) — and
+        because screening is a per-row filter, which commutes with
+        netting. Single-transaction batches replay the legacy path
+        unchanged (bit-identity at ``batch_size=1``).
+        """
+        if batch.num_transactions <= 1:
+            super().on_update_batch(batch)
+            return
+        inserts, deletes = batch.netted()
+        self.on_update(batch.relation, inserts, deletes)
 
     def add_delta_observer(self, name: str, observer) -> None:
         """Subscribe ``observer(inserts, deletes)`` to ``name``'s

@@ -16,6 +16,7 @@ Accessing a procedure reads its terminal memory (``C2 * ProcSize``).
 
 from __future__ import annotations
 
+from repro.core.batch import DeltaBatch
 from repro.core.procedure import DatabaseProcedure
 from repro.core.strategy import ProcedureStrategy, StrategyName
 from repro.rete import ReteNetwork
@@ -64,6 +65,18 @@ class UpdateCacheRVM(ProcedureStrategy):
         self, relation: str, inserts: list[Row], deletes: list[Row]
     ) -> None:
         self.network.apply_update(relation, inserts, deletes)
+
+    def on_update_batch(self, batch: DeltaBatch) -> None:
+        """Propagate the batch as one set-at-a-time token wave: the net
+        delta set is tokenised once, each t-const node screens its routed
+        tokens in one activation, and each α/β memory applies its whole
+        token batch with page-deduplicated I/O — per-node, not per-tuple,
+        work (correct by the same linearity argument as AVM; single
+        transactions replay the legacy path for bit-identity)."""
+        if batch.num_transactions <= 1:
+            super().on_update_batch(batch)
+            return
+        self.network.apply_update_batch(batch.relation, batch.transactions)
 
     # -- fault recovery -----------------------------------------------------
 

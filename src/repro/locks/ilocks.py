@@ -16,6 +16,7 @@ by the caller, not here.
 
 from __future__ import annotations
 
+import bisect
 from typing import Any, Iterable
 
 from repro.query.plan import LockSpec
@@ -81,4 +82,60 @@ class ILockTable:
                 for values in value_list
             ):
                 broken.add(procedure)
+        return broken
+
+    def conflicting_procedures_swept(
+        self,
+        relation: str,
+        changed_values: Iterable[dict[str, Any]],
+    ) -> set[str]:
+        """Group-invalidation variant of :meth:`conflicting_procedures`.
+
+        Instead of testing every ``(lock, value)`` pair, the changed values
+        are sorted once per field and each armed interval binary-searches
+        for any value inside its range — one sweep over the merged write
+        footprint of a whole :class:`repro.core.batch.DeltaBatch`. Flags
+        exactly the same procedure set as the naive per-value probes (the
+        property test in ``tests/test_ilocks_property.py`` pins this).
+        """
+        relation_map = self._by_relation.get(relation)
+        if not relation_map:
+            return set()
+        value_list = list(changed_values)
+        if not value_list:
+            return set()
+        by_field: dict[str, list[Any]] = {}
+        for values in value_list:
+            for fld, value in values.items():
+                if value is not None:
+                    by_field.setdefault(fld, []).append(value)
+        for vals in by_field.values():
+            vals.sort()
+        broken: set[str] = set()
+        for procedure, specs in relation_map.items():
+            for spec in specs:
+                interval = spec.interval
+                if interval is None:
+                    # Whole-relation lock: any write transaction breaks it.
+                    broken.add(procedure)
+                    break
+                vals = by_field.get(interval.field)
+                if not vals:
+                    continue
+                start = (
+                    0
+                    if interval.lo is None
+                    else bisect.bisect_left(vals, interval.lo)
+                )
+                hit = False
+                for index in range(start, len(vals)):
+                    value = vals[index]
+                    if interval.hi is not None and value > interval.hi:
+                        break
+                    if interval.contains(value):
+                        hit = True
+                        break
+                if hit:
+                    broken.add(procedure)
+                    break
         return broken

@@ -2,7 +2,8 @@
 
 Backs ``repro-procs bench``. The suite is *pinned* — a fixed set of
 representative scenarios (analytical model-1/model-2 figures, a
-multiprogramming-level sweep, a chaos smoke) whose metrics are
+multiprogramming-level sweep, a batched-update amortization point, a
+chaos smoke) whose metrics are
 normalized into flat ``{key: {value, unit, direction}}`` records — so
 every snapshot is comparable with every other snapshot of the same
 ``SUITE_VERSION``. Snapshots append to ``BENCH_history.jsonl`` (the perf
@@ -27,7 +28,7 @@ from repro.obs.manifest import git_sha
 
 #: Bump when the pinned scenario set or metric keys change shape;
 #: snapshots of different suite versions refuse to compare.
-SUITE_VERSION = "1"
+SUITE_VERSION = "2"
 
 #: Default relative tolerance for the regression gate (deterministic
 #: metrics — the default is headroom for intentional small shifts, not
@@ -49,6 +50,18 @@ _CHAOS_STRATEGY = "cache_invalidate"
 _CHAOS_MPL = 2
 _CHAOS_FAULT_BUDGET = 40
 
+#: Batched-update amortization scenario: (strategy, invalidation scheme)
+#: pairs run at ``l = _BATCH_TUPLES_PER_UPDATE`` tuples per update with
+#: batch sizes 1 (per-transaction maintenance, today's default) and
+#: ``l`` (full coalescing). CI uses the WAL scheme so group commit has a
+#: flush to amortize; RVM amortizes node activations via delta netting.
+_BATCH_STRATEGIES: tuple[tuple[str, str | None], ...] = (
+    ("cache_invalidate", "wal"),
+    ("update_cache_rvm", None),
+)
+_BATCH_TUPLES_PER_UPDATE = 100
+_BATCH_SIZES = (1, _BATCH_TUPLES_PER_UPDATE)
+
 
 def run_bench_suite(operations: int = 120, seed: int = 7) -> dict:
     """Execute the pinned suite and return one normalized snapshot.
@@ -62,6 +75,7 @@ def run_bench_suite(operations: int = 120, seed: int = 7) -> dict:
     from repro.experiments.simcompare import SIM_SCALE_PARAMS
     from repro.faults.chaos import run_chaos
     from repro.faults.injector import FaultPlan
+    from repro.workload.runner import run_workload
 
     metrics: dict[str, dict] = {}
     checks: dict[str, bool] = {}
@@ -106,6 +120,33 @@ def run_bench_suite(operations: int = 120, seed: int = 7) -> dict:
             run.cost_per_access_ms,
             "ms/access",
             "lower",
+        )
+
+    batch_params = SIM_SCALE_PARAMS.replace(
+        tuples_per_update=_BATCH_TUPLES_PER_UPDATE
+    ).with_update_probability(0.9)
+    for strategy, scheme in _BATCH_STRATEGIES:
+        per_update: dict[int, float] = {}
+        for batch in _BATCH_SIZES:
+            run = run_workload(
+                batch_params,
+                strategy,
+                num_operations=max(30, operations // 2),
+                seed=seed,
+                invalidation_scheme=scheme,
+                batch_size=batch,
+            )
+            per_update[batch] = (
+                run.maintenance_cost_ms / max(1, run.num_updates)
+            )
+            metric(
+                f"update.batch.{strategy}.b{batch}.maint_ms_per_update",
+                per_update[batch],
+                "ms/update",
+                "lower",
+            )
+        checks[f"update.batch.{strategy}.batched_cheaper"] = (
+            per_update[_BATCH_SIZES[-1]] < per_update[_BATCH_SIZES[0]]
         )
 
     chaos = run_chaos(

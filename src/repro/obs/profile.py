@@ -106,12 +106,15 @@ def profile_workload(
     buffer_capacity: int = 0,
     keep_events: int | None = 1024,
     observation: CostAttribution | None = None,
+    batch_size: int | None = None,
 ) -> ProfileReport:
     """Run ``strategy`` once with cost attribution attached.
 
     ``observation`` substitutes a pre-built attribution (e.g. a
     :class:`repro.obs.FlightRecorder`'s, whose unbounded span retention
     a trace export needs); ``keep_events`` configures the default one.
+    ``batch_size`` enables batched update propagation (see
+    :mod:`repro.core.batch`).
     """
     if observation is None:
         observation = CostAttribution(keep_events=keep_events)
@@ -123,6 +126,7 @@ def profile_workload(
         seed=seed,
         buffer_capacity=buffer_capacity,
         observation=observation,
+        batch_size=batch_size,
     )
     return ProfileReport(run=run, observation=observation)
 

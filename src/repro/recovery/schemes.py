@@ -9,6 +9,7 @@ paper's §3 options; `repro.core.CacheAndInvalidate` accepts any of them.
 from __future__ import annotations
 
 import abc
+from typing import Iterable
 
 from repro.recovery.validity import RecoverableValidityMap
 from repro.recovery.wal import WriteAheadLog
@@ -35,6 +36,16 @@ class InvalidationScheme(abc.ABC):
     @abc.abstractmethod
     def mark_valid(self, procedure: str) -> None:
         """Record that the cache was refreshed."""
+
+    def mark_invalid_group(self, procedures: Iterable[str]) -> None:
+        """Record several invalidations produced by one update batch.
+
+        Default: one at a time (battery transitions are free anyway and
+        the page-flag scheme touches a distinct page per procedure, so
+        neither gains from grouping). The WAL scheme overrides this to
+        group-commit — all records appended, one log force."""
+        for procedure in procedures:
+            self.mark_invalid(procedure)
 
 
 class BatteryBackedScheme(InvalidationScheme):
@@ -141,6 +152,16 @@ class WalScheme(InvalidationScheme):
     def mark_invalid(self, procedure: str) -> None:
         self.map.mark_invalid(procedure)
         self._maybe_checkpoint()
+
+    def mark_invalid_group(self, procedures: Iterable[str]) -> None:
+        """Group commit: append every invalidation record, force the log
+        once. The checkpoint cadence still counts each transition."""
+        procs = list(procedures)
+        if not procs:
+            return
+        self.map.mark_invalid_group(procs)
+        for _ in procs:
+            self._maybe_checkpoint()
 
     def mark_valid(self, procedure: str) -> None:
         self.map.mark_valid(procedure)

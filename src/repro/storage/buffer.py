@@ -14,6 +14,7 @@ emission entirely.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Iterable
 
 from repro.storage.disk import DiskManager
 from repro.storage.page import Page
@@ -62,6 +63,23 @@ class BufferPool:
         page = self.disk.read_page(file_name, page_no)
         self._admit(key, page)
         return page
+
+    def fetch_many(
+        self,
+        file_name: str,
+        page_nos: Iterable[int],
+        mark_dirty: bool = False,
+    ) -> int:
+        """Touch a set of pages in sorted page order, optionally dirtying
+        each — the batched flush primitive under the materialized stores:
+        one deterministic pass per distinct page, however many delta rows
+        landed on it. Returns the number of distinct pages touched."""
+        distinct = sorted(set(page_nos))
+        for page_no in distinct:
+            self.fetch(file_name, page_no)
+            if mark_dirty:
+                self.mark_dirty(file_name, page_no)
+        return len(distinct)
 
     def mark_dirty(self, file_name: str, page_no: int) -> None:
         """Record that a fetched page was modified.

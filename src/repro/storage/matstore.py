@@ -142,10 +142,7 @@ class MaterializedStore:
         for row in inserts:
             checked = self.schema.make_row(row)
             touched.add(self._place(checked).page_no)
-        for page_no in sorted(touched):
-            self.buffer.fetch(self.name, page_no)
-            self.buffer.mark_dirty(self.name, page_no)
-        return len(touched)
+        return self.buffer.fetch_many(self.name, touched, mark_dirty=True)
 
     def refresh(self, rows: Iterable[Row]) -> int:
         """Replace the entire contents with ``rows``.
@@ -160,10 +157,7 @@ class MaterializedStore:
         for row in rows:
             checked = self.schema.make_row(row)
             touched.add(self._place(checked).page_no)
-        for page_no in sorted(touched):
-            self.buffer.fetch(self.name, page_no)
-            self.buffer.mark_dirty(self.name, page_no)
-        return len(touched)
+        return self.buffer.fetch_many(self.name, touched, mark_dirty=True)
 
     def _clear_silently(self) -> None:
         """Drop all rows without I/O (deallocation is a metadata operation)."""
@@ -228,8 +222,7 @@ class MaterializedStore:
             rids = directory.get(value, [])
             hits[value] = rids
             pages.update(rid.page_no for rid in rids)
-        for page_no in sorted(pages):
-            self.buffer.fetch(self.name, page_no)
+        self.buffer.fetch_many(self.name, pages)
         out: dict[Any, list[Row]] = {}
         for value, rids in hits.items():
             rows = []

@@ -17,7 +17,7 @@ import enum
 import math
 import random
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterable, Iterator, Optional
 
 from repro.model.params import ModelParams
 
@@ -112,3 +112,37 @@ def generate_operations(
             yield Operation.update(l_tuples, relation=relation)
         else:
             yield Operation.access(chooser.choose(rng))
+
+
+def coalesced_update_runs(
+    operations: Iterable[Operation], batch_size: int
+) -> Iterator[list[Operation]]:
+    """Plan :class:`repro.core.batch.DeltaBatch` boundaries over a stream.
+
+    Yields the stream regrouped for batched execution: each group is
+    either one access (its own group — accesses force a flush so reads
+    always see fully maintained caches) or up to ``batch_size``
+    consecutive update transactions against the *same* relation (a batch
+    must not span relations, or the other-relations-static premise behind
+    delta netting breaks). Operation order is preserved exactly;
+    ``batch_size=1`` degenerates to one group per operation.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    pending: list[Operation] = []
+    for op in operations:
+        if op.kind is OperationKind.UPDATE:
+            if pending and (
+                pending[0].relation != op.relation
+                or len(pending) >= batch_size
+            ):
+                yield pending
+                pending = []
+            pending.append(op)
+            continue
+        if pending:
+            yield pending
+            pending = []
+        yield [op]
+    if pending:
+        yield pending

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 from repro.core import (
     STRATEGY_CLASSES,
     CacheAndInvalidate,
+    DeltaBatch,
     ProcedureManager,
     ProcedureStrategy,
 )
@@ -24,7 +25,11 @@ from repro.model.params import ModelParams
 from repro.sim import MetricSet
 from repro.storage.tuples import Row
 from repro.workload.database import SyntheticDatabase, build_database
-from repro.workload.generator import OperationKind, generate_operations
+from repro.workload.generator import (
+    OperationKind,
+    coalesced_update_runs,
+    generate_operations,
+)
 from repro.workload.procedures import ProcedurePopulation, build_procedures
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -52,6 +57,15 @@ class RunResult:
     phase_costs: dict[str, float] = field(default_factory=dict)
     #: Per-procedure cost attribution (empty unless observed).
     procedure_costs: dict[str, float] = field(default_factory=dict)
+    #: Update-transaction batch size used (None = the legacy unbatched
+    #: code path; 1 routes through the batch pipeline, bit-identically).
+    batch_size: int | None = None
+    #: Per-access ``(procedure, rows)`` log, in stream order (only when
+    #: the run was asked to record accesses — the differential harness).
+    access_log: list[tuple[str, tuple]] = field(default_factory=list)
+    #: The manager (with its strategy state) — only when ``keep_manager``
+    #: was requested; lets tests inspect invalidation/cache state.
+    manager: "ProcedureManager | None" = None
 
     @property
     def observed_update_probability(self) -> float:
@@ -135,6 +149,7 @@ def _perform_update(
     rng: random.Random,
     l_tuples: int,
     relation: str = "R1",
+    batch: "DeltaBatch | None" = None,
 ) -> None:
     """One update transaction: modify ``l`` distinct tuples of ``relation``
     in place.
@@ -146,7 +161,22 @@ def _perform_update(
 
     The paper only ever updates R1; the other cases power the §8
     update-mix extension benches.
+
+    With ``batch`` given, the base changes apply immediately (identical
+    rng draws, pre-reads, and rid bookkeeping) but strategy maintenance is
+    deferred: the transaction's delta is appended to the batch for a later
+    :meth:`ProcedureManager.maintain_batch`.
     """
+
+    def apply(changes: list[tuple], cluster_field: str | None = None) -> None:
+        if batch is None:
+            manager.update(relation, changes, cluster_field=cluster_field)
+        else:
+            batch.add_transaction(
+                *manager.update_deferred(
+                    relation, changes, cluster_field=cluster_field
+                )
+            )
     # The pre-reads below are base-update work (the paper excludes them
     # from the per-access metric); tag them so attribution agrees.
     tracer = db.clock.tracer
@@ -164,7 +194,7 @@ def _perform_update(
                 old: Row = db.r1.heap.read(rid)  # pre-read, base cost
                 new = (old[0], rng.randrange(db.sel_domain), old[2])
                 changes.append((rid, new))
-        manager.update("R1", changes, cluster_field="sel")
+        apply(changes, cluster_field="sel")
         for pos, new_rid in zip(positions, manager.last_rids):
             db.r1_rids[pos] = new_rid
         return
@@ -176,7 +206,7 @@ def _perform_update(
                 old = db.r2.heap.read(rid)
                 new = (old[0], old[1], rng.randrange(db.sel2_domain), old[3])
                 changes.append((rid, new))
-        manager.update("R2", changes)
+        apply(changes)
         return
     if relation == "R3":
         rids = rng.sample(db.r3_rids, min(l_tuples, len(db.r3_rids)))
@@ -186,7 +216,7 @@ def _perform_update(
                 old = db.r3.heap.read(rid)
                 new = (old[0], old[1], rng.randrange(1_000_000))
                 changes.append((rid, new))
-        manager.update("R3", changes)
+        apply(changes)
         return
     raise ValueError(f"unknown update target relation {relation!r}")
 
@@ -204,6 +234,9 @@ def run_workload(
     invalidation_scheme: str | None = None,
     update_weights: dict[str, float] | None = None,
     observation: "CostAttribution | None" = None,
+    batch_size: int | None = None,
+    record_accesses: bool = False,
+    keep_manager: bool = False,
 ) -> RunResult:
     """Run one strategy over a synthetic workload.
 
@@ -231,7 +264,19 @@ def run_workload(
             ``phase_costs``/``procedure_costs``; its registry and tracer
             stay readable on the object afterwards. ``None`` (default)
             runs fully unobserved with zero tracing overhead.
+        batch_size: group up to this many consecutive same-relation update
+            transactions into one :class:`repro.core.batch.DeltaBatch`
+            whose maintenance runs once at the group boundary (an access
+            or a relation switch always flushes first). ``None`` (default)
+            keeps the legacy one-transaction-at-a-time path; ``1`` routes
+            through the batch pipeline and is bit-identical to it.
+        record_accesses: capture every access's ``(procedure, rows)`` in
+            ``RunResult.access_log`` (the differential harness's probe).
+        keep_manager: expose the manager (with live strategy state) on the
+            result for post-run inspection.
     """
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be >= 1 (or None for unbatched)")
     db = database if database is not None else build_database(
         params, seed=seed, buffer_capacity=buffer_capacity
     )
@@ -254,26 +299,61 @@ def run_workload(
 
     rng = random.Random(seed + 3)
     metrics = MetricSet()
+    access_log: list[tuple[str, tuple]] = []
+
+    def do_access(name: str) -> None:
+        result = manager.access(name)
+        metrics.observe("access_ms", result.cost_ms)
+        metrics.observe("access_rows", len(result.rows))
+        if record_accesses:
+            access_log.append((name, tuple(result.rows)))
+
     measure_start = db.clock.snapshot()
     if observation is not None:
         observation.attach(db.clock)
+    operations = generate_operations(
+        params, pop.names, num_operations, seed=seed,
+        update_weights=update_weights,
+    )
     try:
-        for op in generate_operations(
-            params, pop.names, num_operations, seed=seed,
-            update_weights=update_weights,
-        ):
-            if op.kind is OperationKind.UPDATE:
+        if batch_size is None:
+            for op in operations:
+                if op.kind is OperationKind.UPDATE:
+                    before = db.clock.snapshot()
+                    _perform_update(
+                        db, manager, rng, op.tuples_to_modify,
+                        relation=op.relation,
+                    )
+                    metrics.observe(
+                        "update_total_ms", db.clock.elapsed_since(before)
+                    )
+                else:
+                    do_access(op.procedure)  # type: ignore[arg-type]
+        else:
+            # Batched pipeline: the generator plans the batch boundaries
+            # (consecutive same-relation updates, flush before accesses);
+            # base changes apply per transaction, maintenance runs once
+            # per group. A single-transaction group charges exactly what
+            # the unbatched loop does.
+            for group in coalesced_update_runs(operations, batch_size):
+                if group[0].kind is not OperationKind.UPDATE:
+                    do_access(group[0].procedure)  # type: ignore[arg-type]
+                    continue
+                batch = DeltaBatch(group[0].relation)
                 before = db.clock.snapshot()
-                _perform_update(
-                    db, manager, rng, op.tuples_to_modify, relation=op.relation
-                )
+                for op in group:
+                    _perform_update(
+                        db, manager, rng, op.tuples_to_modify,
+                        relation=op.relation, batch=batch,
+                    )
+                flush_ms = manager.maintain_batch(batch)
                 metrics.observe(
                     "update_total_ms", db.clock.elapsed_since(before)
                 )
-            else:
-                result = manager.access(op.procedure)  # type: ignore[arg-type]
-                metrics.observe("access_ms", result.cost_ms)
-                metrics.observe("access_rows", len(result.rows))
+                metrics.observe("batch_flush_ms", flush_ms)
+                metrics.observe(
+                    "batch_transactions", float(batch.num_transactions)
+                )
     finally:
         if observation is not None:
             observation.detach()
@@ -297,4 +377,7 @@ def run_workload(
         procedure_costs=(
             observation.procedure_costs() if observation is not None else {}
         ),
+        batch_size=batch_size,
+        access_log=access_log,
+        manager=manager if keep_manager else None,
     )

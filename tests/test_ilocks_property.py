@@ -93,6 +93,31 @@ def test_conflicts_match_brute_force(footprint, relation, changed):
     )
 
 
+@settings(max_examples=60, deadline=None)
+@given(
+    footprint=footprints,
+    relation=st.sampled_from(RELATIONS),
+    changed=write_values,
+)
+def test_swept_probe_matches_naive_probe(footprint, relation, changed):
+    """Group invalidation's sorted-sweep probe is observationally
+    identical to one naive probe per changed tuple.
+
+    ``conflicting_procedures_swept`` sorts a whole batch's changed
+    values per field and bisects into each interval once; the naive
+    path tests every (spec, value) pair. Both must flag exactly the
+    same procedure set for arbitrary footprints and update sets — and
+    both must agree with the brute-force oracle.
+    """
+    table = ILockTable()
+    for procedure, specs in footprint.items():
+        table.set_locks(procedure, specs)
+    naive = table.conflicting_procedures(relation, changed)
+    swept = table.conflicting_procedures_swept(relation, changed)
+    assert swept == naive
+    assert swept == oracle(footprint, relation, changed)
+
+
 @settings(max_examples=30, deadline=None)
 @given(footprint=footprints, relation=st.sampled_from(RELATIONS))
 def test_cleared_procedures_never_conflict(footprint, relation):
