@@ -1,0 +1,73 @@
+"""Columnar hot path vs the dict reference path, on the wall clock.
+
+The simulated clock is bit-identical under both modes (that is the
+differential harness's contract); what the columnar pipeline buys is
+*real* time. This bench times the fig05 scenario at ``l = 100`` — the
+wide-update regime where vectorized i-lock probes, compiled predicate
+screens, and batched Rete routing pay off — under both modes and writes
+the wall-ms-per-update table to ``results/``. The hard ≥3x gate lives
+in the CI wall-clock lane (``repro-procs bench --wall-clock``); here we
+only assert the soft invariant that columnar mode is not slower beyond
+runner noise.
+"""
+
+import pathlib
+
+from repro.experiments.simcompare import SIM_SCALE_PARAMS
+from repro.obs.ledger import WALL_NOT_SLOWER_FACTOR
+from repro.storage.columnar import columnar_mode
+from repro.workload import run_workload
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+STRATEGIES = ("cache_invalidate", "update_cache_avm", "update_cache_rvm")
+MODES = (("columnar", True), ("dict", False))
+
+
+def test_columnar_vs_dict_wall_clock(benchmark):
+    params = SIM_SCALE_PARAMS.replace(
+        tuples_per_update=100
+    ).with_update_probability(0.5)
+
+    def measure():
+        table = {}
+        for strategy in STRATEGIES:
+            for mode_name, enabled in MODES:
+                with columnar_mode(enabled):
+                    run = run_workload(
+                        params, strategy, num_operations=60, seed=7
+                    )
+                table[(strategy, mode_name)] = run.wall_ms_per_update
+        return table
+
+    table = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        f"{'strategy':>18s} "
+        + " ".join(f"{mode:>12s}" for mode, _ in MODES)
+        + f" {'speedup':>8s}"
+    ]
+    for strategy in STRATEGIES:
+        columnar_ms = table[(strategy, "columnar")]
+        dict_ms = table[(strategy, "dict")]
+        speedup = dict_ms / max(columnar_ms, 1e-9)
+        lines.append(
+            f"{strategy:>18s} {columnar_ms:12.3f} {dict_ms:12.3f} "
+            f"{speedup:7.2f}x"
+        )
+    text = (
+        "wall ms/update at l=100, columnar vs dict (P=0.5):\n"
+        + "\n".join(lines)
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "bench_columnar.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+    # Soft gate only: one un-medianed sample per cell is too noisy for
+    # the 3x claim (the CI wall-clock lane enforces that); "not slower
+    # beyond the shared tolerance factor" is robust even here.
+    for strategy in STRATEGIES:
+        assert (
+            table[(strategy, "columnar")]
+            <= WALL_NOT_SLOWER_FACTOR * table[(strategy, "dict")]
+        )

@@ -26,6 +26,11 @@ else
     echo "==> ruff not installed; skipping lint (pip install 'ruff>=0.4')"
 fi
 
+# Differential harnesses first, by name, mirroring CI: batched and
+# columnar execution must both be bit-identical to the legacy paths.
+run python -m pytest tests/test_batch_differential.py -q
+run python -m pytest tests/test_columnar_differential.py -q
+
 # Coverage flags mirror CI when pytest-cov is importable (offline boxes
 # without it still run the plain suite).
 cov_flags=()
@@ -44,5 +49,10 @@ run python -m pytest benchmarks -q --benchmark-disable
 
 run python -m repro bench --operations 120 --seed 7 \
     --compare results/bench_baseline.json --tolerance 0.5
+
+# Wall-clock lane: real timings, columnar vs dict, gated by the
+# snapshot's embedded checks (no stored baseline — machine-dependent).
+run python -m repro bench --wall-clock --operations 60 --seed 7 \
+    --wall-repeats 3 --history '' --latest BENCH_wall_latest.json
 
 exit $status

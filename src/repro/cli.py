@@ -102,6 +102,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         regressions,
         render_delta_table,
         run_bench_suite,
+        run_wallclock_suite,
         validate_snapshot,
         write_latest,
     )
@@ -111,6 +112,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 2
     if args.tolerance < 0:
         print("error: --tolerance must be >= 0", file=sys.stderr)
+        return 2
+    if args.wall_repeats < 1:
+        print("error: --wall-repeats must be >= 1", file=sys.stderr)
+        return 2
+    if args.wall_clock and args.compare:
+        # Wall timings are machine-dependent; there is no meaningful
+        # stored baseline to diff against (the embedded checks gate).
+        print(
+            "error: --compare is not supported with --wall-clock",
+            file=sys.stderr,
+        )
         return 2
     baseline = None
     if args.compare:
@@ -123,7 +135,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
             return 2
     start = time.perf_counter()
-    snapshot = run_bench_suite(operations=args.operations, seed=args.seed)
+    if args.wall_clock:
+        snapshot = run_wallclock_suite(
+            operations=args.operations,
+            seed=args.seed,
+            repeats=args.wall_repeats,
+        )
+    else:
+        snapshot = run_bench_suite(operations=args.operations, seed=args.seed)
     wall = time.perf_counter() - start
     problems = validate_snapshot(snapshot)
     if problems:  # pragma: no cover - guards suite bugs, not user input
@@ -1019,6 +1038,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--json", action="store_true", help="emit the snapshot as JSON"
+    )
+    bench_parser.add_argument(
+        "--wall-clock",
+        action="store_true",
+        help=(
+            "run the wall-clock lane instead of the simulated suite: real "
+            "maintenance/access times of the fig05 scenario at l=100, "
+            "columnar vs dict (machine-dependent; embedded checks gate, "
+            "--compare is rejected)"
+        ),
+    )
+    bench_parser.add_argument(
+        "--wall-repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="runs per (strategy, mode) cell; the median is kept (default 3)",
     )
     bench_parser.set_defaults(func=_cmd_bench)
 

@@ -25,6 +25,7 @@ from repro.query.plan import Plan
 from repro.sim import CostClock
 from repro.storage.buffer import BufferPool
 from repro.storage.catalog import Catalog
+from repro.storage.columnar import ColumnBatch, columnar_enabled
 from repro.storage.matstore import MaterializedStore
 from repro.storage.tuples import Row, Schema
 
@@ -154,10 +155,15 @@ class CacheAndInvalidate(ProcedureStrategy):
         self, relation: str, inserts: list[Row], deletes: list[Row]
     ) -> None:
         schema = self.catalog.get(relation).schema
-        names = schema.names()
-        changed = [dict(zip(names, row)) for row in deletes + inserts]
+        if columnar_enabled():
+            batch = ColumnBatch(schema, deletes + inserts)
+            broken = self._locks.conflicting_procedures_batch(relation, batch)
+        else:
+            names = schema.names()
+            changed = [dict(zip(names, row)) for row in deletes + inserts]
+            broken = self._locks.conflicting_procedures(relation, changed)
         tracer = self.clock.tracer
-        for name in self._locks.conflicting_procedures(relation, changed):
+        for name in broken:
             if not self.is_valid(name):
                 continue  # already invalid; nothing to record
             self.invalidation_count += 1

@@ -17,6 +17,7 @@ is ``(access + maintain) / number of accesses``, exposed as
 
 from __future__ import annotations
 
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -62,6 +63,11 @@ class ProcedureManager:
         self.base_update_cost_ms = 0.0
         self.num_accesses = 0
         self.num_updates = 0
+        # Real (wall-clock) seconds spent inside strategy access /
+        # maintenance calls — the simulator's own speed, orthogonal to the
+        # simulated cost model. Feeds the wall-clock benchmark lane.
+        self.wall_access_s = 0.0
+        self.wall_maintenance_s = 0.0
         self.last_rids: list[RID] = []
 
     # -- definition -------------------------------------------------------
@@ -109,7 +115,9 @@ class ProcedureManager:
     def access(self, name: str) -> AccessResult:
         """Read one procedure's value, attributing the cost."""
         before = self.clock.snapshot()
+        wall_start = time.perf_counter()
         rows = self.strategy.access(name)
+        self.wall_access_s += time.perf_counter() - wall_start
         cost = self.clock.elapsed_since(before)
         self.access_cost_ms += cost
         self.num_accesses += 1
@@ -149,7 +157,9 @@ class ProcedureManager:
         base_cost = self.clock.elapsed_since(before_base)
 
         before_maint = self.clock.snapshot()
+        wall_start = time.perf_counter()
         self.strategy.on_update(relation_name, inserts, deletes)
+        self.wall_maintenance_s += time.perf_counter() - wall_start
         maint_cost = self.clock.elapsed_since(before_maint)
 
         self.base_update_cost_ms += base_cost
@@ -201,7 +211,9 @@ class ProcedureManager:
         base changes :meth:`update_deferred` already applied); returns the
         simulated ms charged, accrued to the maintenance bucket."""
         before = self.clock.snapshot()
+        wall_start = time.perf_counter()
         self.strategy.on_update_batch(batch)
+        self.wall_maintenance_s += time.perf_counter() - wall_start
         maint_cost = self.clock.elapsed_since(before)
         self.maintenance_cost_ms += maint_cost
         return maint_cost
@@ -216,7 +228,9 @@ class ProcedureManager:
             self.last_rids = [relation.insert(row) for row in rows]
         base_cost = self.clock.elapsed_since(before_base)
         before_maint = self.clock.snapshot()
+        wall_start = time.perf_counter()
         self.strategy.on_update(relation_name, list(rows), [])
+        self.wall_maintenance_s += time.perf_counter() - wall_start
         maint_cost = self.clock.elapsed_since(before_maint)
         self.base_update_cost_ms += base_cost
         self.maintenance_cost_ms += maint_cost
@@ -236,7 +250,9 @@ class ProcedureManager:
             deleted = [relation.delete(rid) for rid in rids]
         base_cost = self.clock.elapsed_since(before_base)
         before_maint = self.clock.snapshot()
+        wall_start = time.perf_counter()
         self.strategy.on_update(relation_name, [], deleted)
+        self.wall_maintenance_s += time.perf_counter() - wall_start
         maint_cost = self.clock.elapsed_since(before_maint)
         self.base_update_cost_ms += base_cost
         self.maintenance_cost_ms += maint_cost
@@ -265,3 +281,5 @@ class ProcedureManager:
         self.base_update_cost_ms = 0.0
         self.num_accesses = 0
         self.num_updates = 0
+        self.wall_access_s = 0.0
+        self.wall_maintenance_s = 0.0

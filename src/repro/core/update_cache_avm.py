@@ -18,14 +18,18 @@ Accessing a procedure just reads its stored value (``C2 * ProcSize``).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.batch import DeltaBatch
 from repro.core.delta import DeltaJoiner
 from repro.core.procedure import DatabaseProcedure
 from repro.core.strategy import ProcedureStrategy, StrategyName
+from repro.query.predicate import compiled_column_matcher
 from repro.rete.discrimination import ConstantTestIndex
 from repro.sim import CostClock
 from repro.storage.buffer import BufferPool
 from repro.storage.catalog import Catalog
+from repro.storage.columnar import ColumnBatch, columnar_enabled
 from repro.storage.matstore import MaterializedStore
 from repro.storage.tuples import Row, Schema
 
@@ -191,10 +195,34 @@ class UpdateCacheAVM(ProcedureStrategy):
         self, relation: str, inserts: list[Row], deletes: list[Row]
     ) -> None:
         schema = self.catalog.get(relation).schema
-        names = schema.names()
         # Gather, per procedure, the screened delta rows (rule indexing
         # routes each changed value only to procedures whose restriction
         # interval contains it).
+        if columnar_enabled():
+            per_procedure = self._screen_batch(relation, schema, inserts, deletes)
+        else:
+            per_procedure = self._screen_rows(relation, schema, inserts, deletes)
+
+        tracer = self.clock.tracer
+        for proc_name, (del_rows, ins_rows) in per_procedure.items():
+            if tracer is None:
+                self._propagate(relation, proc_name, ins_rows, del_rows)
+            else:
+                # All per-procedure maintenance — delta join I/O, store
+                # refresh, observer bookkeeping — is one phase.
+                with tracer.span("delta.propagate", procedure=proc_name):
+                    self._propagate(relation, proc_name, ins_rows, del_rows)
+
+    def _screen_rows(
+        self,
+        relation: str,
+        schema: Schema,
+        inserts: list[Row],
+        deletes: list[Row],
+    ) -> dict[str, tuple[list[Row], list[Row]]]:
+        """Scalar screening: probe the discrimination index per changed
+        tuple, screening each candidate at ``C1`` + ``C3``."""
+        names = schema.names()
         per_procedure: dict[str, tuple[list[Row], list[Row]]] = {}
         for rows, bucket in ((deletes, 0), (inserts, 1)):
             for row in rows:
@@ -210,16 +238,47 @@ class UpdateCacheAVM(ProcedureStrategy):
                     if restriction.matches(row, schema):
                         entry = per_procedure.setdefault(proc_name, ([], []))
                         entry[bucket].append(row)
+        return per_procedure
 
-        tracer = self.clock.tracer
-        for proc_name, (del_rows, ins_rows) in per_procedure.items():
-            if tracer is None:
-                self._propagate(relation, proc_name, ins_rows, del_rows)
-            else:
-                # All per-procedure maintenance — delta join I/O, store
-                # refresh, observer bookkeeping — is one phase.
-                with tracer.span("delta.propagate", procedure=proc_name):
-                    self._propagate(relation, proc_name, ins_rows, del_rows)
+    def _screen_batch(
+        self,
+        relation: str,
+        schema: Schema,
+        inserts: list[Row],
+        deletes: list[Row],
+    ) -> dict[str, tuple[list[Row], list[Row]]]:
+        """Columnar screening: one discrimination probe and one compiled
+        restriction evaluation per candidate procedure, over the whole
+        delta batch. Charges the same ``C1``/``C3`` totals as the scalar
+        loop and builds ``per_procedure`` in the same order (first matching
+        delta row, then candidate rank — the scalar loop's interleaving).
+        """
+        changed = deletes + inserts
+        batch = ColumnBatch(schema, changed)
+        boundary = len(deletes)
+        matched: list[tuple[int, int, str, np.ndarray]] = []
+        for rank, (handle, idx) in enumerate(
+            self._screen_index.candidates_batch(relation, batch)
+        ):
+            proc_name, rel = handle  # type: ignore[misc]
+            if rel != relation:
+                continue
+            procedure = self.procedures[proc_name]
+            restriction = procedure.query.restriction_of(relation)
+            count = len(idx)
+            self.clock.charge_cpu(count)  # the screens themselves
+            self.clock.charge_overhead(count)  # A/D set bookkeeping (C3)
+            matcher = compiled_column_matcher(restriction, schema)
+            hits = idx[matcher(batch.take(idx))]
+            if len(hits):
+                matched.append((int(hits[0]), rank, proc_name, hits))
+        matched.sort(key=lambda item: (item[0], item[1]))
+        per_procedure: dict[str, tuple[list[Row], list[Row]]] = {}
+        for _first, _rank, proc_name, hits in matched:
+            entry = per_procedure.setdefault(proc_name, ([], []))
+            for index in hits:
+                entry[0 if index < boundary else 1].append(changed[index])
+        return per_procedure
 
     def _propagate(
         self,

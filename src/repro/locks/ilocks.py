@@ -17,9 +17,35 @@ by the caller, not here.
 from __future__ import annotations
 
 import bisect
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+import numpy as np
 
 from repro.query.plan import LockSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.query.predicate import KeyInterval
+    from repro.storage.columnar import ColumnBatch
+
+
+def _interval_hits_sorted(
+    sorted_values: np.ndarray, interval: "KeyInterval"
+) -> bool:
+    """Whether any value in an ascending array falls inside ``interval``.
+
+    Two bisects bracket the interval; a non-empty bracket is a hit. Bound
+    sides follow the inclusivity flags, so the answer matches per-value
+    :meth:`KeyInterval.contains` probes for totally ordered values.
+    """
+    lo_idx = 0
+    if interval.lo is not None:
+        side = "left" if interval.lo_inclusive else "right"
+        lo_idx = int(np.searchsorted(sorted_values, interval.lo, side=side))
+    hi_idx = len(sorted_values)
+    if interval.hi is not None:
+        side = "right" if interval.hi_inclusive else "left"
+        hi_idx = int(np.searchsorted(sorted_values, interval.hi, side=side))
+    return hi_idx > lo_idx
 
 
 class ILockTable:
@@ -82,6 +108,60 @@ class ILockTable:
                 for values in value_list
             ):
                 broken.add(procedure)
+        return broken
+
+    def conflicting_procedures_batch(
+        self, relation: str, batch: "ColumnBatch"
+    ) -> set[str]:
+        """Columnar :meth:`conflicting_procedures`: probe each lock interval
+        with two array bisects over the batch's sorted columns.
+
+        The changed tuples arrive as one :class:`ColumnBatch` (old and new
+        rows together); each inspected field is sorted once and every lock
+        interval binary-searches it, instead of building a field-value dict
+        per row and testing every (lock, value) pair. Flags exactly the
+        procedures the per-value probes flag.
+        """
+        relation_map = self._by_relation.get(relation)
+        if not relation_map or len(batch) == 0:
+            return set()
+        schema = batch.schema
+        sorted_columns: dict[str, Optional[np.ndarray]] = {}
+
+        def sorted_column(field: str) -> Optional[np.ndarray]:
+            if field in sorted_columns:
+                return sorted_columns[field]
+            column: Optional[np.ndarray]
+            if not schema.has_field(field):
+                column = None
+            else:
+                column = batch.column(field)
+                if column.dtype == object:
+                    # The scalar path skips None values; drop them so the
+                    # sort stays well defined.
+                    keep = np.fromiter(
+                        (value is not None for value in column),
+                        dtype=bool,
+                        count=len(column),
+                    )
+                    column = column[keep]
+                column = np.sort(column)
+            sorted_columns[field] = column
+            return column
+
+        broken: set[str] = set()
+        for procedure, specs in relation_map.items():
+            for spec in specs:
+                interval = spec.interval
+                if interval is None:
+                    broken.add(procedure)
+                    break
+                values = sorted_column(interval.field)
+                if values is None or not len(values):
+                    continue
+                if _interval_hits_sorted(values, interval):
+                    broken.add(procedure)
+                    break
         return broken
 
     def conflicting_procedures_swept(

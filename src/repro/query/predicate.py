@@ -16,9 +16,15 @@ from __future__ import annotations
 
 import operator
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
+import numpy as np
+
+from repro.storage.columnar import vector_compare
 from repro.storage.tuples import Row, Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.columnar import ColumnBatch
 
 _OPS: dict[str, Callable[[Any, Any], bool]] = {
     "<": operator.lt,
@@ -30,6 +36,10 @@ _OPS: dict[str, Callable[[Any, Any], bool]] = {
 }
 
 BoundMatcher = Callable[[Row], bool]
+
+#: A compiled vectorized matcher: maps a :class:`ColumnBatch` to a boolean
+#: mask over its rows, equivalent row-for-row to the bound scalar matcher.
+BoundColumnMatcher = Callable[["ColumnBatch"], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -70,6 +80,22 @@ class KeyInterval:
                     return False
         return True
 
+    def contains_mask(self, column: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`contains` over a column array.
+
+        Built from the same negated out-of-range comparisons as the scalar
+        path, so edge values (NaN floats in particular, where every
+        comparison is false) resolve identically.
+        """
+        mask = np.ones(len(column), dtype=bool)
+        if self.lo is not None:
+            op = "<" if self.lo_inclusive else "<="
+            mask &= ~vector_compare(column, op, self.lo)
+        if self.hi is not None:
+            op = ">" if self.hi_inclusive else ">="
+            mask &= ~vector_compare(column, op, self.hi)
+        return mask
+
     @staticmethod
     def point(field: str, value: Any) -> "KeyInterval":
         return KeyInterval(field, lo=value, hi=value)
@@ -89,6 +115,25 @@ class Predicate:
     def bind(self, schema: Schema) -> BoundMatcher:
         """Compile to a positional matcher (resolves field names once)."""
         raise NotImplementedError
+
+    def bind_columns(self, schema: Schema) -> BoundColumnMatcher:
+        """Compile to a vectorized matcher over a :class:`ColumnBatch`.
+
+        The default falls back to the scalar matcher row by row, so any
+        predicate subclass is batch-evaluable; the concrete predicates
+        below override it with genuinely vectorized numpy evaluators.
+        """
+        matcher = self.bind(schema)
+
+        def fallback(batch: "ColumnBatch") -> np.ndarray:
+            rows = batch.to_rows()
+            return np.fromiter(
+                (bool(matcher(row)) for row in rows),
+                dtype=bool,
+                count=len(rows),
+            )
+
+        return fallback
 
     def interval_on(self, field: str) -> Optional[KeyInterval]:
         """The key range this predicate restricts ``field`` to, if it is a
@@ -113,6 +158,9 @@ class TruePredicate(Predicate):
 
     def bind(self, schema: Schema) -> BoundMatcher:
         return lambda row: True
+
+    def bind_columns(self, schema: Schema) -> BoundColumnMatcher:
+        return lambda batch: np.ones(len(batch), dtype=bool)
 
     def conjuncts(self) -> list[Predicate]:
         return []
@@ -141,6 +189,12 @@ class Comparison(Predicate):
         fn = _OPS[self.op]
         value = self.value
         return lambda row: fn(row[pos], value)
+
+    def bind_columns(self, schema: Schema) -> BoundColumnMatcher:
+        pos = schema.index_of(self.field)
+        op = self.op
+        value = self.value
+        return lambda batch: vector_compare(batch.column_at(pos), op, value)
 
     def interval_on(self, field: str) -> Optional[KeyInterval]:
         if field != self.field:
@@ -188,6 +242,11 @@ class Interval(Predicate):
         interval = self._interval()
         return lambda row: interval.contains(row[pos])
 
+    def bind_columns(self, schema: Schema) -> BoundColumnMatcher:
+        pos = schema.index_of(self.field)
+        interval = self._interval()
+        return lambda batch: interval.contains_mask(batch.column_at(pos))
+
     def interval_on(self, field: str) -> Optional[KeyInterval]:
         if field != self.field:
             return None
@@ -223,6 +282,21 @@ class And(Predicate):
             return matchers[0]
         return lambda row: all(m(row) for m in matchers)
 
+    def bind_columns(self, schema: Schema) -> BoundColumnMatcher:
+        matchers = [term.bind_columns(schema) for term in self.terms]
+        if not matchers:
+            return lambda batch: np.ones(len(batch), dtype=bool)
+        if len(matchers) == 1:
+            return matchers[0]
+
+        def conjunction(batch: "ColumnBatch") -> np.ndarray:
+            mask = matchers[0](batch)
+            for matcher in matchers[1:]:
+                mask = mask & matcher(batch)
+            return mask
+
+        return conjunction
+
     def interval_on(self, field: str) -> Optional[KeyInterval]:
         hits = [
             iv
@@ -254,3 +328,48 @@ def conjoin(terms: list[Predicate]) -> Predicate:
     if len(terms) == 1:
         return terms[0]
     return And(*terms)
+
+
+# -- compile-once matcher caches ---------------------------------------------
+#
+# Binding resolves field names to positions and (for the vectorized path)
+# assembles the evaluator closure; both are pure functions of the
+# (predicate, schema) pair, so hot paths share one compiled matcher per
+# pair instead of re-binding per update transaction. Bounded so pathological
+# predicate churn (property tests) cannot grow without limit.
+
+_MATCHER_CACHE_LIMIT = 4096
+_matcher_cache: dict[tuple[Predicate, Schema], BoundMatcher] = {}
+_column_matcher_cache: dict[tuple[Predicate, Schema], BoundColumnMatcher] = {}
+
+
+def compiled_matcher(predicate: Predicate, schema: Schema) -> BoundMatcher:
+    """A cached :meth:`Predicate.bind` result for this (predicate, schema)."""
+    try:
+        key = (predicate, schema)
+        matcher = _matcher_cache.get(key)
+    except TypeError:  # unhashable predicate value; bind uncached
+        return predicate.bind(schema)
+    if matcher is None:
+        if len(_matcher_cache) >= _MATCHER_CACHE_LIMIT:
+            _matcher_cache.clear()
+        matcher = predicate.bind(schema)
+        _matcher_cache[key] = matcher
+    return matcher
+
+
+def compiled_column_matcher(
+    predicate: Predicate, schema: Schema
+) -> BoundColumnMatcher:
+    """A cached :meth:`Predicate.bind_columns` result for the pair."""
+    try:
+        key = (predicate, schema)
+        matcher = _column_matcher_cache.get(key)
+    except TypeError:
+        return predicate.bind_columns(schema)
+    if matcher is None:
+        if len(_column_matcher_cache) >= _MATCHER_CACHE_LIMIT:
+            _column_matcher_cache.clear()
+        matcher = predicate.bind_columns(schema)
+        _column_matcher_cache[key] = matcher
+    return matcher

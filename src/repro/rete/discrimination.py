@@ -21,9 +21,14 @@ care, but the simulator has to actually run).
 from __future__ import annotations
 
 import bisect
-from typing import Any, Hashable, Iterator
+from typing import TYPE_CHECKING, Any, Hashable, Iterator
+
+import numpy as np
 
 from repro.query.predicate import KeyInterval
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.columnar import ColumnBatch
 
 
 class ConstantTestIndex:
@@ -75,6 +80,40 @@ class ConstantTestIndex:
             for _lo, interval, handle in entries[:idx]:
                 if interval.contains(value):
                     yield handle
+
+    def candidates_batch(
+        self, relation: str, batch: "ColumnBatch"
+    ) -> list[tuple[Hashable, np.ndarray]]:
+        """Columnar :meth:`candidates`: each registered condition tests its
+        whole column at once instead of being probed per changed tuple.
+
+        Returns ``(handle, row_indices)`` pairs — ``row_indices`` are the
+        ascending positions in ``batch`` the condition may match. Pairs come
+        in the same static order :meth:`candidates` yields handles for any
+        single row (catch-alls first, then indexed entries), so
+        ``(row_indices[0], pair position)`` reproduces the per-row
+        interleaving of the scalar loop. Conditions matching no row are
+        dropped (the scalar path never yields them either).
+        """
+        n = len(batch)
+        out: list[tuple[Hashable, np.ndarray]] = []
+        if n == 0:
+            return out
+        all_rows: np.ndarray | None = None
+        for handle in self._unindexed.get(relation, ()):
+            if all_rows is None:
+                all_rows = np.arange(n)
+            out.append((handle, all_rows))
+        schema = batch.schema
+        for (rel, field), entries in self._by_field.items():
+            if rel != relation or not schema.has_field(field):
+                continue
+            column = batch.column(field)
+            for _lo, interval, handle in entries:
+                hits = np.flatnonzero(interval.contains_mask(column))
+                if len(hits):
+                    out.append((handle, hits))
+        return out
 
 
 class _Infinity:

@@ -19,9 +19,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Hashable, Optional
 
-from repro.query.predicate import Predicate
+from repro.query.predicate import Predicate, compiled_column_matcher
 from repro.rete.tokens import Token
 from repro.sim import CostClock
+from repro.storage.columnar import ColumnBatch, columnar_enabled
 from repro.storage.matstore import MaterializedStore
 from repro.storage.tuples import Schema
 
@@ -68,16 +69,26 @@ class TConstNode(ReteNode):
         super().__init__(key)
         self.relation = relation
         self.predicate = predicate
+        self.schema = schema
         self._matcher = predicate.bind(schema)
 
     def receive(
         self, tokens: list[Token], clock: CostClock, source: Optional[ReteNode]
     ) -> None:
-        passing: list[Token] = []
-        for token in tokens:
-            clock.charge_cpu(1)
-            if self._matcher(token.row):
-                passing.append(token)
+        if tokens and columnar_enabled():
+            # One C1 per token, charged in aggregate; the compiled column
+            # matcher screens the whole wave in one vector pass.
+            clock.charge_cpu(len(tokens))
+            matcher = compiled_column_matcher(self.predicate, self.schema)
+            batch = ColumnBatch(self.schema, [token.row for token in tokens])
+            mask = matcher(batch)
+            passing = [token for token, ok in zip(tokens, mask) if ok]
+        else:
+            passing = []
+            for token in tokens:
+                clock.charge_cpu(1)
+                if self._matcher(token.row):
+                    passing.append(token)
         self._forward(passing, clock)
 
 
@@ -194,6 +205,9 @@ class AndNode(ReteNode):
         out: list[Token] = []
         for token in tokens:
             for opposite_row in matches.get(token.row[key_pos], ()):
-                clock.charge_cpu(1)
                 out.append(token.combined_with(opposite_row, other_on_right=from_left))
+        if out:
+            # C1 per candidate pair, charged in aggregate (float-exact: the
+            # per-pair charges sum to the same total).
+            clock.charge_cpu(len(out))
         return out

@@ -12,6 +12,12 @@ of being performed against a physical disk.
 """
 
 from repro.storage.tuples import Field, FieldKind, Row, Schema
+from repro.storage.columnar import (
+    ColumnBatch,
+    columnar_enabled,
+    columnar_mode,
+    set_columnar_enabled,
+)
 from repro.storage.page import Page, RID
 from repro.storage.disk import DiskManager
 from repro.storage.buffer import BufferPool
@@ -26,6 +32,10 @@ __all__ = [
     "FieldKind",
     "Row",
     "Schema",
+    "ColumnBatch",
+    "columnar_enabled",
+    "columnar_mode",
+    "set_columnar_enabled",
     "Page",
     "RID",
     "DiskManager",

@@ -9,11 +9,15 @@ fields.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Optional
+import heapq
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional
 
 from repro.storage.buffer import BufferPool
 from repro.storage.page import Page, RID
 from repro.storage.tuples import Row, Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.columnar import ColumnBatch
 
 
 class HeapFile:
@@ -50,6 +54,12 @@ class HeapFile:
         # Page numbers known to have at least one free slot. Metadata only —
         # a real system would keep this in a free-space map page.
         self._free_pages: set[int] = set()
+        # Lazy min-heap over pages that may still be below fill_threshold.
+        # Entries go stale when insert_near fills a page past the threshold;
+        # insert pops them on contact, so selecting the lowest-numbered
+        # open page is O(log n) amortised instead of a full sorted scan.
+        self._open_heap: list[int] = []
+        self._open_set: set[int] = set()
 
     @property
     def num_rows(self) -> int:
@@ -59,25 +69,50 @@ class HeapFile:
     def num_pages(self) -> int:
         return self.buffer.disk.num_pages(self.name)
 
+    def _note_open(self, page_no: int) -> None:
+        """Record that ``page_no`` may have dropped below the threshold."""
+        if page_no not in self._open_set:
+            self._open_set.add(page_no)
+            heapq.heappush(self._open_heap, page_no)
+
+    def _drop_open(self, page_no: int) -> None:
+        if page_no in self._open_set and (
+            self._open_heap and self._open_heap[0] == page_no
+        ):
+            self._open_set.discard(page_no)
+            heapq.heappop(self._open_heap)
+
     def insert(self, row: Row) -> RID:
         """Store ``row`` and return its RID (one read + one write, or a
-        single formatting write when a fresh page is allocated)."""
+        single formatting write when a fresh page is allocated).
+
+        Placement picks the lowest-numbered page still below the fill
+        threshold (the same page the historical sorted free-set scan chose),
+        found through the lazy heap above.
+        """
         row = self.schema.make_row(row)
         page_no = None
-        for candidate in sorted(self._free_pages):
+        while self._open_heap:
+            candidate = self._open_heap[0]
             candidate_page = self.buffer.disk.peek_page(self.name, candidate)
             if len(candidate_page) < self.fill_threshold:
                 page_no = candidate
                 break
+            # Stale entry: insert_near filled it to (or past) the threshold.
+            self._open_set.discard(candidate)
+            heapq.heappop(self._open_heap)
         if page_no is not None:
             page = self.buffer.fetch(self.name, page_no)
         else:
             page = self.buffer.disk.allocate_page(self.name, self.tuples_per_page)
             page_no = page.page_no
             self._free_pages.add(page_no)
+            self._note_open(page_no)
         slot_no = page.insert(row)
         if page.is_full:
             self._free_pages.discard(page_no)
+        if len(page) >= self.fill_threshold:
+            self._drop_open(page_no)
         self.buffer.mark_dirty(self.name, page_no)
         self._num_rows += 1
         return RID(page_no, slot_no)
@@ -125,6 +160,8 @@ class HeapFile:
         old_row = page.delete(rid.slot_no)
         self.buffer.mark_dirty(self.name, rid.page_no)
         self._free_pages.add(rid.page_no)
+        if len(page) < self.fill_threshold:
+            self._note_open(rid.page_no)
         self._num_rows -= 1
         return old_row
 
@@ -134,6 +171,17 @@ class HeapFile:
             page = self.buffer.fetch(self.name, page_no)
             for slot_no, row in page.rows():
                 yield RID(page_no, slot_no), row
+
+    def scan_batches(
+        self,
+    ) -> Iterator[tuple[int, list[int], "ColumnBatch"]]:
+        """Columnar full scan: one ``(page_no, slot_nos, ColumnBatch)`` per
+        page, with exactly the same page-fetch accounting as :meth:`scan`
+        (every page read once, empty pages included)."""
+        for page_no in range(self.num_pages):
+            page = self.buffer.fetch(self.name, page_no)
+            slot_nos, batch = page.column_batch(self.schema)
+            yield page_no, slot_nos, batch
 
     def find_first(
         self, matches: Callable[[Row], bool]

@@ -23,11 +23,14 @@ mirroring the treatment of hash indexes on base relations.
 from __future__ import annotations
 
 import random
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.storage.buffer import BufferPool
 from repro.storage.page import RID
 from repro.storage.tuples import Row, Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.columnar import ColumnBatch
 
 
 class MaterializedStore:
@@ -205,6 +208,14 @@ class MaterializedStore:
     def peek_all(self) -> list[Row]:
         """Contents without I/O accounting — tests and invariants only."""
         return [row for row, rids in self._rids.items() for _ in rids]
+
+    def column_batch(self) -> "ColumnBatch":
+        """The current contents as a struct-of-arrays batch (uncharged,
+        like :meth:`peek_all`) — the columnar view of this memory for
+        vectorized screens and aggregate rebuilds."""
+        from repro.storage.columnar import ColumnBatch
+
+        return ColumnBatch(self.schema, self.peek_all())
 
     def probe_many(
         self, field: str, values: Iterable[Any]

@@ -4,9 +4,13 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.storage.tuples import Row
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.columnar import ColumnBatch
+    from repro.storage.tuples import Schema
 
 
 @dataclass(frozen=True, order=True)
@@ -37,7 +41,14 @@ class Page:
     :class:`~repro.faults.injector.FaultInjector` is installed.
     """
 
-    __slots__ = ("page_no", "capacity", "_slots", "_live", "_stored_checksum")
+    __slots__ = (
+        "page_no",
+        "capacity",
+        "_slots",
+        "_live",
+        "_stored_checksum",
+        "_column_cache",
+    )
 
     def __init__(self, page_no: int, capacity: int) -> None:
         if capacity <= 0:
@@ -47,6 +58,8 @@ class Page:
         self._slots: list[Optional[Row]] = [None] * capacity
         self._live = 0
         self._stored_checksum: Optional[int] = None
+        # (schema, slot_nos, ColumnBatch) — rebuilt lazily after mutation.
+        self._column_cache: Optional[tuple] = None
 
     def __len__(self) -> int:
         return self._live
@@ -68,6 +81,7 @@ class Page:
                 self._slots[slot_no] = row
                 self._live += 1
                 self._stored_checksum = None
+                self._column_cache = None
                 return slot_no
         raise PageFullError(f"page {self.page_no} has inconsistent occupancy")
 
@@ -84,6 +98,7 @@ class Page:
             raise KeyError(f"slot {slot_no} of page {self.page_no} is empty")
         self._slots[slot_no] = row
         self._stored_checksum = None
+        self._column_cache = None
 
     def delete(self, slot_no: int) -> Row:
         """Remove and return the row in ``slot_no``."""
@@ -91,6 +106,7 @@ class Page:
         self._slots[slot_no] = None
         self._live -= 1
         self._stored_checksum = None
+        self._column_cache = None
         return row
 
     # -- integrity --------------------------------------------------------
@@ -121,6 +137,32 @@ class Page:
         for slot_no, row in enumerate(self._slots):
             if row is not None:
                 yield slot_no, row
+
+    def column_batch(
+        self, schema: "Schema"
+    ) -> tuple[list[int], "ColumnBatch"]:
+        """This page's live rows as ``(slot_nos, ColumnBatch)``, slot order.
+
+        Cached until the next mutation; pages are fetched once per scan but
+        scanned by many plans, so the transpose cost amortises. The cache is
+        keyed by schema identity — each heap/store passes its own schema
+        object, so a mismatch only happens across files, which never share
+        pages.
+        """
+        cache = self._column_cache
+        if cache is not None and cache[0] is schema:
+            return cache[1], cache[2]
+        from repro.storage.columnar import ColumnBatch
+
+        slot_nos: list[int] = []
+        live_rows: list[Row] = []
+        for slot_no, row in enumerate(self._slots):
+            if row is not None:
+                slot_nos.append(slot_no)
+                live_rows.append(row)
+        batch = ColumnBatch(schema, live_rows)
+        self._column_cache = (schema, slot_nos, batch)
+        return slot_nos, batch
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return f"Page(no={self.page_no}, live={self._live}/{self.capacity})"

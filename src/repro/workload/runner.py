@@ -60,6 +60,11 @@ class RunResult:
     #: Update-transaction batch size used (None = the legacy unbatched
     #: code path; 1 routes through the batch pipeline, bit-identically).
     batch_size: int | None = None
+    #: Real (wall-clock) milliseconds of strategy maintenance per update
+    #: transaction — the simulator's own speed, not the simulated cost.
+    wall_ms_per_update: float = 0.0
+    #: Real milliseconds of strategy access work per procedure access.
+    wall_ms_per_access: float = 0.0
     #: Per-access ``(procedure, rows)`` log, in stream order (only when
     #: the run was asked to record accesses — the differential harness).
     access_log: list[tuple[str, tuple]] = field(default_factory=list)
@@ -376,6 +381,16 @@ def run_workload(
         ),
         procedure_costs=(
             observation.procedure_costs() if observation is not None else {}
+        ),
+        wall_ms_per_update=(
+            manager.wall_maintenance_s * 1000.0 / manager.num_updates
+            if manager.num_updates
+            else 0.0
+        ),
+        wall_ms_per_access=(
+            manager.wall_access_s * 1000.0 / manager.num_accesses
+            if manager.num_accesses
+            else 0.0
         ),
         batch_size=batch_size,
         access_log=access_log,

@@ -1,0 +1,111 @@
+"""Differential harness: columnar hot path vs the dict reference path.
+
+The struct-of-arrays pipeline (``REPRO_COLUMNAR``, on by default) must be
+a pure performance transformation: with the toggle on, every simulated
+run is *bit-identical* to the dict-walking reference path — the same
+access rows in the same order, the same simulated clock total, the same
+per-phase cost pie, and the same strategy-visible state (CI validity
+map, invalidation counts). Batched charging is float-exact because the
+cost constants are integer-valued milliseconds, so even the totals may
+not drift by an ulp.
+
+This is the columnar analogue of ``test_batch_differential.py`` and runs
+as its own named CI step.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.simcompare import SIM_SCALE_PARAMS
+from repro.obs import CostAttribution
+from repro.storage.columnar import columnar_mode
+from repro.workload.runner import run_workload
+
+STRATEGIES = (
+    "always_recompute",
+    "cache_invalidate",
+    "update_cache_avm",
+    "update_cache_rvm",
+    "hybrid",
+)
+
+SEEDS = (0, 1, 2)
+
+_PARAMS = SIM_SCALE_PARAMS.with_update_probability(0.6)
+_OPERATIONS = 60
+
+
+def _run(
+    strategy,
+    seed,
+    columnar,
+    observe=False,
+    batch_size=None,
+    scheme=None,
+):
+    with columnar_mode(columnar):
+        return run_workload(
+            _PARAMS,
+            strategy,
+            num_operations=_OPERATIONS,
+            seed=seed,
+            invalidation_scheme=scheme,
+            observation=CostAttribution() if observe else None,
+            batch_size=batch_size,
+            record_accesses=True,
+            keep_manager=True,
+        )
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_columnar_is_bit_identical(strategy, seed):
+    """Columnar on vs off: same access rows in the same order, same
+    simulated clock, same cost buckets."""
+    reference = _run(strategy, seed, columnar=False)
+    columnar = _run(strategy, seed, columnar=True)
+    assert columnar.access_log == reference.access_log
+    assert columnar.clock_total_ms == reference.clock_total_ms
+    assert columnar.access_cost_ms == reference.access_cost_ms
+    assert columnar.maintenance_cost_ms == reference.maintenance_cost_ms
+    assert columnar.base_update_cost_ms == reference.base_update_cost_ms
+    assert columnar.num_accesses == reference.num_accesses
+    assert columnar.num_updates == reference.num_updates
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_columnar_cost_pie_identical(strategy):
+    """Under cost attribution, the per-phase pie is bit-identical —
+    vectorized work lands in exactly the spans the scalar loops used."""
+    reference = _run(strategy, 0, columnar=False, observe=True)
+    columnar = _run(strategy, 0, columnar=True, observe=True)
+    assert columnar.phase_costs == reference.phase_costs
+    assert columnar.procedure_costs == reference.procedure_costs
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("batch_size", (1, 3))
+def test_columnar_batched_pipeline_identical(strategy, batch_size):
+    """The toggle is also invisible inside the batched-update pipeline
+    (group invalidation, netted token waves)."""
+    reference = _run(strategy, 1, columnar=False, batch_size=batch_size)
+    columnar = _run(strategy, 1, columnar=True, batch_size=batch_size)
+    assert columnar.access_log == reference.access_log
+    assert columnar.clock_total_ms == reference.clock_total_ms
+    assert columnar.maintenance_cost_ms == reference.maintenance_cost_ms
+
+
+@pytest.mark.parametrize("scheme", [None, "wal"])
+def test_ci_invalidation_state_identical(scheme):
+    """CI's strategy-visible state — which caches are valid, how many
+    invalidations fired — matches the dict path exactly (the vectorized
+    i-lock probe flags the same procedures in the same sweep)."""
+    reference = _run("cache_invalidate", 2, columnar=False, scheme=scheme)
+    columnar = _run("cache_invalidate", 2, columnar=True, scheme=scheme)
+    s_ref = reference.manager.strategy
+    s_col = columnar.manager.strategy
+    assert s_col._valid == s_ref._valid
+    assert s_col.invalidation_count == s_ref.invalidation_count
+    assert s_col.false_invalidation_count == s_ref.false_invalidation_count
+    assert columnar.access_log == reference.access_log

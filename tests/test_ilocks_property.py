@@ -14,6 +14,8 @@ from hypothesis import strategies as st
 from repro.locks.ilocks import ILockTable
 from repro.query.plan import LockSpec
 from repro.query.predicate import KeyInterval
+from repro.storage.columnar import ColumnBatch
+from repro.storage.tuples import Field, Schema
 
 RELATIONS = ("R1", "R2")
 FIELDS = ("sel", "sel2")
@@ -129,3 +131,40 @@ def test_cleared_procedures_never_conflict(footprint, relation):
     assert table.num_locks() == 0
     # A whole-relation write breaks nothing once all locks are cleared.
     assert table.conflicting_procedures(relation, [{"sel": 1}]) == set()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    footprint=footprints,
+    relation=st.sampled_from(RELATIONS),
+    changed=write_values,
+)
+def test_batch_probe_matches_naive_probe(footprint, relation, changed):
+    """The columnar batch probe (sorted column + one bisect per
+    interval) flags exactly the procedures the per-tuple dict probe
+    flags. Missing fields become ``None`` entries in the column; both
+    paths treat ``None`` as non-conflicting."""
+    table = ILockTable()
+    for procedure, specs in footprint.items():
+        table.set_locks(procedure, specs)
+    schema = Schema([Field("sel"), Field("sel2")], tuple_bytes=100)
+    rows = [(vals.get("sel"), vals.get("sel2")) for vals in changed]
+    batched = table.conflicting_procedures_batch(
+        relation, ColumnBatch(schema, rows)
+    )
+    assert batched == table.conflicting_procedures(relation, changed)
+    assert batched == oracle(footprint, relation, changed)
+
+
+def test_batch_probe_skips_fields_missing_from_schema():
+    """A lock on a field the batch's schema doesn't carry cannot break:
+    the dict probe sees no value for it and the batch probe has no
+    column to bisect. Both must agree (no KeyError, no false hit)."""
+    table = ILockTable()
+    table.set_locks(
+        "P0", [LockSpec("R1", KeyInterval("ghost", 0, 10))]
+    )
+    schema = Schema([Field("sel"), Field("sel2")], tuple_bytes=100)
+    batch = ColumnBatch(schema, [(5, 5)])
+    assert table.conflicting_procedures_batch("R1", batch) == set()
+    assert table.conflicting_procedures("R1", [{"sel": 5, "sel2": 5}]) == set()

@@ -1,0 +1,180 @@
+"""Property test: vectorized predicate evaluation vs the interpreted path.
+
+For any predicate over any batch of rows, the compiled column matcher
+(``Predicate.bind_columns``) must produce exactly the row-by-row answers
+of the scalar matcher (``Predicate.bind``). Hypothesis drives random
+comparisons, intervals, and conjunctions over columns salted with the
+values most likely to diverge between Python and numpy semantics:
+int64 boundary values and beyond-int64 Python ints (dtype fallback and
+the analytical out-of-range branch), NaN/±inf floats (all comparisons
+false for NaN — including the negated interval form), ``-0.0``, and
+``None`` entries in object columns under ``=``/``!=``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.predicate import (
+    And,
+    Comparison,
+    Interval,
+    TruePredicate,
+    compiled_column_matcher,
+    compiled_matcher,
+)
+from repro.storage.columnar import ColumnBatch, int64_bounds
+from repro.storage.tuples import Field, FieldKind, Schema
+
+INT64_MIN, INT64_MAX = int64_bounds()
+OPS = ("<", "<=", "=", "!=", ">=", ">")
+
+SCHEMA = Schema(
+    [
+        Field("a", FieldKind.INT),
+        Field("b", FieldKind.FLOAT),
+        Field("c", FieldKind.STR),
+    ],
+    tuple_bytes=100,
+)
+
+int_values = st.one_of(
+    st.integers(min_value=-100, max_value=100),
+    st.sampled_from(
+        [
+            INT64_MIN,
+            INT64_MAX,
+            INT64_MIN - 1,
+            INT64_MAX + 1,
+            2**70,
+            -(2**70),
+        ]
+    ),
+)
+float_values = st.one_of(
+    st.floats(allow_nan=False, width=64),
+    st.sampled_from(
+        [float("nan"), 0.0, -0.0, float("inf"), float("-inf"), 1e308]
+    ),
+)
+str_values = st.text(alphabet="abcXYZ09", max_size=6)
+
+_FIELD_VALUES = {"a": int_values, "b": float_values, "c": str_values}
+
+rows = st.lists(
+    st.tuples(int_values, float_values, str_values), min_size=0, max_size=25
+)
+
+
+@st.composite
+def leaf_predicates(draw):
+    field = draw(st.sampled_from(("a", "b", "c")))
+    values = _FIELD_VALUES[field]
+    if draw(st.booleans()):
+        return Comparison(field, draw(st.sampled_from(OPS)), draw(values))
+    return Interval(
+        field,
+        lo=draw(st.none() | values),
+        hi=draw(st.none() | values),
+        lo_inclusive=draw(st.booleans()),
+        hi_inclusive=draw(st.booleans()),
+    )
+
+
+@st.composite
+def predicates(draw):
+    terms = draw(st.lists(leaf_predicates(), min_size=1, max_size=3))
+    return terms[0] if len(terms) == 1 else And(*terms)
+
+
+def _assert_paths_agree(predicate, row_list, schema=SCHEMA):
+    scalar = compiled_matcher(predicate, schema)
+    vectorized = compiled_column_matcher(predicate, schema)
+    expected = [bool(scalar(row)) for row in row_list]
+    mask = vectorized(ColumnBatch(schema, row_list))
+    assert isinstance(mask, np.ndarray)
+    assert mask.dtype == np.bool_
+    assert mask.shape == (len(row_list),)
+    assert list(mask) == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(predicate=predicates(), row_list=rows)
+def test_vectorized_matches_interpreted(predicate, row_list):
+    _assert_paths_agree(predicate, row_list)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    op=st.sampled_from(("=", "!=")),
+    constant=st.none() | str_values,
+    row_list=st.lists(
+        st.tuples(
+            st.integers(-5, 5),
+            st.floats(allow_nan=False, width=64),
+            st.none() | str_values,
+        ),
+        min_size=0,
+        max_size=20,
+    ),
+)
+def test_none_entries_under_equality_ops(op, constant, row_list):
+    """``None`` in an object column only supports equality operators in
+    the scalar path; the vectorized path must agree on those exactly."""
+    _assert_paths_agree(Comparison("c", op, constant), row_list)
+
+
+@settings(max_examples=50, deadline=None)
+@given(row_list=rows)
+def test_true_predicate_passes_everything(row_list):
+    _assert_paths_agree(TruePredicate(), row_list)
+
+
+def test_nan_interval_negation_parity():
+    """NaN fails every direct comparison, so the scalar interval test —
+    built from *negated* out-of-range checks — contains NaN. The mask
+    must reproduce that, not the direct-comparison answer."""
+    predicate = Interval("b", lo=0.0, hi=10.0)
+    row = (0, float("nan"), "x")
+    _assert_paths_agree(predicate, [row])
+    mask = compiled_column_matcher(predicate, SCHEMA)(
+        ColumnBatch(SCHEMA, [row])
+    )
+    assert bool(mask[0]) is True  # both bounds' negated checks are false
+
+
+def test_beyond_int64_constant_is_analytical():
+    """A constant past int64 never matches ``=``, always matches ``!=``,
+    and resolves orderings as a constant mask — no overflow, no numpy
+    version dependence."""
+    row_list = [(INT64_MIN, 0.0, ""), (0, 0.0, ""), (INT64_MAX, 0.0, "")]
+    for op in OPS:
+        _assert_paths_agree(Comparison("a", op, 2**70), row_list)
+        _assert_paths_agree(Comparison("a", op, -(2**70)), row_list)
+
+
+def test_beyond_int64_column_values_fall_back_to_object():
+    """Rows holding beyond-int64 ints force the column to object dtype
+    and keep exact Python comparison semantics."""
+    row_list = [(2**70, 0.0, ""), (5, 0.0, ""), (-(2**70), 0.0, "")]
+    batch = ColumnBatch(SCHEMA, row_list)
+    assert batch.column("a").dtype == object
+    for op in OPS:
+        _assert_paths_agree(Comparison("a", op, 5), row_list)
+
+
+def test_float_infinities_and_negative_zero():
+    row_list = [
+        (0, float("inf"), ""),
+        (0, float("-inf"), ""),
+        (0, -0.0, ""),
+        (0, 0.0, ""),
+        (0, math.pi, ""),
+    ]
+    for op in OPS:
+        for constant in (0.0, -0.0, float("inf"), float("-inf"), math.pi):
+            _assert_paths_agree(Comparison("b", op, constant), row_list)
