@@ -1,0 +1,86 @@
+"""Shard-scale sizing sweep: memory per procedure vs population.
+
+The ROADMAP's scale item asks whether procedure populations of 10^5-10^6
+are feasible; the answer is a *space* curve. This bench runs the RVM
+engine behind the sharded facade over P1-only populations at the
+``repro.shard.scale_params`` point, measures ``bytes_per_procedure`` at
+1 and 8 shards, writes the table to ``results/bench_shard.txt``, and
+asserts the same sublinearity the ledger's ``shard.scale`` scenario
+gates: partitioning must not inflate bytes (shards=8 == shards=1 for
+P1-only populations) and bytes per procedure must fall as the
+population grows (hash-consed sharing saturates the key domain).
+"""
+
+import pathlib
+
+from repro.shard import measure_sizing, scale_params
+from repro.workload.database import build_database
+from repro.workload.runner import run_workload
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+POPULATIONS = (5_000, 20_000, 100_000)
+SHARD_COUNTS = (1, 8)
+OPERATIONS = 30
+SEED = 7
+
+
+def test_shard_scale_sizing(benchmark):
+    def measure():
+        table = {}
+        for population in POPULATIONS:
+            params = scale_params(population)
+            for num_shards in SHARD_COUNTS:
+                db = build_database(params, seed=SEED)
+                run = run_workload(
+                    params,
+                    "update_cache_rvm",
+                    num_operations=OPERATIONS,
+                    seed=SEED,
+                    warm_caches=False,
+                    database=db,
+                    keep_manager=True,
+                    shards=num_shards,
+                )
+                sizing = measure_sizing(
+                    db, run.manager.strategy, seed=SEED
+                )
+                table[(population, num_shards)] = (
+                    sizing.bytes_per_procedure,
+                    run.maintenance_cost_ms / max(1, run.num_updates),
+                )
+        return table
+
+    table = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        f"{'population':>10s} "
+        + " ".join(f"{f'bpp s{s}':>10s}" for s in SHARD_COUNTS)
+        + f" {'maint ms/upd':>12s}"
+    ]
+    for population in POPULATIONS:
+        bpps = [table[(population, s)][0] for s in SHARD_COUNTS]
+        maint = table[(population, SHARD_COUNTS[-1])][1]
+        lines.append(
+            f"{population:10d} "
+            + " ".join(f"{bpp:10.2f}" for bpp in bpps)
+            + f" {maint:12.1f}"
+        )
+    text = (
+        "bytes per procedure (caches + Rete memories + i-locks), "
+        "P1-only scale point:\n" + "\n".join(lines)
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "bench_shard.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+    for population in POPULATIONS:
+        # Partitioning never inflates bytes for P1-only populations.
+        assert (
+            table[(population, 8)][0] <= table[(population, 1)][0]
+        )
+    # Strictly sublinear in population: per-procedure bytes fall as the
+    # population grows past the key domain's interval diversity.
+    bpp_by_pop = [table[(p, 8)][0] for p in POPULATIONS]
+    assert bpp_by_pop == sorted(bpp_by_pop, reverse=True)
+    assert bpp_by_pop[-1] < bpp_by_pop[0]

@@ -26,10 +26,12 @@ else
     echo "==> ruff not installed; skipping lint (pip install 'ruff>=0.4')"
 fi
 
-# Differential harnesses first, by name, mirroring CI: batched and
-# columnar execution must both be bit-identical to the legacy paths.
+# Differential harnesses first, by name, mirroring CI: batched,
+# columnar, and sharded execution must all match the legacy paths
+# (bit-identical; sharded is result-identical above one shard).
 run python -m pytest tests/test_batch_differential.py -q
 run python -m pytest tests/test_columnar_differential.py -q
+run python -m pytest tests/test_shard_differential.py -q
 
 # Coverage flags mirror CI when pytest-cov is importable (offline boxes
 # without it still run the plain suite).
@@ -46,6 +48,12 @@ else
 fi
 
 run python -m pytest benchmarks -q --benchmark-disable
+
+# Shard sizing smoke, mirroring the CI artifact step (small population;
+# the 10^5 sweep and its sublinearity gate run inside the bench suite).
+run python -m repro shard --strategy rvm --shards 1,8 \
+    --procedures 5000 --operations 30 --json \
+    --report-out shard-sizing.json
 
 run python -m repro bench --operations 120 --seed 7 \
     --compare results/bench_baseline.json --tolerance 0.5

@@ -7,6 +7,8 @@ Examples::
     repro-procs run fig18 --no-checks
     repro-procs all
     repro-procs simulate --strategy update_cache_rvm --model 2 -P 0.5
+    repro-procs simulate --strategy rvm --shards 8
+    repro-procs shard --strategy rvm --shards 1,8 --procedures 20000
     repro-procs compare --model 1
     repro-procs profile --strategy ci --model 1
     repro-procs profile --strategy rvm --json
@@ -216,11 +218,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         num_operations=args.operations,
         seed=args.seed,
         batch_size=args.batch_size,
+        shards=args.shards,
     )
     batch_note = f" batch={run.batch_size}" if run.batch_size else ""
+    shard_note = f" shards={run.shards}" if run.shards else ""
     print(
         f"strategy={run.strategy} model={run.model} "
-        f"P={args.update_probability:g} ops={args.operations}{batch_note}"
+        f"P={args.update_probability:g} ops={args.operations}"
+        f"{batch_note}{shard_note}"
     )
     print(f"cost per access: {run.cost_per_access_ms:.1f} simulated ms")
     print(
@@ -371,6 +376,7 @@ def _cmd_concurrent(args: argparse.Namespace) -> int:
         buffer_capacity=args.buffer_capacity,
         observation_factory=observation_factory,
         batch_size=args.batch_size,
+        shards=args.shards,
     )
     wall = time.perf_counter() - start
     if args.json:
@@ -634,6 +640,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         buffer_capacity=args.buffer_capacity,
         observation=observation,
         batch_size=args.batch_size,
+        shards=args.shards,
     )
     wall = time.perf_counter() - start
     if args.json:
@@ -674,6 +681,86 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.profile import resolve_strategy
+    from repro.shard import measure_sizing, render_sizing, scale_params
+    from repro.workload.database import build_database
+
+    try:
+        strategy = resolve_strategy(args.strategy)
+        shard_counts = sorted(
+            {int(part) for part in args.shards.split(",") if part.strip()}
+        )
+        if not shard_counts or any(s < 1 for s in shard_counts):
+            raise ValueError("--shards values must be integers >= 1")
+        if args.procedures is not None and args.procedures < 1:
+            raise ValueError("--procedures must be >= 1")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.procedures is not None:
+        params = scale_params(args.procedures, num_p2=args.p2)
+    else:
+        params = SIM_SCALE_PARAMS.with_update_probability(
+            args.update_probability
+        )
+    start = time.perf_counter()
+    reports = []
+    for num_shards in shard_counts:
+        db = build_database(params, seed=args.seed)
+        run = run_workload(
+            params,
+            strategy,
+            model=args.model,
+            num_operations=args.operations,
+            seed=args.seed,
+            warm_caches=False,
+            database=db,
+            batch_size=args.batch_size,
+            keep_manager=True,
+            shards=num_shards,
+        )
+        sizing = measure_sizing(db, run.manager.strategy, seed=args.seed)
+        payload = sizing.to_dict()
+        payload["maint_ms_per_update"] = run.maintenance_cost_ms / max(
+            1, run.num_updates
+        )
+        payload["cost_per_access_ms"] = run.cost_per_access_ms
+        payload["operations"] = args.operations
+        payload["seed"] = args.seed
+        reports.append((sizing, payload))
+    wall = time.perf_counter() - start
+    sweep = {
+        "kind": "shard_sizing_sweep",
+        "strategy": strategy,
+        "model": args.model,
+        "shard_counts": shard_counts,
+        "reports": [payload for _sizing, payload in reports],
+    }
+    if args.json:
+        print(json.dumps(sweep, indent=2, sort_keys=True))
+    else:
+        print(
+            f"shard sizing sweep: strategy={strategy} model={args.model} "
+            f"procedures={params.num_p1 + params.num_p2} "
+            f"ops={args.operations} seed={args.seed} in {wall:.1f}s wall"
+        )
+        for sizing, payload in reports:
+            print()
+            print(render_sizing(sizing))
+            print(
+                f"maintenance per update "
+                f"{payload['maint_ms_per_update']:>13.2f} ms"
+            )
+    if args.report_out:
+        with open(args.report_out, "w") as handle:
+            json.dump(sweep, handle, indent=2, sort_keys=True)
+        print(f"wrote sizing report to {args.report_out}", file=sys.stderr)
     return 0
 
 
@@ -786,6 +873,15 @@ def build_parser() -> argparse.ArgumentParser:
             "into one maintenance batch (default: per-transaction)"
         ),
     )
+    sim_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "run behind the sharded engine with N key-range shards "
+            "(default: unsharded)"
+        ),
+    )
     sim_parser.set_defaults(func=_cmd_simulate)
 
     report_parser = sub.add_parser(
@@ -872,6 +968,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     prof_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "run behind the sharded engine with N key-range shards "
+            "(default: unsharded)"
+        ),
+    )
+    prof_parser.add_argument(
         "--top", type=int, default=5, help="procedures to list by cost"
     )
     prof_parser.add_argument(
@@ -947,6 +1052,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     conc_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "run every strategy behind the sharded engine with N "
+            "key-range shards (default: unsharded)"
+        ),
+    )
+    conc_parser.add_argument(
         "--json", action="store_true", help="emit the sweep as JSON"
     )
     _add_artifact_flags(conc_parser)
@@ -996,6 +1110,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_artifact_flags(chaos_parser)
     chaos_parser.set_defaults(func=_cmd_chaos)
+
+    shard_parser = sub.add_parser(
+        "shard",
+        help=(
+            "sharded-engine sizing sweep: bytes per relation/shard/"
+            "procedure, Rete sharing, router fan-out"
+        ),
+    )
+    shard_parser.add_argument(
+        "--strategy",
+        default="update_cache_rvm",
+        help="strategy name or alias (ar, ci, avm, rvm, or the full names)",
+    )
+    shard_parser.add_argument(
+        "--shards",
+        default="1,8",
+        help="comma-separated shard counts to sweep (e.g. 1,2,8)",
+    )
+    shard_parser.add_argument(
+        "--procedures",
+        type=int,
+        default=None,
+        help=(
+            "population size for the scale parameter point (P1-only, "
+            "small tuple universe); default: the laptop-scale point"
+        ),
+    )
+    shard_parser.add_argument(
+        "--p2",
+        type=int,
+        default=0,
+        help="P2 join procedures to add to the scale point (default 0)",
+    )
+    shard_parser.add_argument("--model", type=int, default=1, choices=(1, 2))
+    shard_parser.add_argument(
+        "-P",
+        "--update-probability",
+        type=float,
+        default=DEFAULT_PARAMS.update_probability,
+    )
+    shard_parser.add_argument("--operations", type=int, default=60)
+    shard_parser.add_argument("--seed", type=int, default=7)
+    shard_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help=(
+            "group up to N consecutive same-relation update transactions "
+            "into one maintenance batch (default: per-transaction)"
+        ),
+    )
+    shard_parser.add_argument(
+        "--json", action="store_true", help="emit the sweep as JSON"
+    )
+    shard_parser.add_argument(
+        "--report-out",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON sweep to PATH (the CI sizing artifact)",
+    )
+    shard_parser.set_defaults(func=_cmd_shard)
 
     bench_parser = sub.add_parser(
         "bench",

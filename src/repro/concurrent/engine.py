@@ -83,6 +83,8 @@ class ConcurrentRunResult:
     access_cost_ms: float
     maintenance_cost_ms: float
     base_update_cost_ms: float
+    #: Shard count when the run used a sharded engine (``None`` = plain).
+    shards: int | None = None
     #: Virtual ms from start to the last commit across all sessions.
     makespan_ms: float = 0.0
     #: Committed operations per simulated second.
@@ -118,6 +120,7 @@ class ConcurrentRunResult:
             "strategy": self.strategy,
             "model": self.model,
             "mpl": self.mpl,
+            "shards": self.shards,
             "num_accesses": self.num_accesses,
             "num_updates": self.num_updates,
             "cost_per_access_ms": self.cost_per_access_ms,
@@ -472,6 +475,7 @@ def run_concurrent_workload(
     update_weights: dict[str, float] | None = None,
     observation: "CostAttribution | None" = None,
     batch_size: int | None = None,
+    shards: int | None = None,
 ) -> ConcurrentRunResult:
     """Run ``mpl`` concurrent sessions of one strategy over the shared
     synthetic database.
@@ -487,6 +491,11 @@ def run_concurrent_workload(
     target relation changes, before any access executes, and at end of
     stream. ``None`` (default) keeps the legacy immediate-maintenance
     path.
+
+    ``shards`` runs the strategy behind a
+    :class:`repro.shard.ShardedStrategy` facade with that many shards;
+    sessions, 2PL, and footprint collection are unchanged (the facade is
+    a regular strategy to the manager). ``None`` keeps the plain engine.
     """
     if mpl < 1:
         raise ValueError("multiprogramming level mpl must be >= 1")
@@ -494,9 +503,21 @@ def run_concurrent_workload(
         raise ValueError("batch_size must be >= 1 (or None for unbatched)")
     db = build_database(params, seed=seed, buffer_capacity=buffer_capacity)
     pop = build_procedures(db, params, model=model, seed=seed)
-    strategy = make_strategy(
-        strategy_name, db, params, invalidation_scheme=invalidation_scheme
-    )
+    if shards is None:
+        strategy = make_strategy(
+            strategy_name, db, params, invalidation_scheme=invalidation_scheme
+        )
+    else:
+        from repro.shard import make_sharded_strategy
+
+        strategy = make_sharded_strategy(
+            strategy_name,
+            db,
+            params,
+            num_shards=shards,
+            invalidation_scheme=invalidation_scheme,
+            seed=seed,
+        )
     manager = ProcedureManager(strategy)
     for name, expr in pop.definitions:
         manager.define_procedure(name, expr)
@@ -548,6 +569,7 @@ def run_concurrent_workload(
         model=model,
         mpl=mpl,
         params=params,
+        shards=shards,
         num_accesses=manager.num_accesses,
         num_updates=manager.num_updates,
         cost_per_access_ms=manager.cost_per_access(),

@@ -35,6 +35,7 @@ def concurrent_sweep(
     buffer_capacity: int = 0,
     observation_factory: "Callable[[], CostAttribution] | None" = None,
     batch_size: int | None = None,
+    shards: int | None = None,
 ) -> list[ConcurrentRunResult]:
     """Every (strategy, MPL) combination at one parameter point.
 
@@ -64,6 +65,7 @@ def concurrent_sweep(
                         else None
                     ),
                     batch_size=batch_size,
+                    shards=shards,
                 )
             )
     return results

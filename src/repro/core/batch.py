@@ -33,6 +33,7 @@ from repro.storage.tuples import Row
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.manager import ProcedureManager
+    from repro.locks.ilocks import SortedValueRuns
 
 
 def net_deltas(
@@ -70,6 +71,7 @@ class DeltaBatch:
     def __init__(self, relation: str) -> None:
         self.relation = relation
         self.transactions: list[tuple[list[Row], list[Row]]] = []
+        self._runs_cache: dict[tuple[str, ...], "SortedValueRuns"] = {}
 
     def add_transaction(
         self, inserts: list[Row], deletes: list[Row]
@@ -114,6 +116,24 @@ class DeltaBatch:
             for row in txn_inserts:
                 out.append(dict(zip(field_names, row)))
         return out
+
+    def sorted_value_runs(
+        self, field_names: list[str]
+    ) -> "SortedValueRuns":
+        """The batch's changed values as memoized per-field sorted runs
+        (see :class:`repro.locks.ilocks.SortedValueRuns`). However many
+        consumers probe the batch — one i-lock table per shard, the
+        shard router — the O(n log n) build happens once. Callers must
+        not add transactions after the first probe (the runner flushes a
+        batch exactly once, after its last transaction)."""
+        key = tuple(field_names)
+        runs = self._runs_cache.get(key)
+        if runs is None:
+            from repro.locks.ilocks import SortedValueRuns
+
+            runs = SortedValueRuns(self.changed_dicts(field_names))
+            self._runs_cache[key] = runs
+        return runs
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return (

@@ -199,9 +199,8 @@ class CacheAndInvalidate(ProcedureStrategy):
 
     def _break_locks_grouped(self, batch: DeltaBatch) -> None:
         names = self.catalog.get(batch.relation).schema.names()
-        changed = batch.changed_dicts(names)
         broken = self._locks.conflicting_procedures_swept(
-            batch.relation, changed
+            batch.relation, runs=batch.sorted_value_runs(names)
         )
         newly_invalid = sorted(
             name for name in broken if self.is_valid(name)

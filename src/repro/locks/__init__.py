@@ -7,6 +7,6 @@ write that conflicts with an i-lock marks that procedure's cached value
 invalid.
 """
 
-from repro.locks.ilocks import ILockTable
+from repro.locks.ilocks import ILockTable, SortedValueRuns
 
-__all__ = ["ILockTable"]
+__all__ = ["ILockTable", "SortedValueRuns"]

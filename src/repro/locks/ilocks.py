@@ -48,6 +48,66 @@ def _interval_hits_sorted(
     return hi_idx > lo_idx
 
 
+class SortedValueRuns:
+    """Per-field ascending value runs over a set of changed tuples.
+
+    The swept i-lock probe and the shard router both answer the same
+    question — *does any changed value fall inside this interval?* — by
+    sorting each field's values once and bisecting per interval. Building
+    the runs is the only O(n log n) part, so it is factored out here and
+    memoized per :class:`repro.core.batch.DeltaBatch`: a sharded engine
+    probing one i-lock table per shard (plus the router itself) builds
+    the runs exactly once per batch instead of once per probe.
+
+    Construction and probing are memory-resident bookkeeping, like the
+    i-lock table itself — neither charges the simulated clock.
+    """
+
+    #: Constructions since import (regression tests assert memoization:
+    #: however many shards probe a batch, the runs build once).
+    builds = 0
+
+    def __init__(self, changed_values: Iterable[dict[str, Any]]) -> None:
+        SortedValueRuns.builds += 1
+        by_field: dict[str, list[Any]] = {}
+        count = 0
+        for values in changed_values:
+            count += 1
+            for fld, value in values.items():
+                if value is not None:
+                    by_field.setdefault(fld, []).append(value)
+        for vals in by_field.values():
+            vals.sort()
+        self._by_field = by_field
+        #: Number of changed-tuple dicts the runs were built from. Zero
+        #: means "no write happened": even whole-relation locks survive.
+        self.num_changed = count
+
+    def values_for(self, field: str) -> list[Any]:
+        """The ascending values seen for ``field`` (empty if none)."""
+        return self._by_field.get(field, [])
+
+    def interval_hits(self, interval: "KeyInterval") -> bool:
+        """Whether any changed value of ``interval.field`` lies inside
+        ``interval`` — the same answer the per-value :meth:`KeyInterval.
+        contains` probes give, via one bisect plus a bounded scan."""
+        vals = self._by_field.get(interval.field)
+        if not vals:
+            return False
+        start = (
+            0
+            if interval.lo is None
+            else bisect.bisect_left(vals, interval.lo)
+        )
+        for index in range(start, len(vals)):
+            value = vals[index]
+            if interval.hi is not None and value > interval.hi:
+                break
+            if interval.contains(value):
+                return True
+        return False
+
+
 class ILockTable:
     """Per-procedure read-footprint locks with conflict detection."""
 
@@ -167,7 +227,8 @@ class ILockTable:
     def conflicting_procedures_swept(
         self,
         relation: str,
-        changed_values: Iterable[dict[str, Any]],
+        changed_values: Iterable[dict[str, Any]] | None = None,
+        runs: SortedValueRuns | None = None,
     ) -> set[str]:
         """Group-invalidation variant of :meth:`conflicting_procedures`.
 
@@ -177,20 +238,23 @@ class ILockTable:
         footprint of a whole :class:`repro.core.batch.DeltaBatch`. Flags
         exactly the same procedure set as the naive per-value probes (the
         property test in ``tests/test_ilocks_property.py`` pins this).
+
+        Pass ``runs`` (pre-built :class:`SortedValueRuns`, usually the
+        batch's memoized ones) instead of ``changed_values`` to amortize
+        the sort across many probes — one table per shard under the
+        sharded engine; exactly one of the two must be given.
         """
+        if (changed_values is None) == (runs is None):
+            raise ValueError(
+                "pass exactly one of changed_values or runs"
+            )
         relation_map = self._by_relation.get(relation)
         if not relation_map:
             return set()
-        value_list = list(changed_values)
-        if not value_list:
+        if runs is None:
+            runs = SortedValueRuns(changed_values)
+        if not runs.num_changed:
             return set()
-        by_field: dict[str, list[Any]] = {}
-        for values in value_list:
-            for fld, value in values.items():
-                if value is not None:
-                    by_field.setdefault(fld, []).append(value)
-        for vals in by_field.values():
-            vals.sort()
         broken: set[str] = set()
         for procedure, specs in relation_map.items():
             for spec in specs:
@@ -199,23 +263,7 @@ class ILockTable:
                     # Whole-relation lock: any write transaction breaks it.
                     broken.add(procedure)
                     break
-                vals = by_field.get(interval.field)
-                if not vals:
-                    continue
-                start = (
-                    0
-                    if interval.lo is None
-                    else bisect.bisect_left(vals, interval.lo)
-                )
-                hit = False
-                for index in range(start, len(vals)):
-                    value = vals[index]
-                    if interval.hi is not None and value > interval.hi:
-                        break
-                    if interval.contains(value):
-                        hit = True
-                        break
-                if hit:
+                if runs.interval_hits(interval):
                     broken.add(procedure)
                     break
         return broken

@@ -3,7 +3,7 @@
 Backs ``repro-procs bench``. The suite is *pinned* — a fixed set of
 representative scenarios (analytical model-1/model-2 figures, a
 multiprogramming-level sweep, a batched-update amortization point, a
-chaos smoke) whose metrics are
+shard-scale sizing sweep, a chaos smoke) whose metrics are
 normalized into flat ``{key: {value, unit, direction}}`` records — so
 every snapshot is comparable with every other snapshot of the same
 ``SUITE_VERSION``. Snapshots append to ``BENCH_history.jsonl`` (the perf
@@ -29,7 +29,7 @@ from repro.obs.manifest import git_sha
 
 #: Bump when the pinned scenario set or metric keys change shape;
 #: snapshots of different suite versions refuse to compare.
-SUITE_VERSION = "2"
+SUITE_VERSION = "3"
 
 #: Wall-clock suite version: a *different* lineage from the simulated
 #: suite, so a wall snapshot can never be compared against the
@@ -67,6 +67,26 @@ _BATCH_STRATEGIES: tuple[tuple[str, str | None], ...] = (
 )
 _BATCH_TUPLES_PER_UPDATE = 100
 _BATCH_SIZES = (1, _BATCH_TUPLES_PER_UPDATE)
+
+#: Shard-scale scenario: RVM over P1-only populations at the
+#: ``repro.shard.scale_params`` point, as (population, shard count)
+#: pairs. The pair set gates *sublinearity*: bytes per procedure at
+#: shards=8 must not exceed shards=1 at equal population (same-interval
+#: procedures colocate, so partitioning duplicates nothing), and must
+#: fall as the population grows (hash-consed sharing saturates the key
+#: domain).
+_SHARD_SCALE_STRATEGY = "update_cache_rvm"
+_SHARD_SCALE_POINTS: tuple[tuple[int, int], ...] = (
+    (20_000, 8),
+    (100_000, 1),
+    (100_000, 8),
+)
+#: Ungated model-2 mix point: (num_p1, num_p2) at 8 shards, with R2
+#: updates in the stream so the shared β-tier actually fans — reports
+#: cross-shard join-maintenance fan-out, no sublinearity claim.
+_SHARD_MIX_POPULATION = (960, 40)
+_SHARD_MIX_SHARDS = 8
+_SHARD_MIX_UPDATE_WEIGHTS = {"R1": 0.6, "R2": 0.4}
 
 
 def run_bench_suite(operations: int = 120, seed: int = 7) -> dict:
@@ -154,6 +174,80 @@ def run_bench_suite(operations: int = 120, seed: int = 7) -> dict:
         checks[f"update.batch.{strategy}.batched_cheaper"] = (
             per_update[_BATCH_SIZES[-1]] < per_update[_BATCH_SIZES[0]]
         )
+
+    from repro.shard import measure_sizing, scale_params
+    from repro.workload.database import build_database
+
+    scale_ops = max(20, operations // 3)
+    bpp: dict[tuple[int, int], float] = {}
+    for population, num_shards in _SHARD_SCALE_POINTS:
+        scale = scale_params(population)
+        db = build_database(scale, seed=seed)
+        run = run_workload(
+            scale,
+            _SHARD_SCALE_STRATEGY,
+            num_operations=scale_ops,
+            seed=seed,
+            warm_caches=False,
+            database=db,
+            keep_manager=True,
+            shards=num_shards,
+        )
+        sizing = measure_sizing(db, run.manager.strategy, seed=seed)
+        bpp[(population, num_shards)] = sizing.bytes_per_procedure
+        prefix = f"shard.scale.p{population}.s{num_shards}"
+        metric(
+            f"{prefix}.bytes_per_procedure",
+            sizing.bytes_per_procedure,
+            "bytes/proc",
+            "lower",
+        )
+        metric(
+            f"{prefix}.maint_ms_per_update",
+            run.maintenance_cost_ms / max(1, run.num_updates),
+            "ms/update",
+            "lower",
+        )
+    checks["shard.scale.sublinear_in_shards"] = (
+        bpp[(100_000, 8)] <= bpp[(100_000, 1)]
+    )
+    checks["shard.scale.sublinear_in_population"] = (
+        bpp[(100_000, 8)] < bpp[(20_000, 8)]
+    )
+
+    mix = scale_params(*_SHARD_MIX_POPULATION)
+    db = build_database(mix, seed=seed)
+    run = run_workload(
+        mix,
+        _SHARD_SCALE_STRATEGY,
+        num_operations=scale_ops,
+        seed=seed,
+        warm_caches=False,
+        database=db,
+        update_weights=_SHARD_MIX_UPDATE_WEIGHTS,
+        keep_manager=True,
+        shards=_SHARD_MIX_SHARDS,
+    )
+    sizing = measure_sizing(db, run.manager.strategy, seed=seed)
+    prefix = f"shard.scale.mix.s{_SHARD_MIX_SHARDS}"
+    metric(
+        f"{prefix}.router_mean_fanout",
+        sizing.router["mean_fanout"],
+        "shards/update",
+        "lower",
+    )
+    metric(
+        f"{prefix}.beta_mean_fanout",
+        sizing.beta_tier["mean_fanout"],
+        "shards/update",
+        "lower",
+    )
+    metric(
+        f"{prefix}.bytes_per_procedure",
+        sizing.bytes_per_procedure,
+        "bytes/proc",
+        "lower",
+    )
 
     chaos = run_chaos(
         params,

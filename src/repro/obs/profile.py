@@ -86,6 +86,7 @@ class ProfileReport:
             "kind": "profile_report",
             "strategy": run.strategy,
             "model": run.model,
+            "shards": run.shards,
             "num_accesses": run.num_accesses,
             "num_updates": run.num_updates,
             "cost_per_access_ms": run.cost_per_access_ms,
@@ -107,6 +108,7 @@ def profile_workload(
     keep_events: int | None = 1024,
     observation: CostAttribution | None = None,
     batch_size: int | None = None,
+    shards: int | None = None,
 ) -> ProfileReport:
     """Run ``strategy`` once with cost attribution attached.
 
@@ -114,7 +116,8 @@ def profile_workload(
     :class:`repro.obs.FlightRecorder`'s, whose unbounded span retention
     a trace export needs); ``keep_events`` configures the default one.
     ``batch_size`` enables batched update propagation (see
-    :mod:`repro.core.batch`).
+    :mod:`repro.core.batch`). ``shards`` runs the strategy behind a
+    :class:`repro.shard.ShardedStrategy` facade with that many shards.
     """
     if observation is None:
         observation = CostAttribution(keep_events=keep_events)
@@ -127,6 +130,7 @@ def profile_workload(
         buffer_capacity=buffer_capacity,
         observation=observation,
         batch_size=batch_size,
+        shards=shards,
     )
     return ProfileReport(run=run, observation=observation)
 

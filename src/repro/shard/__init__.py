@@ -1,0 +1,44 @@
+"""Sharded procedure populations.
+
+Partitions ``R1`` by key range into ``S`` shards — each with its own
+i-lock table, buffer pool, WAL, and Rete α-subnetwork — behind a single
+:class:`~repro.core.strategy.ProcedureStrategy` facade. The
+:class:`ShardRouter` maps each update's changed column values through a
+per-``(relation, field)`` interval index to the (usually one) affected
+shard; the :class:`SharedBetaTier` fans join-side deltas for model-2
+procedures; the sizing layer measures bytes per relation / shard / Rete
+memory / i-lock table so the bench ledger can gate memory-per-procedure
+sublinearity (the ``shard.scale`` scenario).
+"""
+
+from repro.shard.engine import (
+    Shard,
+    SharedBetaTier,
+    ShardedStrategy,
+    make_sharded_strategy,
+)
+from repro.shard.router import ShardRouter
+from repro.shard.sizing import (
+    ILOCK_SPEC_BYTES,
+    ShardSizing,
+    SizingReport,
+    measure_sizing,
+    register_metrics,
+    render_sizing,
+    scale_params,
+)
+
+__all__ = [
+    "ILOCK_SPEC_BYTES",
+    "Shard",
+    "ShardRouter",
+    "ShardSizing",
+    "SharedBetaTier",
+    "ShardedStrategy",
+    "SizingReport",
+    "make_sharded_strategy",
+    "measure_sizing",
+    "register_metrics",
+    "render_sizing",
+    "scale_params",
+]

@@ -1,0 +1,331 @@
+"""Per-shard engines behind one strategy facade.
+
+:class:`ShardedStrategy` partitions a procedure population across ``S``
+shards. Each :class:`Shard` owns a full inner strategy instance — its
+own i-lock table, materialized caches, WAL-backed invalidation scheme,
+and Rete α-subnetwork — backed (at ``S > 1``) by a private
+:class:`~repro.storage.disk.DiskManager` and
+:class:`~repro.storage.buffer.BufferPool`, so shard state is physically
+disjoint while every I/O still charges the one shared cost clock.
+
+The facade is itself a :class:`~repro.core.strategy.ProcedureStrategy`,
+so the :class:`~repro.core.manager.ProcedureManager`, the workload
+runner, the concurrent engine's footprint collector, and the fault
+supervisor all work unchanged:
+
+- ``define`` routes each procedure to its home shard via the
+  :class:`~repro.shard.router.ShardRouter` (same ``C_f`` interval →
+  same home, so RVM's α-sharing survives partitioning);
+- ``access`` delegates to the home shard;
+- ``on_update`` routes the delta through the interval index to the
+  (usually one) affected shard for partition-relation writes, and
+  through the :class:`SharedBetaTier` for join-side relations — the
+  model-2 fan-out path;
+- recovery hooks delegate per home shard / fan across shards.
+
+**Bit-identity at S=1.** The single shard reuses the database's own
+buffer pool and its inner strategy is built by the same factory as the
+unsharded engine; routing is uncharged dict work that is skipped
+entirely on the one-shard fast path. Access logs, the simulated clock,
+the cost pie, and CI validity state are therefore bit-identical to the
+unsharded engine (``tests/test_shard_differential.py``). At ``S > 1``
+each affected shard re-screens the full delta, so simulated costs may
+differ — but procedure *results* cannot (the router is conservative:
+an unrouted shard provably hosts no affected procedure).
+
+**Determinism.** Per-shard RNG streams come from
+:func:`repro.sim.rng.spawn` with namespace ``("shard", shard_id)`` —
+stable under shard-count changes (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.procedure import DatabaseProcedure
+from repro.core.strategy import ProcedureStrategy
+from repro.shard.router import CoverageItem, ShardRouter
+from repro.sim import CostClock, spawn
+from repro.storage.buffer import BufferPool
+from repro.storage.catalog import Catalog
+from repro.storage.disk import DiskManager
+from repro.storage.tuples import Row
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.batch import DeltaBatch
+    from repro.model.params import ModelParams
+    from repro.workload.database import SyntheticDatabase
+
+
+@dataclass
+class Shard:
+    """One shard: an inner strategy over its own storage domain."""
+
+    shard_id: int
+    strategy: ProcedureStrategy
+    buffer: BufferPool
+    #: Namespaced RNG (``spawn(seed, "shard", shard_id)``): any future
+    #: per-shard stochastic choice draws from here, so streams never
+    #: depend on the shard count (the sizing sampler uses it today).
+    rng: random.Random
+
+    @property
+    def num_procedures(self) -> int:
+        return len(self.strategy.procedures)
+
+
+class SharedBetaTier:
+    """Cross-shard fan-out for join-side (non-partition) relations.
+
+    P2 join procedures read ``R2`` (and ``R3`` under model 2) alongside
+    the partitioned ``R1``; their restriction intervals on those
+    relations are *not* clustered by home shard, so one join-side write
+    typically concerns several shards. The β-tier is the shared routing
+    component that fans such a delta to exactly the shards whose join
+    procedures may consume it (per the router's interval index; a
+    restriction-free member relation like model 2's ``R3`` routes to
+    every shard hosting such a procedure). It keeps its own fan-out
+    telemetry so the sizing layer can report how much cross-shard join
+    maintenance the population causes.
+    """
+
+    def __init__(self, router: ShardRouter) -> None:
+        self.router = router
+        self.fanned_updates = 0
+        self.fanned_shard_visits = 0
+
+    def _record(self, targets: tuple[int, ...]) -> tuple[int, ...]:
+        self.fanned_updates += 1
+        self.fanned_shard_visits += len(targets)
+        return targets
+
+    def route_values(self, relation, changed_values) -> tuple[int, ...]:
+        return self._record(
+            self.router.route_values(relation, changed_values)
+        )
+
+    def route_runs(self, relation, runs) -> tuple[int, ...]:
+        return self._record(self.router.route_runs(relation, runs))
+
+    def stats(self) -> dict[str, float]:
+        updates = self.fanned_updates
+        return {
+            "fanned_updates": float(updates),
+            "fanned_shard_visits": float(self.fanned_shard_visits),
+            "mean_fanout": (
+                self.fanned_shard_visits / updates if updates else 0.0
+            ),
+        }
+
+
+class ShardedStrategy(ProcedureStrategy):
+    """A strategy facade over ``S`` per-shard inner strategies."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        buffer: BufferPool,
+        clock: CostClock,
+        shards: list[Shard],
+        router: ShardRouter,
+    ) -> None:
+        super().__init__(catalog, buffer, clock)
+        if not shards:
+            raise ValueError("need at least one shard")
+        if len(shards) != router.num_shards:
+            raise ValueError(
+                f"router expects {router.num_shards} shards, got "
+                f"{len(shards)}"
+            )
+        self.shards = shards
+        self.router = router
+        self.beta = SharedBetaTier(router)
+        #: Facade reports the inner strategy's canonical name.
+        self.strategy_name = shards[0].strategy.strategy_name
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def inner_strategies(self) -> list[ProcedureStrategy]:
+        return [shard.strategy for shard in self.shards]
+
+    def shard_of(self, name: str) -> int:
+        """The home shard id of procedure ``name``."""
+        return self.router.home_of(name)
+
+    # -- definition --------------------------------------------------------
+
+    def _definition_coverage(
+        self, procedure: DatabaseProcedure
+    ) -> list[CoverageItem]:
+        """The procedure's static read footprint: per member relation,
+        the first restriction interval extractable from its normalized
+        predicate (``None`` = whole-relation coverage). Sufficient for
+        conservative routing because changed tuples route with *all*
+        their field values: any tuple version inside the procedure's
+        result region satisfies every restriction term, in particular
+        the registered one."""
+        coverage: list[CoverageItem] = []
+        query = procedure.query
+        for relation in query.relations:
+            predicate = query.restriction_of(relation)
+            interval = None
+            for fld in self.catalog.get(relation).schema.names():
+                interval = predicate.interval_on(fld)
+                if interval is not None:
+                    break
+            coverage.append((relation, interval))
+        return coverage
+
+    def _after_define(self, procedure: DatabaseProcedure) -> None:
+        home = self.router.assign(
+            procedure.name, self._definition_coverage(procedure)
+        )
+        self.shards[home].strategy.define(procedure)
+
+    # -- access ------------------------------------------------------------
+
+    def access(self, name: str) -> list[Row]:
+        return self.shards[self.router.home_of(name)].strategy.access(name)
+
+    # -- maintenance -------------------------------------------------------
+
+    def _route(
+        self, relation: str, inserts: list[Row], deletes: list[Row]
+    ) -> tuple[int, ...]:
+        names = self.catalog.get(relation).schema.names()
+        changed = [dict(zip(names, row)) for row in deletes + inserts]
+        if relation == self.router.partition_relation:
+            return self.router.route_values(relation, changed)
+        return self.beta.route_values(relation, changed)
+
+    def on_update(
+        self, relation: str, inserts: list[Row], deletes: list[Row]
+    ) -> None:
+        if len(self.shards) == 1:
+            # One-shard fast path: no routing work at all, so the inner
+            # strategy sees byte-for-byte the unsharded call sequence.
+            self.shards[0].strategy.on_update(relation, inserts, deletes)
+            return
+        for shard_id in self._route(relation, inserts, deletes):
+            self.shards[shard_id].strategy.on_update(
+                relation, inserts, deletes
+            )
+
+    def on_update_batch(self, batch: "DeltaBatch") -> None:
+        if len(self.shards) == 1:
+            self.shards[0].strategy.on_update_batch(batch)
+            return
+        names = self.catalog.get(batch.relation).schema.names()
+        runs = batch.sorted_value_runs(names)
+        if batch.relation == self.router.partition_relation:
+            targets = self.router.route_runs(batch.relation, runs)
+        else:
+            targets = self.beta.route_runs(batch.relation, runs)
+        for shard_id in targets:
+            self.shards[shard_id].strategy.on_update_batch(batch)
+
+    # -- fault recovery ----------------------------------------------------
+
+    def repair_procedure(self, name: str, full_rows: list[Row]) -> None:
+        self.shards[self.router.home_of(name)].strategy.repair_procedure(
+            name, full_rows
+        )
+
+    def recover_after_crash(self) -> list[str]:
+        dirty: list[str] = []
+        for shard in self.shards:
+            dirty.extend(shard.strategy.recover_after_crash())
+        return dirty
+
+    # -- introspection -----------------------------------------------------
+
+    def space_pages(self) -> int:
+        return sum(shard.strategy.space_pages() for shard in self.shards)
+
+    def procedures_per_shard(self) -> list[int]:
+        return [shard.num_procedures for shard in self.shards]
+
+    @property
+    def invalidation_count(self) -> int:
+        """Aggregated CI invalidations across shards (0 for non-CI)."""
+        return sum(
+            getattr(shard.strategy, "invalidation_count", 0)
+            for shard in self.shards
+        )
+
+    @property
+    def false_invalidation_count(self) -> int:
+        return sum(
+            getattr(shard.strategy, "false_invalidation_count", 0)
+            for shard in self.shards
+        )
+
+    def validity_map(self) -> dict[str, bool]:
+        """Merged CI validity across shards (empty for non-CI inners)."""
+        merged: dict[str, bool] = {}
+        for shard in self.shards:
+            is_valid = getattr(shard.strategy, "is_valid", None)
+            if is_valid is None:
+                continue
+            for name in shard.strategy.procedures:
+                merged[name] = is_valid(name)
+        return merged
+
+
+def make_sharded_strategy(
+    strategy_name: str,
+    db: "SyntheticDatabase",
+    params: "ModelParams",
+    num_shards: int,
+    invalidation_scheme: Optional[str] = None,
+    seed: int = 0,
+) -> ShardedStrategy:
+    """Build a sharded engine over ``db`` with ``num_shards`` shards.
+
+    Each inner strategy comes from the same factory as the unsharded
+    engine (:func:`repro.workload.runner.make_strategy`), so per-shard
+    construction — cache placement seeds, WAL schemes, Rete networks —
+    matches the unsharded build exactly. At ``num_shards == 1`` the
+    shard reuses ``db.buffer`` (bit-identity); above that, every shard
+    gets a private disk manager (same block size, same clock) and its
+    slice ``capacity // num_shards`` of the LRU budget.
+    """
+    from repro.workload.runner import make_strategy
+
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    router = ShardRouter(num_shards, domain=db.sel_domain)
+    shards: list[Shard] = []
+    for shard_id in range(num_shards):
+        if num_shards == 1:
+            shard_buffer = db.buffer
+        else:
+            shard_disk = DiskManager(
+                db.clock, block_bytes=db.disk.block_bytes
+            )
+            shard_buffer = BufferPool(
+                shard_disk, capacity=db.buffer.capacity // num_shards
+            )
+        inner = make_strategy(
+            strategy_name,
+            db,
+            params,
+            invalidation_scheme=invalidation_scheme,
+            buffer=shard_buffer,
+        )
+        shards.append(
+            Shard(
+                shard_id=shard_id,
+                strategy=inner,
+                buffer=shard_buffer,
+                rng=spawn(seed, "shard", shard_id),
+            )
+        )
+    return ShardedStrategy(
+        db.catalog, db.buffer, db.clock, shards=shards, router=router
+    )

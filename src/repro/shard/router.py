@@ -1,0 +1,261 @@
+"""The shard router: key-range partitioning plus an interval index.
+
+Two routing questions live here:
+
+1. **Where does a procedure live?** (:meth:`ShardRouter.assign`) — the
+   partition relation's key domain is split into ``S`` contiguous ranges
+   and a procedure's *home* shard is the range holding the low bound of
+   its restriction interval on the partition field. Procedures sharing a
+   ``C_f(R1)`` interval (the paper's sharing factor) therefore share a
+   home shard, so RVM's hash-consed α-memories keep their sharing inside
+   one shard. Procedures with no partition-field interval hash to a
+   stable home (CRC-32 of the name — independent of definition order).
+
+2. **Which shards must see an update?** (:meth:`ShardRouter.
+   route_values` / :meth:`ShardRouter.route_runs`) — at definition time
+   every restriction interval of the procedure is registered into a per
+   ``(relation, field)`` *interval index*: one conservative hull per
+   shard. Routing probes each changed old/new column value against the
+   hulls; a shard whose hull misses every changed value provably hosts
+   no affected procedure (no changed value lies inside any of its
+   procedures' restriction intervals), and a routed shard's own engine
+   re-verifies precisely (i-locks, AVM screens, Rete t-consts). A
+   restriction with no extractable interval registers the relation as
+   *catch-all* for that home shard: every write to the relation routes
+   there (exactly the whole-relation i-lock rule).
+
+Routing is memory-resident bookkeeping — like the i-lock table, it never
+charges the simulated clock.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+from repro.query.predicate import KeyInterval
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.locks.ilocks import SortedValueRuns
+
+#: A procedure's definition-time footprint: one ``(relation, interval)``
+#: item per referenced relation; ``None`` means no extractable interval
+#: (whole-relation coverage).
+CoverageItem = tuple[str, Optional[KeyInterval]]
+
+
+class _Hull:
+    """Conservative closed hull of one shard's intervals on one field.
+
+    Merging every registered interval into a single ``[lo, hi]`` hull
+    keeps probes O(1) per shard; it can only over-approximate (routing a
+    shard that turns out unaffected), never miss. Inclusive bounds for
+    the same reason: widening is safe, narrowing is not.
+    """
+
+    __slots__ = ("lo", "hi", "unbounded_lo", "unbounded_hi")
+
+    def __init__(self) -> None:
+        self.lo: Any = None
+        self.hi: Any = None
+        self.unbounded_lo = False
+        self.unbounded_hi = False
+
+    def add(self, interval: KeyInterval) -> None:
+        if interval.lo is None:
+            self.unbounded_lo = True
+        elif self.lo is None or interval.lo < self.lo:
+            self.lo = interval.lo
+        if interval.hi is None:
+            self.unbounded_hi = True
+        elif self.hi is None or interval.hi > self.hi:
+            self.hi = interval.hi
+
+    def contains(self, value: Any) -> bool:
+        if not self.unbounded_lo and (self.lo is None or value < self.lo):
+            return False
+        if not self.unbounded_hi and (self.hi is None or value > self.hi):
+            return False
+        return True
+
+    def as_interval(self, field: str) -> KeyInterval:
+        return KeyInterval(
+            field,
+            None if self.unbounded_lo else self.lo,
+            None if self.unbounded_hi else self.hi,
+        )
+
+
+class ShardRouter:
+    """Key-range partitioner plus per-``(relation, field)`` interval
+    index mapping changed column values to affected shards.
+
+    Args:
+        num_shards: number of shards ``S`` (>= 1).
+        domain: size of the partition key's integer domain ``[0,
+            domain)`` — for the paper's workload, ``R1.sel``'s domain.
+        relation / field: the partition relation and key field.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        domain: int,
+        relation: str = "R1",
+        field: str = "sel",
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if domain < 1:
+            raise ValueError("domain must be >= 1")
+        self.num_shards = num_shards
+        self.domain = domain
+        self.partition_relation = relation
+        self.partition_field = field
+        #: ``(relation, field) -> [hull or None] * num_shards``.
+        self._index: dict[tuple[str, str], list[Optional[_Hull]]] = {}
+        #: relation -> shards whose procedures read it without an
+        #: extractable interval (every write routes there).
+        self._catch_all: dict[str, set[int]] = {}
+        self._home: dict[str, int] = {}
+        #: Routing telemetry (the sizing layer reports these).
+        self.routed_updates = 0
+        self.routed_shard_visits = 0
+
+    # -- partitioning ------------------------------------------------------
+
+    def shard_of_key(self, value: Any) -> int:
+        """The unique shard owning partition-key ``value``.
+
+        The domain splits into ``S`` contiguous ranges; out-of-domain
+        values clamp to the edge shards. Total and disjoint: every value
+        maps to exactly one shard, boundaries deterministically (the
+        hypothesis property test pins this).
+        """
+        key = int(value)
+        if key < 0:
+            return 0
+        if key >= self.domain:
+            return self.num_shards - 1
+        return (key * self.num_shards) // self.domain
+
+    def key_ranges(self) -> list[tuple[int, int]]:
+        """Per-shard half-open ``[lo, hi)`` partition-key ranges."""
+        ranges = []
+        for shard in range(self.num_shards):
+            lo = -(-shard * self.domain // self.num_shards)
+            hi = -(-(shard + 1) * self.domain // self.num_shards)
+            ranges.append((lo, hi))
+        return ranges
+
+    # -- definition-time registration -------------------------------------
+
+    def assign(self, name: str, coverage: Iterable[CoverageItem]) -> int:
+        """Pick ``name``'s home shard and index its coverage; returns the
+        home shard id."""
+        items = list(coverage)
+        home: Optional[int] = None
+        for relation, interval in items:
+            if (
+                relation == self.partition_relation
+                and interval is not None
+                and interval.field == self.partition_field
+                and interval.lo is not None
+            ):
+                home = self.shard_of_key(interval.lo)
+                break
+        if home is None:
+            # No partition interval: a stable content hash keeps the
+            # choice independent of definition order and shard count
+            # changes elsewhere.
+            home = zlib.crc32(name.encode()) % self.num_shards
+        for relation, interval in items:
+            if interval is None or (
+                interval.lo is None and interval.hi is None
+            ):
+                self._catch_all.setdefault(relation, set()).add(home)
+                continue
+            hulls = self._index.setdefault(
+                (relation, interval.field), [None] * self.num_shards
+            )
+            if hulls[home] is None:
+                hulls[home] = _Hull()
+            hulls[home].add(interval)
+        self._home[name] = home
+        return home
+
+    def home_of(self, name: str) -> int:
+        """The home shard of a registered procedure."""
+        return self._home[name]
+
+    @property
+    def num_procedures(self) -> int:
+        return len(self._home)
+
+    def procedures_per_shard(self) -> list[int]:
+        counts = [0] * self.num_shards
+        for home in self._home.values():
+            counts[home] += 1
+        return counts
+
+    # -- update routing ----------------------------------------------------
+
+    def route_values(
+        self, relation: str, changed_values: Iterable[dict[str, Any]]
+    ) -> tuple[int, ...]:
+        """Shards that may host a procedure affected by a write whose
+        old/new tuples are ``changed_values`` (field-value dicts)."""
+        targets = set(self._catch_all.get(relation, ()))
+        if len(targets) < self.num_shards:
+            for values in changed_values:
+                for fld, value in values.items():
+                    if value is None:
+                        continue
+                    hulls = self._index.get((relation, fld))
+                    if hulls is None:
+                        continue
+                    for shard, hull in enumerate(hulls):
+                        if (
+                            hull is not None
+                            and shard not in targets
+                            and hull.contains(value)
+                        ):
+                            targets.add(shard)
+                if len(targets) == self.num_shards:
+                    break
+        self.routed_updates += 1
+        self.routed_shard_visits += len(targets)
+        return tuple(sorted(targets))
+
+    def route_runs(
+        self, relation: str, runs: "SortedValueRuns"
+    ) -> tuple[int, ...]:
+        """Batched :meth:`route_values`: probe each shard hull once via
+        pre-sorted value runs (the batch's memoized ones), instead of
+        walking every changed value."""
+        targets = set(self._catch_all.get(relation, ()))
+        if len(targets) < self.num_shards and runs.num_changed:
+            for (rel, fld), hulls in self._index.items():
+                if rel != relation:
+                    continue
+                for shard, hull in enumerate(hulls):
+                    if (
+                        hull is not None
+                        and shard not in targets
+                        and runs.interval_hits(hull.as_interval(fld))
+                    ):
+                        targets.add(shard)
+        self.routed_updates += 1
+        self.routed_shard_visits += len(targets)
+        return tuple(sorted(targets))
+
+    def stats(self) -> dict[str, float]:
+        """Routing telemetry: how selective the interval index is."""
+        updates = self.routed_updates
+        return {
+            "routed_updates": float(updates),
+            "routed_shard_visits": float(self.routed_shard_visits),
+            "mean_fanout": (
+                self.routed_shard_visits / updates if updates else 0.0
+            ),
+        }

@@ -1,0 +1,349 @@
+"""The sizing/statistics layer: where do the bytes go?
+
+The paper costs only time; the ROADMAP's scale item (millions of
+procedures) is gated on *space* — memory per procedure must grow
+sublinearly as sharing kicks in. This module measures it, statistics-
+style rather than hope-style:
+
+- per **relation**: heap tuples, pages, and simulated bytes;
+- per **shard**: procedures hosted, cache/memory pages, *data bytes*
+  (rows × declared tuple width — deterministic and placement-
+  independent, which is what the bench gate compares), i-lock entries,
+  and the shard's Rete node/sharing counts;
+- per **population**: ``bytes_per_procedure`` — total strategy-owned
+  data bytes (caches + Rete memories + i-lock entries) divided by the
+  population size, the headline sublinearity metric of the
+  ``shard.scale`` ledger scenario;
+- **router/β-tier** fan-out telemetry, and a sampled estimate of
+  resident Python bytes per relation row (drawn via the namespaced
+  per-shard RNG, so the sample is deterministic and shard-count
+  independent).
+
+Everything surfaces through a :class:`repro.obs.registry.
+MetricsRegistry` (:func:`register_metrics`) and the ``repro-procs
+shard`` CLI (:func:`render_sizing`).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.core.strategy import ProcedureStrategy
+from repro.shard.engine import ShardedStrategy
+from repro.sim import spawn
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
+    from repro.storage.matstore import MaterializedStore
+    from repro.workload.database import SyntheticDatabase
+
+#: Accounted bytes per i-lock entry (relation name, interval bounds,
+#: procedure back-pointer) — the paper's "locks are small" assumption
+#: made explicit so lock-table space is comparable across shards.
+ILOCK_SPEC_BYTES = 64
+
+#: Rows sampled per relation for the resident-bytes estimate.
+RESIDENT_SAMPLE_ROWS = 64
+
+
+def scale_params(num_p1: int, num_p2: int = 0):
+    """The ``shard.scale`` parameter point at population ``num_p1 +
+    num_p2``.
+
+    A small tuple universe (512 rows) under a large procedure population:
+    restriction intervals saturate the key domain, so Rete's hash-consed
+    sharing bounds distinct α-memories by the domain — the regime where
+    ``bytes_per_procedure`` must fall as the population grows. P1-only by
+    default: same-interval procedures colocate, which keeps sharded
+    bytes exactly equal to unsharded bytes (the ledger's sublinearity
+    gate); pass ``num_p2`` for an (ungated) join-fan-out mix.
+    """
+    from repro.model.params import ModelParams
+
+    return ModelParams(
+        n_tuples=512,
+        num_p1=num_p1,
+        num_p2=num_p2,
+        selectivity_f=0.02,
+        selectivity_f2=0.1,
+        tuples_per_update=10,
+    ).with_update_probability(0.8)
+
+
+@dataclass
+class ShardSizing:
+    """Space accounting for one shard's strategy state."""
+
+    shard_id: int
+    procedures: int
+    store_pages: int
+    data_bytes: int
+    ilock_specs: int
+    ilock_bytes: int
+    #: Rete subnetwork counts (``None`` when the shard runs no network).
+    rete: Optional[dict] = None
+
+
+@dataclass
+class SizingReport:
+    """One complete sizing snapshot (see :func:`measure_sizing`)."""
+
+    strategy: str
+    num_shards: int
+    num_procedures: int
+    block_bytes: int
+    relations: dict[str, dict] = field(default_factory=dict)
+    shards: list[ShardSizing] = field(default_factory=list)
+    total_store_pages: int = 0
+    total_data_bytes: int = 0
+    total_ilock_specs: int = 0
+    total_ilock_bytes: int = 0
+    bytes_per_procedure: float = 0.0
+    #: Fraction of Rete memories that are shared, aggregated over shards
+    #: (0.0 when no shard runs a network).
+    sharing_factor_realized: float = 0.0
+    router: Optional[dict] = None
+    beta_tier: Optional[dict] = None
+    resident_row_bytes: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["kind"] = "shard_sizing"
+        return payload
+
+
+def _stores_of(strategy: ProcedureStrategy) -> Iterable["MaterializedStore"]:
+    """Every materialized store the strategy owns (caches, AVM deltas,
+    Rete memories), duck-typed per strategy family."""
+    caches = getattr(strategy, "_caches", None)
+    if caches is not None:  # Cache and Invalidate
+        yield from caches.values()
+    stores = getattr(strategy, "_stores", None)
+    if stores is not None:  # AVM
+        yield from stores.values()
+    network = getattr(strategy, "network", None)
+    if network is not None:  # RVM
+        yield from network.memory_stores()
+    subs = getattr(strategy, "_subs", None)
+    if subs is not None:  # Hybrid: recurse into sub-strategies
+        for sub in subs.values():
+            yield from _stores_of(sub)
+
+
+def _ilock_specs_of(strategy: ProcedureStrategy) -> int:
+    locks = getattr(strategy, "_locks", None)
+    total = locks.num_locks() if locks is not None else 0
+    subs = getattr(strategy, "_subs", None)
+    if subs is not None:
+        total += sum(_ilock_specs_of(sub) for sub in subs.values())
+    return total
+
+
+def _rete_report(strategy: ProcedureStrategy) -> Optional[dict]:
+    network = getattr(strategy, "network", None)
+    if network is None:
+        subs = getattr(strategy, "_subs", None)
+        if subs is not None:
+            for sub in subs.values():
+                report = _rete_report(sub)
+                if report is not None:
+                    return report
+        return None
+    report = dict(network.sharing_report())
+    report["memory_pages"] = network.total_memory_pages()
+    return report
+
+
+def _shard_sizing(
+    shard_id: int, strategy: ProcedureStrategy
+) -> ShardSizing:
+    pages = 0
+    data_bytes = 0
+    for store in _stores_of(strategy):
+        pages += store.num_pages
+        data_bytes += store.num_rows * store.schema.tuple_bytes
+    specs = _ilock_specs_of(strategy)
+    return ShardSizing(
+        shard_id=shard_id,
+        procedures=len(strategy.procedures),
+        store_pages=pages,
+        data_bytes=data_bytes,
+        ilock_specs=specs,
+        ilock_bytes=specs * ILOCK_SPEC_BYTES,
+        rete=_rete_report(strategy),
+    )
+
+
+def _sample_resident_bytes(
+    db: "SyntheticDatabase", seed: int
+) -> dict[str, float]:
+    """Mean resident Python bytes per row, sampled per relation with a
+    namespaced RNG (``spawn(seed, "sizing", relation)``) — deterministic
+    for a seed, independent of shard count, and uncharged (the rows are
+    already memory-resident in the simulated heap)."""
+    out: dict[str, float] = {}
+    for name, relation in db.relations.items():
+        rows = list(relation.heap.scan_uncharged())
+        if not rows:
+            out[name] = 0.0
+            continue
+        rng = spawn(seed, "sizing", name)
+        sample = (
+            rows
+            if len(rows) <= RESIDENT_SAMPLE_ROWS
+            else rng.sample(rows, RESIDENT_SAMPLE_ROWS)
+        )
+        total = sum(
+            sys.getsizeof(row) + sum(sys.getsizeof(v) for v in row)
+            for row in sample
+        )
+        out[name] = total / len(sample)
+    return out
+
+
+def measure_sizing(
+    db: "SyntheticDatabase",
+    strategy: ProcedureStrategy,
+    seed: int = 0,
+) -> SizingReport:
+    """Measure ``strategy``'s space over ``db``.
+
+    Accepts a :class:`ShardedStrategy` (per-shard breakdown plus router
+    and β-tier telemetry) or any plain strategy (reported as one
+    pseudo-shard), so unsharded and sharded runs compare one-to-one.
+    """
+    if isinstance(strategy, ShardedStrategy):
+        per_shard = [
+            _shard_sizing(shard.shard_id, shard.strategy)
+            for shard in strategy.shards
+        ]
+        router_stats = dict(strategy.router.stats())
+        router_stats["procedures_per_shard"] = (
+            strategy.procedures_per_shard()
+        )
+        beta_stats = strategy.beta.stats()
+        num_shards = strategy.num_shards
+    else:
+        per_shard = [_shard_sizing(0, strategy)]
+        router_stats = None
+        beta_stats = None
+        num_shards = 1
+
+    report = SizingReport(
+        strategy=str(strategy.strategy_name),
+        num_shards=num_shards,
+        num_procedures=len(strategy.procedures),
+        block_bytes=db.disk.block_bytes,
+        shards=per_shard,
+        router=router_stats,
+        beta_tier=beta_stats,
+    )
+    for name, relation in db.relations.items():
+        heap = relation.heap
+        report.relations[name] = {
+            "tuples": heap.num_rows,
+            "pages": heap.num_pages,
+            "bytes": heap.num_pages * db.disk.block_bytes,
+            "data_bytes": heap.num_rows * relation.schema.tuple_bytes,
+        }
+    report.total_store_pages = sum(s.store_pages for s in per_shard)
+    report.total_data_bytes = sum(s.data_bytes for s in per_shard)
+    report.total_ilock_specs = sum(s.ilock_specs for s in per_shard)
+    report.total_ilock_bytes = sum(s.ilock_bytes for s in per_shard)
+    population = max(1, report.num_procedures)
+    report.bytes_per_procedure = (
+        report.total_data_bytes + report.total_ilock_bytes
+    ) / population
+    memories = sum(
+        s.rete["memories"] for s in per_shard if s.rete is not None
+    )
+    shared = sum(
+        s.rete["shared_memories"] for s in per_shard if s.rete is not None
+    )
+    report.sharing_factor_realized = shared / memories if memories else 0.0
+    report.resident_row_bytes = _sample_resident_bytes(db, seed)
+    return report
+
+
+def register_metrics(
+    report: SizingReport, registry: "MetricsRegistry"
+) -> None:
+    """Surface the report as gauges on an ``obs`` metrics registry."""
+    gauge = lambda name, value: registry.gauge(name).set(float(value))  # noqa: E731
+    gauge("sizing.num_shards", report.num_shards)
+    gauge("sizing.num_procedures", report.num_procedures)
+    gauge("sizing.bytes_per_procedure", report.bytes_per_procedure)
+    gauge("sizing.total_store_pages", report.total_store_pages)
+    gauge("sizing.total_data_bytes", report.total_data_bytes)
+    gauge("sizing.total_ilock_bytes", report.total_ilock_bytes)
+    gauge("sizing.sharing_factor_realized", report.sharing_factor_realized)
+    for name, rel in report.relations.items():
+        gauge(f"sizing.relation.{name}.pages", rel["pages"])
+        gauge(f"sizing.relation.{name}.data_bytes", rel["data_bytes"])
+    for shard in report.shards:
+        prefix = f"sizing.shard{shard.shard_id}"
+        gauge(f"{prefix}.procedures", shard.procedures)
+        gauge(f"{prefix}.data_bytes", shard.data_bytes)
+        gauge(f"{prefix}.ilock_specs", shard.ilock_specs)
+        if shard.rete is not None:
+            gauge(f"{prefix}.rete_memories", shard.rete["memories"])
+            gauge(
+                f"{prefix}.rete_memory_pages", shard.rete["memory_pages"]
+            )
+    if report.router is not None:
+        gauge("sizing.router.mean_fanout", report.router["mean_fanout"])
+    if report.beta_tier is not None:
+        gauge(
+            "sizing.beta_tier.mean_fanout",
+            report.beta_tier["mean_fanout"],
+        )
+
+
+def render_sizing(report: SizingReport) -> str:
+    """An aligned text rendering (the ``repro-procs shard`` table)."""
+    lines = [
+        f"strategy {report.strategy}  shards {report.num_shards}  "
+        f"procedures {report.num_procedures}",
+        "",
+        f"{'relation':10s} {'tuples':>8s} {'pages':>7s} "
+        f"{'bytes':>12s} {'res B/row':>10s}",
+    ]
+    for name, rel in sorted(report.relations.items()):
+        resident = report.resident_row_bytes.get(name, 0.0)
+        lines.append(
+            f"{name:10s} {rel['tuples']:8d} {rel['pages']:7d} "
+            f"{rel['bytes']:12d} {resident:10.1f}"
+        )
+    lines += [
+        "",
+        f"{'shard':>5s} {'procs':>8s} {'pages':>7s} {'data bytes':>12s} "
+        f"{'i-locks':>8s} {'rete mem':>9s} {'shared':>7s}",
+    ]
+    for shard in report.shards:
+        rete = shard.rete or {}
+        lines.append(
+            f"{shard.shard_id:5d} {shard.procedures:8d} "
+            f"{shard.store_pages:7d} {shard.data_bytes:12d} "
+            f"{shard.ilock_specs:8d} "
+            f"{rete.get('memories', 0):9d} "
+            f"{rete.get('shared_memories', 0):7d}"
+        )
+    lines += [
+        "",
+        f"total data bytes     {report.total_data_bytes:>14d}",
+        f"total i-lock bytes   {report.total_ilock_bytes:>14d}",
+        f"bytes per procedure  {report.bytes_per_procedure:>14.2f}",
+        f"realized sharing     {report.sharing_factor_realized:>14.3f}",
+    ]
+    if report.router is not None:
+        lines.append(
+            f"router mean fan-out  {report.router['mean_fanout']:>14.2f}"
+        )
+    if report.beta_tier is not None:
+        lines.append(
+            f"β-tier mean fan-out  "
+            f"{report.beta_tier['mean_fanout']:>14.2f}"
+        )
+    return "\n".join(lines)

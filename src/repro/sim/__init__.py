@@ -9,6 +9,7 @@ are directly comparable to the analytical model's output.
 
 from repro.sim.clock import CostClock, CostParams, CostSnapshot
 from repro.sim.metrics import EmptySampleError, MetricSet, RunningStat
+from repro.sim.rng import derive_seed, spawn
 
 __all__ = [
     "CostClock",
@@ -17,4 +18,6 @@ __all__ = [
     "EmptySampleError",
     "MetricSet",
     "RunningStat",
+    "derive_seed",
+    "spawn",
 ]

@@ -34,6 +34,7 @@ from repro.workload.procedures import ProcedurePopulation, build_procedures
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import CostAttribution
+    from repro.storage.buffer import BufferPool
 
 
 @dataclass
@@ -65,6 +66,9 @@ class RunResult:
     wall_ms_per_update: float = 0.0
     #: Real milliseconds of strategy access work per procedure access.
     wall_ms_per_access: float = 0.0
+    #: Shard count of the sharded engine (None = the unsharded engine;
+    #: 1 routes through ``repro.shard`` bit-identically).
+    shards: int | None = None
     #: Per-access ``(procedure, rows)`` log, in stream order (only when
     #: the run was asked to record accesses — the differential harness).
     access_log: list[tuple[str, tuple]] = field(default_factory=list)
@@ -83,6 +87,7 @@ def make_strategy(
     db: SyntheticDatabase,
     params: ModelParams,
     invalidation_scheme: str | None = None,
+    buffer: "BufferPool | None" = None,
 ) -> ProcedureStrategy:
     """Instantiate a strategy over ``db`` with the paper's conventions
     (result tuples assumed ``S`` bytes wide; ``C_inval`` from params).
@@ -95,7 +100,13 @@ def make_strategy(
     P1 selections go to Cache and Invalidate, P2 joins to the shared Rete
     maintainer (cheap-to-recompute objects tolerate invalidation; join
     results are the ones worth keeping current).
+
+    ``buffer`` overrides the pool backing the strategy's own stores
+    (default ``db.buffer``); the sharded engine passes each shard's
+    private pool here. Base relations always stay on ``db.buffer``.
     """
+    if buffer is None:
+        buffer = db.buffer
     if name == "hybrid":
         if invalidation_scheme is not None:
             raise ValueError(
@@ -111,7 +122,7 @@ def make_strategy(
 
         return HybridStrategy(
             db.catalog,
-            db.buffer,
+            buffer,
             db.clock,
             assign=assign,
             default=StrategyName.ALWAYS_RECOMPUTE,
@@ -145,7 +156,7 @@ def make_strategy(
         kwargs = {}
     if cls.strategy_name.value == "always_recompute":
         kwargs = {}
-    return cls(db.catalog, db.buffer, db.clock, **kwargs)
+    return cls(db.catalog, buffer, db.clock, **kwargs)
 
 
 def _perform_update(
@@ -242,6 +253,7 @@ def run_workload(
     batch_size: int | None = None,
     record_accesses: bool = False,
     keep_manager: bool = False,
+    shards: int | None = None,
 ) -> RunResult:
     """Run one strategy over a synthetic workload.
 
@@ -279,6 +291,9 @@ def run_workload(
             ``RunResult.access_log`` (the differential harness's probe).
         keep_manager: expose the manager (with live strategy state) on the
             result for post-run inspection.
+        shards: run the strategy behind the ``repro.shard`` engine with
+            this many shards. ``None`` (default) is the unsharded engine;
+            ``1`` routes through the sharded facade bit-identically.
     """
     if batch_size is not None and batch_size < 1:
         raise ValueError("batch_size must be >= 1 (or None for unbatched)")
@@ -289,9 +304,18 @@ def run_workload(
         db, params, model=model, seed=seed
     )
 
-    strategy = make_strategy(
-        strategy_name, db, params, invalidation_scheme=invalidation_scheme
-    )
+    if shards is None:
+        strategy = make_strategy(
+            strategy_name, db, params,
+            invalidation_scheme=invalidation_scheme,
+        )
+    else:
+        from repro.shard import make_sharded_strategy
+
+        strategy = make_sharded_strategy(
+            strategy_name, db, params, num_shards=shards,
+            invalidation_scheme=invalidation_scheme, seed=seed,
+        )
     manager = ProcedureManager(strategy)
     for name, expr in pop.definitions:
         manager.define_procedure(name, expr)
@@ -393,6 +417,7 @@ def run_workload(
             else 0.0
         ),
         batch_size=batch_size,
+        shards=shards,
         access_log=access_log,
         manager=manager if keep_manager else None,
     )

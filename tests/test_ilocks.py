@@ -97,3 +97,81 @@ class TestConflictDetection:
         )
         assert table.conflicting_procedures("R2", [{"b": 3}]) == {"P"}
         assert table.conflicting_procedures("R1", [{"sel": 3}]) == {"P"}
+
+
+class TestSortedValueRuns:
+    """The memoized per-batch sorted value runs behind the swept probe
+    and the shard router."""
+
+    def test_swept_accepts_runs_or_values_not_both(self):
+        from repro.locks import SortedValueRuns
+
+        table = ILockTable()
+        table.set_locks("P", [interval_lock(10, 20)])
+        changed = [{"sel": 15}, {"sel": 99}]
+        runs = SortedValueRuns(changed)
+        by_values = table.conflicting_procedures_swept("R1", changed)
+        by_runs = table.conflicting_procedures_swept("R1", runs=runs)
+        assert by_values == by_runs == {"P"}
+        import pytest
+
+        with pytest.raises(ValueError):
+            table.conflicting_procedures_swept("R1", changed, runs=runs)
+        with pytest.raises(ValueError):
+            table.conflicting_procedures_swept("R1")
+
+    def test_one_runs_build_serves_many_tables(self):
+        """The memoization regression: a batch's runs are built once and
+        probed against any number of (per-shard) lock tables."""
+        from repro.core.batch import DeltaBatch
+        from repro.locks import SortedValueRuns
+
+        batch = DeltaBatch("R1")
+        batch.add_transaction(
+            inserts=[(1, 15, 0), (2, 55, 0)], deletes=[(1, 5, 0)]
+        )
+        tables = []
+        for shard in range(4):
+            table = ILockTable()
+            table.set_locks(
+                f"P{shard}", [interval_lock(shard * 25, shard * 25 + 25)]
+            )
+            tables.append(table)
+        before = SortedValueRuns.builds
+        runs = batch.sorted_value_runs(["rid", "sel", "pad"])
+        broken = [
+            table.conflicting_procedures_swept("R1", runs=runs)
+            for table in tables
+        ]
+        # Same cached object on re-request; exactly one build total.
+        assert batch.sorted_value_runs(["rid", "sel", "pad"]) is runs
+        assert SortedValueRuns.builds == before + 1
+        # sel values {5, 15, 55} break exactly the [0,25) and [50,75)
+        # procedures.
+        assert broken == [{"P0"}, set(), {"P2"}, set()]
+
+    def test_probe_charges_nothing(self):
+        """i-lock probing is memory-resident bookkeeping: neither the
+        build nor the sweep may charge the simulated clock."""
+        from repro.locks import SortedValueRuns
+        from repro.sim import CostClock
+
+        clock = CostClock()
+        before = clock.elapsed_ms
+        table = ILockTable()
+        table.set_locks("P", [interval_lock(10, 20)])
+        runs = SortedValueRuns([{"sel": v} for v in (1, 15, 40)])
+        table.conflicting_procedures_swept("R1", runs=runs)
+        assert clock.elapsed_ms == before
+
+    def test_interval_hits_respects_bounds(self):
+        from repro.locks import SortedValueRuns
+        from repro.query.predicate import KeyInterval
+
+        runs = SortedValueRuns([{"sel": v} for v in (3, 9, 27)])
+        assert runs.interval_hits(KeyInterval("sel", 4, 10, True, False))
+        assert not runs.interval_hits(
+            KeyInterval("sel", 10, 27, True, False)
+        )
+        assert runs.interval_hits(KeyInterval("sel", None, None))
+        assert not runs.interval_hits(KeyInterval("other", 0, 100))

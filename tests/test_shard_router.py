@@ -1,0 +1,185 @@
+"""ShardRouter: partitioning totality/disjointness and routing safety.
+
+The hypothesis property pins the partition function's contract — every
+key in (and around) the domain maps to exactly one shard, shard key
+ranges tile the domain without gaps or overlaps, and boundaries are
+deterministic functions of ``(num_shards, domain)`` alone. The unit
+tests cover home-shard assignment, the interval index's conservative
+hulls, and catch-all (whole-relation) registration.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.predicate import KeyInterval
+from repro.shard import ShardRouter
+
+
+def interval(lo, hi, field="sel"):
+    return KeyInterval(field, lo, hi, True, False)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    num_shards=st.integers(min_value=1, max_value=16),
+    domain=st.integers(min_value=1, max_value=5_000),
+    probes=st.lists(
+        st.integers(min_value=-100, max_value=5_100), max_size=20
+    ),
+)
+def test_partitioning_is_total_disjoint_and_deterministic(
+    num_shards, domain, probes
+):
+    router = ShardRouter(num_shards, domain=domain)
+    ranges = router.key_ranges()
+
+    # The ranges tile [0, domain): contiguous, disjoint, in order.
+    assert len(ranges) == num_shards
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == domain
+    for (_, prev_hi), (lo, hi) in zip(ranges, ranges[1:]):
+        assert lo == prev_hi
+        assert lo <= hi
+
+    # Every in-domain key lands in exactly the one range that holds it;
+    # out-of-domain keys clamp to the edge shards. Totality: the result
+    # is always a valid shard id.
+    for value in probes:
+        shard = router.shard_of_key(value)
+        assert 0 <= shard < num_shards
+        if value < 0:
+            assert shard == 0
+        elif value >= domain:
+            assert shard == num_shards - 1
+        else:
+            owners = [
+                s for s, (lo, hi) in enumerate(ranges) if lo <= value < hi
+            ]
+            assert owners == [shard]
+
+    # Boundaries are deterministic: a rebuilt router agrees everywhere.
+    rebuilt = ShardRouter(num_shards, domain=domain)
+    assert rebuilt.key_ranges() == ranges
+    assert [rebuilt.shard_of_key(v) for v in probes] == [
+        router.shard_of_key(v) for v in probes
+    ]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    num_shards=st.integers(min_value=1, max_value=12),
+    domain=st.integers(min_value=2, max_value=2_000),
+    data=st.data(),
+)
+def test_routing_is_a_conservative_superset(num_shards, domain, data):
+    """Any shard hosting a procedure whose interval contains a changed
+    value must be routed (misses would be correctness bugs; extra shards
+    are only wasted work)."""
+    router = ShardRouter(num_shards, domain=domain)
+    n_procs = data.draw(st.integers(min_value=1, max_value=10))
+    homes = {}
+    intervals = {}
+    for i in range(n_procs):
+        lo = data.draw(st.integers(min_value=0, max_value=domain - 1))
+        width = data.draw(st.integers(min_value=1, max_value=domain))
+        name = f"P{i}"
+        intervals[name] = (lo, lo + width)
+        homes[name] = router.assign(name, [("R1", interval(lo, lo + width))])
+    values = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=domain - 1),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    routed = set(router.route_values("R1", [{"sel": v} for v in values]))
+    for name, (lo, hi) in intervals.items():
+        if any(lo <= v < hi for v in values):
+            assert homes[name] in routed
+
+
+class TestAssignment:
+    def test_home_is_range_owner_of_interval_lo(self):
+        router = ShardRouter(4, domain=100)
+        home = router.assign("P", [("R1", interval(55, 60))])
+        assert home == router.shard_of_key(55)
+        assert router.home_of("P") == home
+
+    def test_shared_interval_means_shared_home(self):
+        """Same C_f interval -> same home shard, so Rete sharing
+        survives partitioning."""
+        router = ShardRouter(8, domain=512)
+        a = router.assign("A", [("R1", interval(40, 50))])
+        b = router.assign("B", [("R1", interval(40, 50))])
+        assert a == b
+
+    def test_no_partition_interval_hashes_stably(self):
+        router = ShardRouter(8, domain=512)
+        home = router.assign("Q", [("R2", interval(1, 2, field="b"))])
+        rebuilt = ShardRouter(8, domain=512)
+        assert rebuilt.assign("Q", [("R2", interval(1, 2, field="b"))]) == home
+
+    def test_procedures_per_shard_counts_homes(self):
+        router = ShardRouter(2, domain=100)
+        router.assign("A", [("R1", interval(0, 10))])
+        router.assign("B", [("R1", interval(0, 10))])
+        router.assign("C", [("R1", interval(90, 99))])
+        assert router.procedures_per_shard() == [2, 1]
+        assert router.num_procedures == 3
+
+
+class TestRouting:
+    def test_miss_routes_nowhere(self):
+        router = ShardRouter(4, domain=100)
+        router.assign("P", [("R1", interval(10, 20))])
+        assert router.route_values("R1", [{"sel": 70}]) == ()
+
+    def test_hit_routes_home(self):
+        router = ShardRouter(4, domain=100)
+        home = router.assign("P", [("R1", interval(10, 20))])
+        assert router.route_values("R1", [{"sel": 15}]) == (home,)
+
+    def test_whole_relation_coverage_is_catch_all(self):
+        router = ShardRouter(4, domain=100)
+        home = router.assign("P", [("R3", None)])
+        assert home in router.route_values("R3", [{"c": 1}])
+
+    def test_unbounded_interval_is_catch_all(self):
+        router = ShardRouter(4, domain=100)
+        home = router.assign("P", [("R2", KeyInterval("b", None, None))])
+        assert home in router.route_values("R2", [{"b": 123456}])
+
+    def test_route_runs_matches_route_values(self):
+        from repro.locks.ilocks import SortedValueRuns
+
+        router = ShardRouter(8, domain=512)
+        for i in range(20):
+            lo = (i * 37) % 500
+            router.assign(f"P{i}", [("R1", interval(lo, lo + 11))])
+        changed = [{"sel": v} for v in (3, 88, 200, 311, 499)]
+        by_values = router.route_values("R1", changed)
+        by_runs = router.route_runs("R1", SortedValueRuns(changed))
+        assert by_runs == by_values
+
+    def test_stats_track_fanout(self):
+        router = ShardRouter(4, domain=100)
+        router.assign("P", [("R1", interval(10, 20))])
+        router.route_values("R1", [{"sel": 15}])
+        router.route_values("R1", [{"sel": 70}])
+        stats = router.stats()
+        assert stats["routed_updates"] == 2.0
+        assert stats["routed_shard_visits"] == 1.0
+        assert stats["mean_fanout"] == 0.5
+
+
+class TestValidation:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0, domain=100)
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            ShardRouter(2, domain=0)

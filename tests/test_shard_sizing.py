@@ -1,0 +1,279 @@
+"""The shard sizing layer, the seed-splitting helper, and the CLI.
+
+Covers: sizing reports for sharded and plain strategies (shape, totals,
+determinism), gauge registration on the ``obs`` metrics registry, the
+``repro.sim`` seed-derivation contract (namespaced streams stable under
+shard-count changes), and the ``repro-procs shard`` CLI contract.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.simcompare import SIM_SCALE_PARAMS
+from repro.obs.registry import MetricsRegistry
+from repro.shard import (
+    ILOCK_SPEC_BYTES,
+    make_sharded_strategy,
+    measure_sizing,
+    register_metrics,
+    scale_params,
+)
+from repro.sim import derive_seed, spawn
+from repro.workload.database import build_database
+from repro.workload.runner import run_workload
+
+_PARAMS = SIM_SCALE_PARAMS.with_update_probability(0.6)
+
+
+def _sharded_run(strategy="update_cache_rvm", shards=4, seed=3):
+    db = build_database(_PARAMS, seed=seed)
+    run = run_workload(
+        _PARAMS,
+        strategy,
+        num_operations=30,
+        seed=seed,
+        database=db,
+        keep_manager=True,
+        shards=shards,
+    )
+    return db, run
+
+
+class TestSizingReport:
+    def test_sharded_report_shape(self):
+        db, run = _sharded_run()
+        report = measure_sizing(db, run.manager.strategy, seed=3)
+        assert report.num_shards == 4
+        assert report.strategy == "update_cache_rvm"
+        assert len(report.shards) == 4
+        assert report.num_procedures == sum(
+            s.procedures for s in report.shards
+        )
+        assert report.total_data_bytes == sum(
+            s.data_bytes for s in report.shards
+        )
+        assert report.total_ilock_bytes == (
+            report.total_ilock_specs * ILOCK_SPEC_BYTES
+        )
+        assert report.bytes_per_procedure > 0
+        assert set(report.relations) == {"R1", "R2", "R3"}
+        for rel in report.relations.values():
+            assert rel["data_bytes"] > 0
+        assert report.router is not None
+        assert report.beta_tier is not None
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["kind"] == "shard_sizing"
+
+    def test_plain_strategy_reports_one_pseudo_shard(self):
+        db = build_database(_PARAMS, seed=3)
+        run = run_workload(
+            _PARAMS,
+            "cache_invalidate",
+            num_operations=30,
+            seed=3,
+            database=db,
+            keep_manager=True,
+        )
+        report = measure_sizing(db, run.manager.strategy, seed=3)
+        assert report.num_shards == 1
+        assert len(report.shards) == 1
+        assert report.router is None
+        assert report.beta_tier is None
+        assert report.total_ilock_specs > 0
+
+    def test_data_bytes_are_placement_independent(self):
+        """For a P1-only population, bytes are exactly equal across
+        shard counts (same-interval procedures colocate, so nothing
+        duplicates) — the bench gate's foundation. Mixed populations
+        may duplicate shared join-side Rete memories across shards, so
+        the exact-equality claim is deliberately P1-only."""
+        params = scale_params(2_000)
+        reports = []
+        for shards in (1, 4):
+            db = build_database(params, seed=3)
+            run = run_workload(
+                params,
+                "update_cache_rvm",
+                num_operations=20,
+                seed=3,
+                warm_caches=False,
+                database=db,
+                keep_manager=True,
+                shards=shards,
+            )
+            reports.append(measure_sizing(db, run.manager.strategy, seed=3))
+        assert (
+            reports[0].total_data_bytes == reports[1].total_data_bytes
+        )
+        assert (
+            reports[0].bytes_per_procedure
+            == reports[1].bytes_per_procedure
+        )
+
+    def test_rete_sharing_is_reported(self):
+        db, run = _sharded_run(strategy="update_cache_rvm")
+        report = measure_sizing(db, run.manager.strategy, seed=3)
+        assert all(s.rete is not None for s in report.shards)
+        assert 0.0 <= report.sharing_factor_realized <= 1.0
+
+    def test_resident_sample_is_seed_deterministic(self):
+        db, run = _sharded_run()
+        a = measure_sizing(db, run.manager.strategy, seed=3)
+        b = measure_sizing(db, run.manager.strategy, seed=3)
+        assert a.resident_row_bytes == b.resident_row_bytes
+        assert all(v > 0 for v in a.resident_row_bytes.values())
+
+
+class TestMetricsRegistration:
+    def test_gauges_registered(self):
+        db, run = _sharded_run()
+        report = measure_sizing(db, run.manager.strategy, seed=3)
+        registry = MetricsRegistry()
+        register_metrics(report, registry)
+        gauges = registry.gauge_values()
+        assert gauges["sizing.num_shards"] == 4.0
+        assert gauges["sizing.bytes_per_procedure"] == (
+            report.bytes_per_procedure
+        )
+        assert "sizing.relation.R1.data_bytes" in gauges
+        assert "sizing.shard0.procedures" in gauges
+        assert "sizing.shard3.data_bytes" in gauges
+        assert "sizing.router.mean_fanout" in gauges
+        assert "sizing.beta_tier.mean_fanout" in gauges
+
+
+class TestSeedSplitting:
+    def test_derive_seed_is_deterministic_and_namespaced(self):
+        assert derive_seed(7, "shard", 0) == derive_seed(7, "shard", 0)
+        assert derive_seed(7, "shard", 0) != derive_seed(7, "shard", 1)
+        assert derive_seed(7, "shard", 0) != derive_seed(8, "shard", 0)
+        assert derive_seed(7, "shard", 0) != derive_seed(7, "sizing", 0)
+
+    def test_spawn_streams_are_independent(self):
+        a = spawn(7, "shard", 0)
+        b = spawn(7, "shard", 1)
+        assert [a.random() for _ in range(4)] != [
+            b.random() for _ in range(4)
+        ]
+
+    def test_shard_streams_stable_under_shard_count_changes(self):
+        """Shard 0's RNG stream is a function of (seed, shard_id) only —
+        adding shards elsewhere never perturbs it."""
+        db1 = build_database(_PARAMS, seed=7)
+        db2 = build_database(_PARAMS, seed=7)
+        one = make_sharded_strategy(
+            "cache_invalidate", db1, _PARAMS, num_shards=1, seed=7
+        )
+        many = make_sharded_strategy(
+            "cache_invalidate", db2, _PARAMS, num_shards=8, seed=7
+        )
+        stream_one = [one.shards[0].rng.random() for _ in range(8)]
+        stream_many = [many.shards[0].rng.random() for _ in range(8)]
+        assert stream_one == stream_many
+
+
+class TestScaleParams:
+    def test_p1_only_by_default(self):
+        params = scale_params(1000)
+        assert params.num_p1 == 1000
+        assert params.num_p2 == 0
+        assert params.n_tuples == 512
+
+    def test_mix_point(self):
+        params = scale_params(960, num_p2=40)
+        assert params.num_p1 == 960
+        assert params.num_p2 == 40
+
+
+class TestShardCli:
+    def test_json_sweep_contract(self, capsys):
+        status = main(
+            [
+                "shard",
+                "--strategy",
+                "rvm",
+                "--shards",
+                "1,2",
+                "--operations",
+                "20",
+                "--json",
+            ]
+        )
+        assert status == 0
+        sweep = json.loads(capsys.readouterr().out)
+        assert sweep["kind"] == "shard_sizing_sweep"
+        assert sweep["strategy"] == "update_cache_rvm"
+        assert sweep["shard_counts"] == [1, 2]
+        assert len(sweep["reports"]) == 2
+        for payload in sweep["reports"]:
+            assert payload["kind"] == "shard_sizing"
+            assert payload["bytes_per_procedure"] > 0
+            assert payload["maint_ms_per_update"] >= 0
+        assert (
+            sweep["reports"][0]["bytes_per_procedure"]
+            == sweep["reports"][1]["bytes_per_procedure"]
+        )
+
+    def test_report_out_writes_artifact(self, capsys, tmp_path):
+        out = tmp_path / "sizing.json"
+        status = main(
+            [
+                "shard",
+                "--shards",
+                "2",
+                "--operations",
+                "10",
+                "--report-out",
+                str(out),
+            ]
+        )
+        assert status == 0
+        capsys.readouterr()
+        sweep = json.loads(out.read_text())
+        assert sweep["kind"] == "shard_sizing_sweep"
+        assert sweep["shard_counts"] == [2]
+
+    def test_scale_population_flag(self, capsys):
+        status = main(
+            [
+                "shard",
+                "--shards",
+                "1",
+                "--procedures",
+                "500",
+                "--operations",
+                "10",
+                "--json",
+            ]
+        )
+        assert status == 0
+        sweep = json.loads(capsys.readouterr().out)
+        assert sweep["reports"][0]["num_procedures"] == 500
+
+    def test_rejects_bad_shards(self, capsys):
+        assert main(["shard", "--shards", "0"]) == 2
+        assert main(["shard", "--shards", "x"]) == 2
+        capsys.readouterr()
+
+    @pytest.mark.parametrize(
+        "flag", ["simulate", "profile"]
+    )
+    def test_shards_flag_on_run_commands(self, capsys, flag):
+        argv = [
+            flag,
+            "--strategy",
+            "cache_invalidate"
+            if flag == "simulate"
+            else "ci",
+            "--operations",
+            "20",
+            "--shards",
+            "2",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "shards=2" in out or "cost per access" in out
