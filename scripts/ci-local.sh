@@ -32,6 +32,7 @@ fi
 run python -m pytest tests/test_batch_differential.py -q
 run python -m pytest tests/test_columnar_differential.py -q
 run python -m pytest tests/test_shard_differential.py -q
+run python -m pytest tests/test_shard_chaos.py -q
 
 # Coverage flags mirror CI when pytest-cov is importable (offline boxes
 # without it still run the plain suite).
@@ -48,6 +49,16 @@ else
 fi
 
 run python -m pytest benchmarks -q --benchmark-disable
+
+# Shard-chaos smoke, mirroring the CI artifact step: a scheduled shard
+# kill with a hot standby — the oracle must hold through the failover.
+echo "==> python -m repro chaos --shards 2 --replicas 1 --kill-shard 0 (shard-chaos smoke)"
+if ! python -m repro chaos --strategy ci --mpl 2 --operations 80 \
+    --fault-events 40 --seed 3 --shards 2 --replicas 1 \
+    --kill-shard 0 --json > shard-chaos-report.json; then
+    echo "FAILED: shard-chaos smoke" >&2
+    status=1
+fi
 
 # Shard sizing smoke, mirroring the CI artifact step (small population;
 # the 10^5 sweep and its sublinearity gate run inside the bench suite).

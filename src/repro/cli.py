@@ -17,6 +17,9 @@ Examples::
     repro-procs chaos --strategy all --mpl 4 --fault-events 100
     repro-procs chaos --strategy ci --seed 3 --json
     repro-procs chaos --strategy ci --mpl 4 --trace-out chaos.trace.json
+    repro-procs chaos --strategy rvm --shards 4 --kill-shard 2
+    repro-procs chaos --strategy avm --shards 4 --replicas 1 --kill-shard 0
+    repro-procs chaos --strategy ci --shards 2 --degrade --json
     repro-procs profile --strategy rvm --manifest
     repro-procs bench
     repro-procs bench --compare results/bench_baseline.json
@@ -461,11 +464,45 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 "--trace-out/--span-log need exactly one strategy "
                 "(a trace is one run's timeline)"
             )
+        if args.shards is not None and args.shards < 1:
+            raise ValueError("--shards must be >= 1")
+        if args.replicas not in (0, 1):
+            raise ValueError("--replicas must be 0 or 1 (one hot standby)")
+        if args.replicas and (args.shards is None or args.shards < 2):
+            raise ValueError("--replicas requires --shards >= 2")
+        if args.degrade and (args.shards is None or args.shards < 2):
+            raise ValueError("--degrade requires --shards >= 2")
+        if args.kill_shard is not None:
+            if args.shards is None or args.shards < 2:
+                raise ValueError("--kill-shard requires --shards >= 2")
+            if not 0 <= args.kill_shard < args.shards:
+                raise ValueError(
+                    f"--kill-shard must be in [0, {args.shards - 1}]"
+                )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     params = SIM_SCALE_PARAMS.with_update_probability(args.update_probability)
     plan = FaultPlan.seeded(args.seed, max_faults=fault_events)
+    if args.kill_shard is not None:
+        import dataclasses
+
+        from repro.faults.injector import FaultKind, ScheduledFault
+
+        # One scheduled fail-stop of the chosen shard, on top of the
+        # seeded background campaign: its first shard.crash boundary
+        # decision fires, the rest of the population keeps serving.
+        plan = dataclasses.replace(
+            plan,
+            schedule=[
+                *plan.schedule,
+                ScheduledFault(
+                    f"shard.{args.kill_shard}.shard.crash",
+                    1,
+                    FaultKind.CRASH,
+                ),
+            ],
+        )
     observations: list = []
     observation_factory = None
     if _wants_artifacts(args):
@@ -488,16 +525,26 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         num_operations=args.operations,
         seed=args.seed,
         observation_factory=observation_factory,
+        shards=args.shards,
+        replicas=args.replicas,
+        degrade=args.degrade,
     )
     wall = time.perf_counter() - start
     ok = all(r.oracle_ok and r.attribution_consistent for r in results)
     if args.json:
         print(json.dumps(chaos_to_dict(results), indent=2, sort_keys=True))
     else:
+        shard_note = ""
+        if args.shards is not None:
+            shard_note = f" shards={args.shards} replicas={args.replicas}"
+            if args.kill_shard is not None:
+                shard_note += f" kill-shard={args.kill_shard}"
+            if args.degrade:
+                shard_note += " degrade"
         print(
             f"chaos campaign: model={args.model} mpl={mpl} "
             f"P={args.update_probability:g} ops={args.operations} "
-            f"seed={args.seed} fault budget={fault_events}"
+            f"seed={args.seed} fault budget={fault_events}{shard_note}"
         )
         print(render_chaos_table(results))
         print(
@@ -1104,6 +1151,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-events",
         default="100",
         help="total fault-injection budget for the campaign",
+    )
+    chaos_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "run behind the sharded engine with N key-range shards, each "
+            "its own fault domain (1 is bit-identical to unsharded; "
+            "default: unsharded)"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help=(
+            "hot standbys per shard (0 or 1): a crashed shard fails over "
+            "to its replica instead of rebuilding from WAL (needs "
+            "--shards >= 2)"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--kill-shard",
+        type=int,
+        default=None,
+        metavar="I",
+        help=(
+            "schedule one fail-stop of shard I mid-workload on top of the "
+            "seeded campaign (needs --shards >= 2)"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--degrade",
+        action="store_true",
+        help=(
+            "attach the per-shard overload controller (UC->CI->AR ladder "
+            "per shard; needs --shards >= 2)"
+        ),
     )
     chaos_parser.add_argument(
         "--json", action="store_true", help="emit the campaign as JSON"

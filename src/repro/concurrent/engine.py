@@ -97,6 +97,8 @@ class ConcurrentRunResult:
     aborts: int = 0
     #: Operations that committed after suffering at least one abort.
     retries_succeeded: int = 0
+    #: Admission-gate refusals (0 when no gate, or never binding).
+    admission_deferrals: int = 0
     space_pages: int = 0
     metrics: MetricSet = field(default_factory=MetricSet)
     #: Total clock charge over the measured window (work + lock.wait).
@@ -130,6 +132,7 @@ class ConcurrentRunResult:
             "ops_blocked": self.ops_blocked,
             "aborts": self.aborts,
             "retries_succeeded": self.retries_succeeded,
+            "admission_deferrals": self.admission_deferrals,
             "space_pages": self.space_pages,
             "access_latency": self.latency_summary("access"),
             "update_latency": self.latency_summary("update"),
@@ -197,6 +200,14 @@ class _Engine:
         #: are fatal, exactly as before.
         self.fault_handler = None
         self.ops_failed = 0
+        #: Optional :class:`repro.concurrent.admission.AdmissionGate`:
+        #: sessions must be admitted before drawing an operation; refused
+        #: sessions retry after the gate's (uncharged) virtual delay.
+        self.admission = None
+        #: Optional overload feed: called as ``(procedure, wait_ms, now)``
+        #: whenever an *access* executed after blocking, so a per-shard
+        #: controller can attribute lock waits to the procedure's home.
+        self.wait_observer = None
 
     # -- event plumbing --------------------------------------------------
 
@@ -222,6 +233,14 @@ class _Engine:
         session = self.sessions[session_id]
         if session.next_index >= len(session.operations):
             return  # stream drained; last commit already recorded
+        if self.admission is not None and not self.admission.try_admit(
+            session_id
+        ):
+            # Refused at the door: park (uncharged) and knock again.
+            self._schedule(
+                now + self.admission.retry_delay_ms, "start", session_id
+            )
+            return
         op = session.take_next()
         before = self.db.clock.snapshot()
         try:
@@ -234,6 +253,8 @@ class _Engine:
                 raise
             # Prepare holds no locks and has modified nothing durable, so
             # a handled fault just drops the operation from the stream.
+            if self.admission is not None:
+                self.admission.release(session_id)
             self.ops_failed += 1
             failed_ms = self.db.clock.elapsed_since(before)
             self._schedule(now + failed_ms, "start", session_id)
@@ -269,6 +290,9 @@ class _Engine:
             self.blocked_ms_total += wait_ms
             self.ops_blocked += 1
             self.metrics.observe("lock_wait_ms", wait_ms)
+            procedure = getattr(context.op, "procedure", None)
+            if self.wait_observer is not None and procedure is not None:
+                self.wait_observer(procedure, wait_ms, now)
         before = self.db.clock.snapshot()
         context.execute()
         service_ms = self.db.clock.elapsed_since(before)
@@ -285,6 +309,8 @@ class _Engine:
         context = session.context
         assert context is not None
         outcome = self.locks.release(session_id)
+        if self.admission is not None:
+            self.admission.release(session_id)
         session.committed += 1
         session.last_commit_ms = now
         self.makespan_ms = max(self.makespan_ms, now)
@@ -476,6 +502,8 @@ def run_concurrent_workload(
     observation: "CostAttribution | None" = None,
     batch_size: int | None = None,
     shards: int | None = None,
+    admission: int | None = None,
+    degrade: bool = False,
 ) -> ConcurrentRunResult:
     """Run ``mpl`` concurrent sessions of one strategy over the shared
     synthetic database.
@@ -496,11 +524,23 @@ def run_concurrent_workload(
     :class:`repro.shard.ShardedStrategy` facade with that many shards;
     sessions, 2PL, and footprint collection are unchanged (the facade is
     a regular strategy to the manager). ``None`` keeps the plain engine.
+
+    ``admission`` caps operations in flight below the MPL through an
+    :class:`repro.concurrent.admission.AdmissionGate` (``None``, or any
+    value >= ``mpl``, is never binding and leaves runs bit-identical).
+    ``degrade=True`` (requires ``shards >= 2``) attaches the per-shard
+    :class:`repro.shard.degrade.OverloadController`, fed by routed
+    invalidations *and* the engine's lock-wait attribution, so one
+    overloaded shard walks the UC -> CI -> AR ladder alone.
     """
     if mpl < 1:
         raise ValueError("multiprogramming level mpl must be >= 1")
     if batch_size is not None and batch_size < 1:
         raise ValueError("batch_size must be >= 1 (or None for unbatched)")
+    if admission is not None and admission < 1:
+        raise ValueError("admission must be >= 1 (or None for no gate)")
+    if degrade and (shards is None or shards < 2):
+        raise ValueError("degrade requires shards >= 2")
     db = build_database(params, seed=seed, buffer_capacity=buffer_capacity)
     pop = build_procedures(db, params, model=model, seed=seed)
     if shards is None:
@@ -553,6 +593,22 @@ def run_concurrent_workload(
     if observation is not None:
         observation.attach(db.clock)
     engine = _Engine(db, manager, sessions, footprints, batch_size=batch_size)
+    if admission is not None:
+        from repro.concurrent.admission import AdmissionGate
+
+        engine.admission = AdmissionGate(admission)
+    if degrade:
+        from repro.shard.degrade import OverloadController
+
+        controller = OverloadController(shards)
+        strategy.controller = controller
+
+        def observe_wait(procedure: str, wait_ms: float, now: float) -> None:
+            controller.observe_lock_wait(
+                strategy.shard_of(procedure), wait_ms, now
+            )
+
+        engine.wait_observer = observe_wait
     try:
         engine.run()
         engine.drain_batches()
@@ -582,6 +638,11 @@ def run_concurrent_workload(
         ops_blocked=engine.ops_blocked,
         aborts=engine.aborts,
         retries_succeeded=engine.retries_succeeded,
+        admission_deferrals=(
+            engine.admission.deferrals
+            if engine.admission is not None
+            else 0
+        ),
         space_pages=strategy.space_pages(),
         metrics=engine.metrics,
         clock_total_ms=db.clock.elapsed_since(measure_start),

@@ -15,6 +15,7 @@ from repro.faults.errors import (
     FaultError,
     PageCorruptionError,
     PersistentIOError,
+    ShardCrashSignal,
     TransientIOError,
 )
 from repro.faults.injector import (
@@ -22,6 +23,7 @@ from repro.faults.injector import (
     FaultKind,
     FaultPlan,
     ScheduledFault,
+    ShardFaultInjector,
 )
 
 __all__ = [
@@ -33,5 +35,7 @@ __all__ = [
     "PageCorruptionError",
     "PersistentIOError",
     "ScheduledFault",
+    "ShardCrashSignal",
+    "ShardFaultInjector",
     "TransientIOError",
 ]

@@ -13,6 +13,17 @@ campaigns perturb the measured window only; the final oracle pass runs
 inside the observation window, so the per-phase attribution (including
 ``fault.recovery`` and ``fault.oracle``) still sums exactly to the
 clock total.
+
+Sharded chaos (``shards=``): the strategy runs behind the
+:class:`~repro.shard.ShardedStrategy` facade. At ``shards=1`` the
+wiring is byte-for-byte the plain path — one global injector, the base
+:class:`RecoverySupervisor` — so output is bit-identical to an
+unsharded chaos run (the CI differential). Above one shard every shard
+becomes its own fault domain (:mod:`repro.shard.faults`): per-shard
+injectors over ``derive_seed``-split streams, a
+:class:`~repro.shard.faults.ShardedRecoverySupervisor` that recovers
+single shards via replica failover or WAL rebuild, and the β-tier
+retry queue for deliveries aimed at a mid-recovery shard.
 """
 
 from __future__ import annotations
@@ -65,12 +76,21 @@ def database_digest(db: SyntheticDatabase) -> str:
 
 
 def _write_ahead_logs(strategy) -> list:
-    """Every WAL reachable from ``strategy`` (Cache and Invalidate with
-    the logged scheme, possibly nested inside hybrid)."""
+    """Every WAL reachable from ``strategy`` — Cache and Invalidate with
+    the logged scheme, possibly nested inside hybrid, and (through a
+    sharded facade) every shard's primary *and* replica engines, so
+    ``wal_records_lost`` sums the whole population instead of one
+    engine's share."""
     wals = []
     stack = [strategy]
     while stack:
         current = stack.pop()
+        shards = getattr(current, "shards", None)
+        if shards is not None:
+            for shard in shards:
+                stack.append(shard.strategy)
+                if shard.replica is not None:
+                    stack.append(shard.replica)
         subs = getattr(current, "_subs", None)
         if subs is not None:
             stack.extend(subs.values())
@@ -123,6 +143,26 @@ class ChaosRunResult:
     phase_costs: dict[str, float] = field(default_factory=dict)
     database_digest: str = ""
     wal_records_lost: int = 0
+    #: Shard count behind the facade (``None`` = plain unsharded run).
+    shards: int | None = None
+    #: Replicas per shard (0 or 1; multi-shard runs only).
+    replicas: int = 0
+    #: Single-shard fail-stops (the whole-engine ``crashes`` counter
+    #: above includes these; the rest of the engine kept serving).
+    shard_crashes: int = 0
+    #: Replica promotions (failover path) / WAL rebuilds (no replica).
+    promotions: int = 0
+    wal_rebuilds: int = 0
+    shard_recoveries: int = 0
+    #: β-tier deliveries parked for a down shard, and how many drained
+    #: at recovery — equal once every shard is back up (the no-drop
+    #: property).
+    deliveries_queued: int = 0
+    deliveries_drained: int = 0
+    delivery_retries: int = 0
+    #: Charged to ``shard.failover`` / ``fault.replica`` phases.
+    failover_ms: float = 0.0
+    replica_ms: float = 0.0
     #: Per-operation latency/service stats from the engine (manifest
     #: histograms are built from these; excluded from the JSON export).
     metrics: MetricSet = field(default_factory=MetricSet)
@@ -173,6 +213,17 @@ class ChaosRunResult:
             "attribution_consistent": self.attribution_consistent,
             "database_digest": self.database_digest,
             "wal_records_lost": self.wal_records_lost,
+            "shards": self.shards,
+            "replicas": self.replicas,
+            "shard_crashes": self.shard_crashes,
+            "promotions": self.promotions,
+            "wal_rebuilds": self.wal_rebuilds,
+            "shard_recoveries": self.shard_recoveries,
+            "deliveries_queued": self.deliveries_queued,
+            "deliveries_drained": self.deliveries_drained,
+            "delivery_retries": self.delivery_retries,
+            "failover_ms": self.failover_ms,
+            "replica_ms": self.replica_ms,
         }
 
 
@@ -186,6 +237,9 @@ def run_chaos(
     seed: int = 0,
     invalidation_scheme: str | None = "wal",
     observation: CostAttribution | None = None,
+    shards: int | None = None,
+    replicas: int = 0,
+    degrade: bool = False,
 ) -> ChaosRunResult:
     """One fault-injected multi-client run of ``strategy_name``.
 
@@ -196,12 +250,26 @@ def run_chaos(
     recorder's unbounded one for trace export); by default each run
     builds its own.
 
+    ``shards`` runs the strategy behind the sharded facade: ``None``
+    keeps the plain engine, ``1`` is bit-identical to it (plain injector
+    and supervisor — the differential contract), and above that every
+    shard is an independent fault domain with its own derived-seed
+    injector and a shard-aware supervisor. ``replicas=1`` maintains one
+    hot standby per shard (promoted on shard crash); ``degrade=True``
+    attaches the per-shard overload ladder. Both require ``shards >= 2``.
+
     The buffer is pinned at capacity 0 — the crash model requires every
     completed page write to be durable, so a crash loses exactly the WAL
     tail and in-memory validity state.
     """
     if mpl < 1:
         raise ValueError("multiprogramming level mpl must be >= 1")
+    if shards is not None and shards < 1:
+        raise ValueError("shards must be >= 1 (or None for unsharded)")
+    if replicas and (shards is None or shards < 2):
+        raise ValueError("replicas require shards >= 2")
+    if degrade and (shards is None or shards < 2):
+        raise ValueError("degrade requires shards >= 2")
     if plan is None:
         plan = FaultPlan.seeded(seed)
     db = build_database(params, seed=seed, buffer_capacity=0)
@@ -209,11 +277,39 @@ def run_chaos(
     scheme = (
         invalidation_scheme if strategy_name == "cache_invalidate" else None
     )
-    strategy = make_strategy(
-        strategy_name, db, params, invalidation_scheme=scheme
-    )
-    injector = FaultInjector(plan)
-    supervisor = RecoverySupervisor(strategy, injector)
+    if shards is None:
+        strategy = make_strategy(
+            strategy_name, db, params, invalidation_scheme=scheme
+        )
+    else:
+        from repro.shard import make_sharded_strategy
+
+        strategy = make_sharded_strategy(
+            strategy_name,
+            db,
+            params,
+            num_shards=shards,
+            invalidation_scheme=scheme,
+            seed=seed,
+            replicas=replicas,
+        )
+    sharded_domains = shards is not None and shards > 1
+    if sharded_domains:
+        from repro.shard.degrade import OverloadController
+        from repro.shard.faults import (
+            ShardedRecoverySupervisor,
+            wire_fault_domains,
+        )
+
+        # Per-shard fault domains (inert until armed) + the global
+        # injector for the legacy unprefixed points.
+        injector = wire_fault_domains(strategy, plan)
+        supervisor = ShardedRecoverySupervisor(strategy, injector)
+        if degrade:
+            strategy.controller = OverloadController(shards)
+    else:
+        injector = FaultInjector(plan)
+        supervisor = RecoverySupervisor(strategy, injector)
     manager = SupervisedManager(strategy, supervisor)
     for name, expr in pop.definitions:
         manager.define_procedure(name, expr)
@@ -225,11 +321,17 @@ def run_chaos(
     footprints = collect_footprints(db, manager)
     db.clock.reset()
 
-    # Wire the injector into the storage and WAL layers, then arm.
-    db.disk.injector = injector
+    # Wire the injector into the shared storage and WAL layers, then arm
+    # every domain. Per-shard disks/WALs were wired above (inert until
+    # now); the shared base-relation disk always takes the global
+    # injector, so legacy points keep their pre-sharding meaning.
     wals = _write_ahead_logs(strategy)
-    for wal in wals:
-        wal.injector = injector
+    if sharded_domains:
+        db.disk.injector = injector.global_injector
+    else:
+        db.disk.injector = injector
+        for wal in wals:
+            wal.injector = injector
     injector.arm()
 
     sessions = []
@@ -251,7 +353,7 @@ def run_chaos(
         crash restarts the system; any other fault just costs the retries
         already charged. Either way the operation is dropped."""
         if isinstance(exc, CrashSignal):
-            supervisor.crash_restart(exc.point)
+            supervisor.handle_crash(exc)
             return True
         return isinstance(exc, FaultError)
 
@@ -270,6 +372,12 @@ def run_chaos(
     finally:
         observation.detach()
 
+    failover = (
+        strategy.failover_stats()
+        if hasattr(strategy, "failover_stats")
+        else {}
+    )
+    phase_costs = observation.phase_costs()
     return ChaosRunResult(
         strategy=strategy_name,
         mpl=mpl,
@@ -296,11 +404,22 @@ def run_chaos(
         oracle_ok=oracle_ok and supervisor.oracle_failures == 0,
         clock_total_ms=db.clock.elapsed_since(measure_start),
         engine_ms=engine_ms,
-        recovery_ms=observation.phase_costs().get("fault.recovery", 0.0),
-        oracle_ms=observation.phase_costs().get("fault.oracle", 0.0),
-        phase_costs=observation.phase_costs(),
+        recovery_ms=phase_costs.get("fault.recovery", 0.0),
+        oracle_ms=phase_costs.get("fault.oracle", 0.0),
+        phase_costs=phase_costs,
         database_digest=database_digest(db),
         wal_records_lost=sum(wal.records_lost for wal in wals),
+        shards=shards,
+        replicas=replicas,
+        shard_crashes=int(failover.get("shard_crashes", 0)),
+        promotions=int(failover.get("promotions", 0)),
+        wal_rebuilds=getattr(supervisor, "wal_rebuilds", 0),
+        shard_recoveries=getattr(supervisor, "shard_recoveries", 0),
+        deliveries_queued=int(failover.get("deliveries_queued", 0)),
+        deliveries_drained=int(failover.get("deliveries_drained", 0)),
+        delivery_retries=int(failover.get("delivery_retries", 0)),
+        failover_ms=phase_costs.get("shard.failover", 0.0),
+        replica_ms=phase_costs.get("fault.replica", 0.0),
         metrics=engine.metrics,
     )
 
@@ -314,12 +433,16 @@ def chaos_sweep(
     num_operations: int = 120,
     seed: int = 0,
     observation_factory=None,
+    shards: int | None = None,
+    replicas: int = 0,
+    degrade: bool = False,
 ) -> list[ChaosRunResult]:
     """Run the same fault campaign against each strategy. Every run gets
     its own injector from the same plan, so campaigns are comparable
     (same seed, same rates) without sharing RNG state across runs.
     ``observation_factory`` builds one attribution per run (manifest and
-    trace-export paths)."""
+    trace-export paths). ``shards``/``replicas``/``degrade`` pass
+    through to :func:`run_chaos` unchanged."""
     return [
         run_chaos(
             params,
@@ -334,6 +457,9 @@ def chaos_sweep(
                 if observation_factory is not None
                 else None
             ),
+            shards=shards,
+            replicas=replicas,
+            degrade=degrade,
         )
         for strategy in strategies
     ]

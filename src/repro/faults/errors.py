@@ -54,3 +54,16 @@ class CrashSignal(FaultError):
     def __init__(self, point: str) -> None:
         super().__init__(f"simulated crash at {point}")
         self.point = point
+
+
+class ShardCrashSignal(CrashSignal):
+    """One shard crashed: its i-locks/buffer/WAL/Rete are lost while the
+    remaining shards keep serving. A shard-aware supervisor recovers (or
+    fails over to a replica of) just that fault domain."""
+
+    def __init__(self, point: str, shard_id: int) -> None:
+        FaultError.__init__(
+            self, f"simulated crash of shard {shard_id} at {point}"
+        )
+        self.point = point
+        self.shard_id = shard_id

@@ -17,6 +17,15 @@ op.access  operation boundary before a procedure access (crash only)
 op.update  operation boundary before an update transaction (crash only)
 ========== =============================================================
 
+Sharded chaos namespaces every point per shard: plan entries prefixed
+``shard.<i>.`` (e.g. ``shard.2.disk.read``, ``shard.0.shard.crash``)
+scope to shard ``i``'s own :class:`ShardFaultInjector`, derived from the
+campaign plan via :meth:`FaultPlan.for_shard` with a
+``derive_seed(seed, "shard", i)`` child seed so each shard's fault
+stream is stable under shard-count changes. The extra ``shard.crash``
+point is a shard-boundary decision: a ``CRASH`` there kills exactly one
+shard's i-locks/buffer/WAL/Rete while the rest keep serving.
+
 Three fault kinds: ``TRANSIENT`` (the injector retries with simulated-
 time exponential backoff, charged under ``fault.recovery``; the retry
 budget exhausting raises :class:`PersistentIOError`), ``TORN_PAGE``
@@ -43,7 +52,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
-from repro.faults.errors import CrashSignal, PageCorruptionError, PersistentIOError
+from repro.faults.errors import (
+    CrashSignal,
+    PageCorruptionError,
+    PersistentIOError,
+    ShardCrashSignal,
+)
+from repro.sim.rng import derive_seed
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim import CostClock
@@ -126,6 +141,52 @@ class FaultPlan:
                 for point, kinds in rates.items()
             }
         return FaultPlan(seed=seed, rates=rates, max_faults=max_faults)
+
+    def for_shard(self, shard_id: int) -> "FaultPlan":
+        """Derive shard ``shard_id``'s plan from this campaign plan.
+
+        Rates: unprefixed entries apply to every shard (each shard draws
+        them from its own derived stream); ``shard.<i>.``-prefixed
+        entries scope to shard ``i`` alone (stripped here, overriding any
+        unprefixed entry for the same point); other shards' prefixed
+        entries are dropped. Schedule: only this shard's prefixed entries
+        carry over — unprefixed scheduled faults belong to the global
+        (facade-level) injector, which keeps legacy schedules meaning
+        exactly what they meant before sharding.
+        """
+        prefix = f"shard.{shard_id}."
+        rates: dict[str, dict[FaultKind, float]] = {
+            point: dict(kinds)
+            for point, kinds in self.rates.items()
+            if not _shard_scoped(point)
+        }
+        for point, kinds in self.rates.items():
+            if point.startswith(prefix):
+                rates[point[len(prefix) :]] = dict(kinds)
+        schedule = tuple(
+            ScheduledFault(
+                entry.point[len(prefix) :], entry.occurrence, entry.kind
+            )
+            for entry in self.schedule
+            if entry.point.startswith(prefix)
+        )
+        return FaultPlan(
+            seed=derive_seed(self.seed, "shard", shard_id),
+            rates=rates,
+            schedule=schedule,
+            max_faults=self.max_faults,
+            max_retries=self.max_retries,
+            backoff_base_ms=self.backoff_base_ms,
+            torn_file_prefixes=self.torn_file_prefixes,
+        )
+
+
+def _shard_scoped(point: str) -> bool:
+    """True for ``shard.<i>.<point>`` entries (any shard id). The bare
+    ``shard.crash`` boundary point is *not* scoped — its second segment
+    is a kind, not an id."""
+    parts = point.split(".", 2)
+    return len(parts) == 3 and parts[0] == "shard" and parts[1].isdigit()
 
 
 #: Deterministic kind-evaluation order for rate draws.
@@ -215,6 +276,11 @@ class FaultInjector:
 
     # -- I/O fault points -------------------------------------------------
 
+    def _crash_signal(self, point: str) -> CrashSignal:
+        """The signal a CRASH decision raises; shard injectors override
+        this so a crash carries its fault-domain id."""
+        return CrashSignal(point)
+
     def _torn_allowed(self, file_name: str | None) -> bool:
         if file_name is None:
             return False
@@ -248,7 +314,7 @@ class FaultInjector:
                 return
             if kind is FaultKind.CRASH:
                 self.crashes += 1
-                raise CrashSignal(point)
+                raise self._crash_signal(point)
             if (
                 kind is FaultKind.TORN_PAGE
                 and page is not None
@@ -286,7 +352,7 @@ class FaultInjector:
                 return
             if kind is FaultKind.CRASH:
                 self.crashes += 1
-                raise CrashSignal("cache.read")
+                raise self._crash_signal("cache.read")
             if kind is FaultKind.TORN_PAGE:
                 disk = store.buffer.disk
                 occupied = [
@@ -324,3 +390,21 @@ class FaultInjector:
         return {
             point: dict(kinds) for point, kinds in sorted(self.injected.items())
         }
+
+
+class ShardFaultInjector(FaultInjector):
+    """One shard's fault domain: a :class:`FaultInjector` over the plan
+    :meth:`FaultPlan.for_shard` derives, whose crashes identify the shard
+    so the supervisor can recover one fault domain instead of the world.
+    """
+
+    def __init__(self, plan: FaultPlan, shard_id: int) -> None:
+        super().__init__(plan.for_shard(shard_id))
+        self.shard_id = shard_id
+
+    def _crash_signal(self, point: str) -> CrashSignal:
+        return ShardCrashSignal(point, self.shard_id)
+
+    def check_shard_crash(self) -> bool:
+        """Shard-boundary ``shard.crash`` decision (the facade raises)."""
+        return self.check_crash("shard.crash")

@@ -125,7 +125,7 @@ class RecoverySupervisor:
         self.degraded_accesses += 1
         self._event("fault.access.degraded")
         if isinstance(exc, CrashSignal):
-            self.crash_restart(exc.point)
+            self.handle_crash(exc)
         try:
             # CI rung: recompute from base, repair the cache, serve.
             with self._span(RECOVERY_PHASE):
@@ -135,7 +135,7 @@ class RecoverySupervisor:
         except CrashSignal as inner:
             # A crash mid-repair: restart, then repair on the quiesced
             # system (recovery already verified consistency).
-            self.crash_restart(inner.point)
+            self.handle_crash(inner)
             with self.injector.suspended(), self._span(RECOVERY_PHASE):
                 rows = self.recompute(name)
                 self.strategy.repair_procedure(name, rows)
@@ -152,6 +152,13 @@ class RecoverySupervisor:
         return procedure.project_rows(rows, self.catalog)
 
     # -- crash-restart ----------------------------------------------------
+
+    def handle_crash(self, exc: CrashSignal) -> None:
+        """Policy hook for a crash surfacing on the access path. The base
+        supervisor restarts the whole engine; the shard-aware subclass
+        narrows a :class:`~repro.faults.errors.ShardCrashSignal` to its
+        one fault domain."""
+        self.crash_restart(exc.point)
 
     def crash_restart(self, reason: str) -> None:
         """Fail-stop plus instantaneous restart at an operation boundary:

@@ -3,7 +3,9 @@
 Backs ``repro-procs bench``. The suite is *pinned* — a fixed set of
 representative scenarios (analytical model-1/model-2 figures, a
 multiprogramming-level sweep, a batched-update amortization point, a
-shard-scale sizing sweep, a chaos smoke) whose metrics are
+shard-scale sizing sweep, a chaos smoke, and a shard-chaos failover
+point — one scheduled shard kill with and without a replica) whose
+metrics are
 normalized into flat ``{key: {value, unit, direction}}`` records — so
 every snapshot is comparable with every other snapshot of the same
 ``SUITE_VERSION``. Snapshots append to ``BENCH_history.jsonl`` (the perf
@@ -29,7 +31,7 @@ from repro.obs.manifest import git_sha
 
 #: Bump when the pinned scenario set or metric keys change shape;
 #: snapshots of different suite versions refuse to compare.
-SUITE_VERSION = "3"
+SUITE_VERSION = "4"
 
 #: Wall-clock suite version: a *different* lineage from the simulated
 #: suite, so a wall snapshot can never be compared against the
@@ -55,6 +57,17 @@ _SWEEP_MPLS: tuple[int, ...] = (1, 4)
 _CHAOS_STRATEGY = "cache_invalidate"
 _CHAOS_MPL = 2
 _CHAOS_FAULT_BUDGET = 40
+
+#: Shard-chaos scenario: the seeded campaign plus one scheduled
+#: fail-stop of shard 0 mid-workload, behind the 2-shard facade — once
+#: rebuilding from WAL (replicas=0) and once failing over to the hot
+#: standby (replicas=1). Gates: the oracle must hold (zero violations),
+#: recovery simulated-ms must stay bounded, and no β-tier delivery may
+#: be dropped (queued == drained).
+_SHARD_CHAOS_STRATEGY = "update_cache_avm"
+_SHARD_CHAOS_SHARDS = 2
+_SHARD_CHAOS_KILL = 0
+_SHARD_CHAOS_REPLICAS = (0, 1)
 
 #: Batched-update amortization scenario: (strategy, invalidation scheme)
 #: pairs run at ``l = _BATCH_TUPLES_PER_UPDATE`` tuples per update with
@@ -262,6 +275,71 @@ def run_bench_suite(operations: int = 120, seed: int = 7) -> dict:
     metric(f"{prefix}.clock_total_ms", chaos.clock_total_ms, "ms", "lower")
     checks[f"{prefix}.oracle_ok"] = chaos.oracle_ok
     checks[f"{prefix}.attribution_consistent"] = chaos.attribution_consistent
+
+    import dataclasses
+
+    from repro.faults.injector import FaultKind, ScheduledFault
+
+    base_plan = FaultPlan.seeded(seed, max_faults=_CHAOS_FAULT_BUDGET)
+    kill_plan = dataclasses.replace(
+        base_plan,
+        schedule=[
+            *base_plan.schedule,
+            ScheduledFault(
+                f"shard.{_SHARD_CHAOS_KILL}.shard.crash",
+                1,
+                FaultKind.CRASH,
+            ),
+        ],
+    )
+    for replicas in _SHARD_CHAOS_REPLICAS:
+        shard_chaos = run_chaos(
+            params,
+            _SHARD_CHAOS_STRATEGY,
+            plan=kill_plan,
+            mpl=_CHAOS_MPL,
+            num_operations=max(20, operations // 2),
+            seed=seed,
+            shards=_SHARD_CHAOS_SHARDS,
+            replicas=replicas,
+        )
+        prefix = (
+            f"shard.chaos.{_SHARD_CHAOS_STRATEGY}"
+            f".s{_SHARD_CHAOS_SHARDS}.r{replicas}"
+        )
+        metric(
+            f"{prefix}.recovery_ms", shard_chaos.recovery_ms, "ms", "lower"
+        )
+        metric(
+            f"{prefix}.failover_ms",
+            shard_chaos.failover_ms + shard_chaos.replica_ms,
+            "ms",
+            "lower",
+        )
+        metric(
+            f"{prefix}.clock_total_ms",
+            shard_chaos.clock_total_ms,
+            "ms",
+            "lower",
+        )
+        metric(
+            f"{prefix}.oracle_failures",
+            shard_chaos.oracle_failures,
+            "count",
+            "lower",
+        )
+        checks[f"{prefix}.oracle_ok"] = shard_chaos.oracle_ok
+        checks[f"{prefix}.attribution_consistent"] = (
+            shard_chaos.attribution_consistent
+        )
+        checks[f"{prefix}.shard_crashed"] = shard_chaos.shard_crashes >= 1
+        checks[f"{prefix}.no_dropped_deliveries"] = (
+            shard_chaos.deliveries_queued == shard_chaos.deliveries_drained
+        )
+        if replicas:
+            checks[f"{prefix}.failed_over"] = shard_chaos.promotions >= 1
+        else:
+            checks[f"{prefix}.wal_rebuilt"] = shard_chaos.wal_rebuilds >= 1
 
     return {
         "schema_version": SCHEMA_VERSION,

@@ -38,6 +38,8 @@ PHASES: tuple[str, ...] = (
     "lock.wait",
     "fault.recovery",
     "fault.oracle",
+    "shard.failover",
+    "fault.replica",
     "misc.fixed",
 )
 """The phase vocabulary used by the built-in instrumentation.
@@ -51,7 +53,11 @@ the lock manager, so multi-client cost pies still sum exactly.
 ``fault.recovery`` is retry backoff plus recompute-repair work after
 injected faults, and ``fault.oracle`` is crash-consistency verification
 (:mod:`repro.faults`); both are charged under spans, so chaos-run cost
-pies still sum exactly to the clock total.
+pies still sum exactly to the clock total. ``shard.failover`` is the
+fixed promotion cost of swapping a range's replica in for its crashed
+primary, and ``fault.replica`` is replica upkeep (delta fan-out to the
+standby plus post-promotion rebuild of a fresh standby) in sharded
+chaos runs (:mod:`repro.shard`).
 """
 
 

@@ -1,0 +1,196 @@
+"""Per-shard overload degradation: the UC -> CI -> AR ladder, locally.
+
+The fault supervisor's degradation ladder (PR 3) is a *failure*
+response: a fault on the access path walks the whole engine down
+UC -> CI -> AR. Under overload nothing is broken — one shard is simply
+receiving invalidations (or lock waits) faster than its maintenance
+strategy amortizes — so the right response is the same ladder applied
+to *only the overloaded shard*, driven by load watermarks instead of
+exceptions:
+
+- **Rung 0 (native / UC)**: the shard's inner strategy maintains
+  normally on every routed delivery.
+- **Rung 1 (CI-like)**: deliveries stop being applied; the facade marks
+  every procedure homed on the shard dirty instead (an uncharged set
+  insert — the moral equivalent of an invalidation bit). A dirty
+  procedure is recompute-repaired on its next access, so update bursts
+  cost O(1) per shard while reads repair lazily.
+- **Rung 2 (AR)**: accesses of dirty procedures are served straight
+  from a base-relation recompute without repairing the cache at all —
+  the shard does zero maintenance work until pressure subsides and the
+  controller walks it back down.
+
+Correctness is rung-independent: the facade checks the dirty set on
+*every* access regardless of rung, so a procedure skipped at rung 1/2
+is repaired (or recomputed) before anything stale is served, and the
+chaos consistency oracle holds under arbitrary rung schedules.
+
+The :class:`OverloadController` is deterministic and simulated-time
+driven: fixed windows over the cost clock, high/low watermarks with
+hysteresis (escalate above high, de-escalate only below low), no
+wall-clock reads and no RNG — the same run always produces the same
+rung trajectory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+from repro.query.executor import execute_plan
+from repro.query.optimizer import Optimizer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.query.plan import Plan
+    from repro.sim import CostClock
+    from repro.storage.catalog import Catalog
+    from repro.storage.tuples import Row
+
+#: Ladder rungs (see module docstring).
+RUNG_NATIVE = 0
+RUNG_INVALIDATE = 1
+RUNG_RECOMPUTE = 2
+
+
+class Recomputer:
+    """Fresh unprojected values from the base relations, plan-cached.
+
+    The same projection-free-plan trick the fault supervisor uses
+    (:meth:`repro.faults.supervisor.RecoverySupervisor.recompute`), made
+    standalone so the sharded facade can repair degraded procedures
+    without a supervisor attached. Execution charges the clock normally.
+    """
+
+    def __init__(self, catalog: "Catalog", clock: "CostClock") -> None:
+        self.catalog = catalog
+        self.clock = clock
+        self._optimizer = Optimizer(catalog)
+        self._plans: dict[str, "Plan"] = {}
+
+    def recompute(self, name: str, query) -> list["Row"]:
+        plan = self._plans.get(name)
+        if plan is None:
+            plan = self._optimizer.compile_normalized(
+                dataclasses.replace(query, projection=None)
+            )
+            self._plans[name] = plan
+        return execute_plan(
+            plan, self.catalog, self.clock, procedure=name
+        ).rows
+
+
+@dataclasses.dataclass
+class _ShardLoad:
+    """One shard's rolling load window and current rung."""
+
+    window_start_ms: float = 0.0
+    invalidations: int = 0
+    lock_wait_ms: float = 0.0
+    rung: int = RUNG_NATIVE
+
+
+class OverloadController:
+    """Walks individual shards up and down the degradation ladder.
+
+    Args:
+        num_shards: shard count (rung state is per shard).
+        window_ms: load-averaging window, in simulated ms.
+        high_invalidation_rate: invalidations per simulated ms above
+            which a shard escalates one rung at the window boundary.
+        low_invalidation_rate: rate below which it de-escalates
+            (hysteresis: must also satisfy the lock-wait low mark).
+        high_lock_wait: fraction of the window spent in ``lock.wait``
+            (attributed to the shard's procedures) above which the shard
+            escalates.
+        low_lock_wait: fraction below which it may de-escalate.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        window_ms: float = 100.0,
+        high_invalidation_rate: float = 0.5,
+        low_invalidation_rate: float = 0.1,
+        high_lock_wait: float = 0.5,
+        low_lock_wait: float = 0.1,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if window_ms <= 0:
+            raise ValueError("window_ms must be positive")
+        if low_invalidation_rate > high_invalidation_rate:
+            raise ValueError("low watermark above high watermark")
+        if low_lock_wait > high_lock_wait:
+            raise ValueError("low watermark above high watermark")
+        self.window_ms = window_ms
+        self.high_invalidation_rate = high_invalidation_rate
+        self.low_invalidation_rate = low_invalidation_rate
+        self.high_lock_wait = high_lock_wait
+        self.low_lock_wait = low_lock_wait
+        self._loads = [_ShardLoad() for _ in range(num_shards)]
+        self.escalations = 0
+        self.deescalations = 0
+
+    # -- observations ------------------------------------------------------
+
+    def observe_invalidations(
+        self, shard_id: int, count: int, now_ms: float
+    ) -> None:
+        """One routed delivery landed on ``shard_id`` causing ``count``
+        invalidations (>= 1: even a no-op delivery is update pressure)."""
+        load = self._loads[shard_id]
+        self._roll(load, now_ms)
+        load.invalidations += max(1, count)
+
+    def observe_lock_wait(
+        self, shard_id: int, wait_ms: float, now_ms: float
+    ) -> None:
+        """Lock-wait attribution: ``wait_ms`` of blocked time charged to
+        an operation on a procedure homed on ``shard_id``."""
+        load = self._loads[shard_id]
+        self._roll(load, now_ms)
+        load.lock_wait_ms += wait_ms
+
+    # -- rung state --------------------------------------------------------
+
+    def rung_of(self, shard_id: int) -> int:
+        return self._loads[shard_id].rung
+
+    def rungs(self) -> list[int]:
+        return [load.rung for load in self._loads]
+
+    def _roll(self, load: _ShardLoad, now_ms: float) -> None:
+        """Close every window the clock has passed, adjusting the rung at
+        each boundary from that window's rates (uncharged bookkeeping)."""
+        while now_ms >= load.window_start_ms + self.window_ms:
+            inval_rate = load.invalidations / self.window_ms
+            wait_frac = load.lock_wait_ms / self.window_ms
+            if (
+                inval_rate > self.high_invalidation_rate
+                or wait_frac > self.high_lock_wait
+            ):
+                if load.rung < RUNG_RECOMPUTE:
+                    load.rung += 1
+                    self.escalations += 1
+            elif (
+                inval_rate < self.low_invalidation_rate
+                and wait_frac < self.low_lock_wait
+            ):
+                if load.rung > RUNG_NATIVE:
+                    load.rung -= 1
+                    self.deescalations += 1
+            load.invalidations = 0
+            load.lock_wait_ms = 0.0
+            load.window_start_ms += self.window_ms
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "escalations": float(self.escalations),
+            "deescalations": float(self.deescalations),
+            "max_rung": float(max(load.rung for load in self._loads)),
+            "shards_degraded": float(
+                sum(1 for load in self._loads if load.rung > RUNG_NATIVE)
+            ),
+        }

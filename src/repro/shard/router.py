@@ -249,6 +249,26 @@ class ShardRouter:
         self.routed_shard_visits += len(targets)
         return tuple(sorted(targets))
 
+    def coverage_hulls(self) -> dict:
+        """Snapshot of the routing state: every ``(relation, field)``
+        hull per shard (as closed ``KeyInterval`` bounds) plus the
+        catch-all sets. Routing is conservative iff later snapshots only
+        ever widen this one — the failover property test compares
+        snapshots across shard crash + replica promotion to prove a
+        recovered population can never under-route."""
+        hulls = {
+            (relation, fld): [
+                None if hull is None else hull.as_interval(fld)
+                for hull in shard_hulls
+            ]
+            for (relation, fld), shard_hulls in self._index.items()
+        }
+        catch_all = {
+            relation: frozenset(shards)
+            for relation, shards in self._catch_all.items()
+        }
+        return {"hulls": hulls, "catch_all": catch_all}
+
     def stats(self) -> dict[str, float]:
         """Routing telemetry: how selective the interval index is."""
         updates = self.routed_updates

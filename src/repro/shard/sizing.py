@@ -84,6 +84,9 @@ class ShardSizing:
     ilock_bytes: int
     #: Rete subnetwork counts (``None`` when the shard runs no network).
     rete: Optional[dict] = None
+    #: Strategy-owned data bytes of the shard's hot standby (0 when the
+    #: shard runs unreplicated) — the space rent replica failover pays.
+    replica_data_bytes: int = 0
 
 
 @dataclass
@@ -100,6 +103,11 @@ class SizingReport:
     total_data_bytes: int = 0
     total_ilock_specs: int = 0
     total_ilock_bytes: int = 0
+    #: Sum of per-shard replica bytes (0 for unreplicated populations).
+    #: Excluded from ``bytes_per_procedure``: the sublinearity gate
+    #: measures the primary population; replication is a deliberate
+    #: constant-factor multiplier on top.
+    total_replica_bytes: int = 0
     bytes_per_procedure: float = 0.0
     #: Fraction of Rete memories that are shared, aggregated over shards
     #: (0.0 when no shard runs a network).
@@ -156,8 +164,17 @@ def _rete_report(strategy: ProcedureStrategy) -> Optional[dict]:
     return report
 
 
+def _data_bytes_of(strategy: ProcedureStrategy) -> int:
+    return sum(
+        store.num_rows * store.schema.tuple_bytes
+        for store in _stores_of(strategy)
+    )
+
+
 def _shard_sizing(
-    shard_id: int, strategy: ProcedureStrategy
+    shard_id: int,
+    strategy: ProcedureStrategy,
+    replica: ProcedureStrategy | None = None,
 ) -> ShardSizing:
     pages = 0
     data_bytes = 0
@@ -173,6 +190,9 @@ def _shard_sizing(
         ilock_specs=specs,
         ilock_bytes=specs * ILOCK_SPEC_BYTES,
         rete=_rete_report(strategy),
+        replica_data_bytes=(
+            _data_bytes_of(replica) if replica is not None else 0
+        ),
     )
 
 
@@ -216,7 +236,7 @@ def measure_sizing(
     """
     if isinstance(strategy, ShardedStrategy):
         per_shard = [
-            _shard_sizing(shard.shard_id, shard.strategy)
+            _shard_sizing(shard.shard_id, shard.strategy, shard.replica)
             for shard in strategy.shards
         ]
         router_stats = dict(strategy.router.stats())
@@ -252,6 +272,9 @@ def measure_sizing(
     report.total_data_bytes = sum(s.data_bytes for s in per_shard)
     report.total_ilock_specs = sum(s.ilock_specs for s in per_shard)
     report.total_ilock_bytes = sum(s.ilock_bytes for s in per_shard)
+    report.total_replica_bytes = sum(
+        s.replica_data_bytes for s in per_shard
+    )
     population = max(1, report.num_procedures)
     report.bytes_per_procedure = (
         report.total_data_bytes + report.total_ilock_bytes
@@ -278,6 +301,7 @@ def register_metrics(
     gauge("sizing.total_store_pages", report.total_store_pages)
     gauge("sizing.total_data_bytes", report.total_data_bytes)
     gauge("sizing.total_ilock_bytes", report.total_ilock_bytes)
+    gauge("sizing.total_replica_bytes", report.total_replica_bytes)
     gauge("sizing.sharing_factor_realized", report.sharing_factor_realized)
     for name, rel in report.relations.items():
         gauge(f"sizing.relation.{name}.pages", rel["pages"])
@@ -334,6 +358,7 @@ def render_sizing(report: SizingReport) -> str:
         "",
         f"total data bytes     {report.total_data_bytes:>14d}",
         f"total i-lock bytes   {report.total_ilock_bytes:>14d}",
+        f"total replica bytes  {report.total_replica_bytes:>14d}",
         f"bytes per procedure  {report.bytes_per_procedure:>14.2f}",
         f"realized sharing     {report.sharing_factor_realized:>14.3f}",
     ]

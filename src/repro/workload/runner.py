@@ -254,6 +254,7 @@ def run_workload(
     record_accesses: bool = False,
     keep_manager: bool = False,
     shards: int | None = None,
+    replicas: int = 0,
 ) -> RunResult:
     """Run one strategy over a synthetic workload.
 
@@ -294,9 +295,15 @@ def run_workload(
         shards: run the strategy behind the ``repro.shard`` engine with
             this many shards. ``None`` (default) is the unsharded engine;
             ``1`` routes through the sharded facade bit-identically.
+        replicas: hot standbys per shard (0 or 1; needs ``shards >= 2``)
+            — each shard keeps a second engine maintained through the
+            same routed fan-out, ready for chaos-style failover and
+            measurable by the sizing layer.
     """
     if batch_size is not None and batch_size < 1:
         raise ValueError("batch_size must be >= 1 (or None for unbatched)")
+    if replicas and (shards is None or shards < 2):
+        raise ValueError("replicas require shards >= 2")
     db = database if database is not None else build_database(
         params, seed=seed, buffer_capacity=buffer_capacity
     )
@@ -315,6 +322,7 @@ def run_workload(
         strategy = make_sharded_strategy(
             strategy_name, db, params, num_shards=shards,
             invalidation_scheme=invalidation_scheme, seed=seed,
+            replicas=replicas,
         )
     manager = ProcedureManager(strategy)
     for name, expr in pop.definitions:

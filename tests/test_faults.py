@@ -249,6 +249,32 @@ class TestDegradationLadder:
         assert supervisor.ar_fallbacks == 1
         assert supervisor.repairs == 0
 
+    def test_recompute_retry_exhaustion_is_terminal(self):
+        """The supervisor's own recompute path exhausts the retry budget
+        against an always-transient disk: the terminal
+        ``PersistentIOError`` propagates and every charged backoff round
+        lands on the simulated clock under ``fault.recovery``."""
+        plan = FaultPlan(
+            rates={"disk.read": {FaultKind.TRANSIENT: 1.0}},
+            max_retries=4,
+            backoff_base_ms=5.0,
+        )
+        db, manager, supervisor, injector, pop = _chaos_fixture(
+            "update_cache_avm", plan
+        )
+        observation = CostAttribution().attach(db.clock)
+        with pytest.raises(PersistentIOError):
+            supervisor.recompute(pop.names[0])
+        observation.detach()
+        assert injector.retries == 5
+        # 5 + 10 + 20 + 40: four charged backoffs before the fifth
+        # attempt gives up, all attributed to the recovery phase.
+        assert injector.backoff_ms_total == 75.0
+        # The clock carries the backoff on top of the recompute's own
+        # I/O charges, all of it attributed to the recovery phase.
+        assert db.clock.elapsed_ms >= 75.0
+        assert observation.phase_costs()["fault.recovery"] == 75.0
+
     def test_op_crash_point_triggers_restart_and_oracle(self):
         plan = FaultPlan(
             schedule=(ScheduledFault("op.access", 1, FaultKind.CRASH),)

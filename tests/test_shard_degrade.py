@@ -1,0 +1,270 @@
+"""Per-shard overload degradation and MPL admission control.
+
+Unit tests pin the :class:`OverloadController`'s window/watermark
+mechanics (escalation, hysteresis, per-shard independence), the
+:class:`Recomputer`'s plan-cached base recompute, and the
+:class:`AdmissionGate` semaphore. The integration tests run the
+degraded paths end to end: a degrade-enabled chaos run keeps the
+consistency oracle green, and a binding admission gate defers sessions
+without losing a single committed operation.
+"""
+
+import pytest
+
+from repro.concurrent.admission import AdmissionGate
+from repro.concurrent.engine import run_concurrent_workload
+from repro.faults.chaos import run_chaos
+from repro.model.params import ModelParams
+from repro.shard import (
+    RUNG_INVALIDATE,
+    RUNG_NATIVE,
+    RUNG_RECOMPUTE,
+    OverloadController,
+    Recomputer,
+)
+
+PARAMS = ModelParams(
+    n_tuples=800,
+    num_p1=4,
+    num_p2=4,
+    selectivity_f=0.01,
+    selectivity_f2=0.1,
+    tuples_per_update=4,
+)
+
+
+class TestOverloadController:
+    def _controller(self, **kwargs):
+        defaults = dict(
+            window_ms=100.0,
+            high_invalidation_rate=0.5,
+            low_invalidation_rate=0.1,
+            high_lock_wait=0.5,
+            low_lock_wait=0.1,
+        )
+        defaults.update(kwargs)
+        return OverloadController(2, **defaults)
+
+    def test_escalates_above_high_watermark(self):
+        controller = self._controller()
+        # 60 invalidations in a 100ms window = 0.6/ms > 0.5 high mark;
+        # the rung moves at the first window *boundary* after.
+        for i in range(60):
+            controller.observe_invalidations(0, 1, float(i))
+        assert controller.rung_of(0) == RUNG_NATIVE
+        controller.observe_invalidations(0, 1, 150.0)
+        assert controller.rung_of(0) == RUNG_INVALIDATE
+        assert controller.escalations == 1
+
+    def test_hysteresis_holds_rung_between_watermarks(self):
+        controller = self._controller()
+        for i in range(60):
+            controller.observe_invalidations(0, 1, float(i))
+        controller.observe_invalidations(0, 1, 150.0)
+        assert controller.rung_of(0) == RUNG_INVALIDATE
+        # 30/100ms = 0.3/ms sits between low (0.1) and high (0.5): the
+        # rung must hold, not flap.
+        for i in range(30):
+            controller.observe_invalidations(0, 1, 150.0 + float(i))
+        controller.observe_invalidations(0, 1, 250.0)
+        assert controller.rung_of(0) == RUNG_INVALIDATE
+        assert controller.deescalations == 0
+
+    def test_deescalates_below_low_watermark(self):
+        controller = self._controller()
+        for i in range(60):
+            controller.observe_invalidations(0, 1, float(i))
+        controller.observe_invalidations(0, 1, 150.0)
+        assert controller.rung_of(0) == RUNG_INVALIDATE
+        # A quiet window (single delivery, 0.01/ms < 0.1) walks it back.
+        controller.observe_invalidations(0, 1, 350.0)
+        assert controller.rung_of(0) == RUNG_NATIVE
+        assert controller.deescalations == 1
+
+    def test_shards_degrade_independently(self):
+        controller = self._controller()
+        for i in range(60):
+            controller.observe_invalidations(1, 1, float(i))
+        controller.observe_invalidations(1, 1, 150.0)
+        assert controller.rungs() == [RUNG_NATIVE, RUNG_INVALIDATE]
+        assert controller.stats()["shards_degraded"] == 1.0
+
+    def test_lock_wait_fraction_escalates(self):
+        controller = self._controller()
+        controller.observe_lock_wait(0, 80.0, 10.0)  # 0.8 > 0.5 high
+        controller.observe_lock_wait(0, 1.0, 120.0)
+        assert controller.rung_of(0) == RUNG_INVALIDATE
+
+    def test_rung_saturates_at_recompute(self):
+        controller = self._controller()
+        now = 0.0
+        for _ in range(4):  # four overloaded windows, rung caps at 2
+            for i in range(60):
+                controller.observe_invalidations(0, 1, now + float(i))
+            now += 100.0
+            controller.observe_invalidations(0, 1, now)
+        assert controller.rung_of(0) == RUNG_RECOMPUTE
+        assert controller.escalations == 2
+
+    def test_same_observations_same_trajectory(self):
+        def drive(controller):
+            rungs = []
+            for window in range(5):
+                base = window * 100.0
+                count = 60 if window < 2 else 1
+                for i in range(count):
+                    controller.observe_invalidations(0, 1, base + float(i))
+                controller.observe_invalidations(0, 1, base + 100.0)
+                rungs.append(controller.rung_of(0))
+            return rungs
+
+        assert drive(self._controller()) == drive(self._controller())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OverloadController(0)
+        with pytest.raises(ValueError):
+            OverloadController(2, window_ms=0.0)
+        with pytest.raises(ValueError):
+            OverloadController(
+                2, high_invalidation_rate=0.1, low_invalidation_rate=0.5
+            )
+        with pytest.raises(ValueError):
+            OverloadController(2, high_lock_wait=0.1, low_lock_wait=0.5)
+
+
+class TestRecomputer:
+    def test_recompute_matches_strategy_truth(self):
+        from repro.core import ProcedureManager
+        from repro.workload.database import build_database
+        from repro.workload.procedures import build_procedures
+        from repro.workload.runner import make_strategy
+
+        db = build_database(PARAMS, seed=3, buffer_capacity=0)
+        pop = build_procedures(db, PARAMS, model=1, seed=3)
+        strategy = make_strategy("always_recompute", db, PARAMS)
+        manager = ProcedureManager(strategy)
+        for name, expr in pop.definitions:
+            manager.define_procedure(name, expr)
+        recomputer = Recomputer(db.catalog, db.clock)
+        name = pop.names[0]
+        procedure = strategy.procedures[name]
+        rows = recomputer.recompute(name, procedure.query)
+        projected = sorted(procedure.project_rows(rows, db.catalog))
+        assert projected == sorted(strategy.access(name))
+        # The plan is cached: a second recompute reuses it.
+        assert recomputer._plans[name] is recomputer._plans[name]
+        before = db.clock.elapsed_ms
+        recomputer.recompute(name, procedure.query)
+        assert db.clock.elapsed_ms > before  # execution is charged
+
+
+class TestAdmissionGate:
+    def test_admits_up_to_cap_then_defers(self):
+        gate = AdmissionGate(2)
+        assert gate.try_admit(1)
+        assert gate.try_admit(2)
+        assert not gate.try_admit(3)
+        assert gate.inflight == 2
+        assert gate.deferrals == 1
+
+    def test_idempotent_while_holding_slot(self):
+        gate = AdmissionGate(1)
+        assert gate.try_admit(7)
+        assert gate.try_admit(7)  # re-knock with the slot held: free
+        assert gate.admitted == 1
+        assert gate.deferrals == 0
+
+    def test_release_frees_the_slot(self):
+        gate = AdmissionGate(1)
+        gate.try_admit(1)
+        assert not gate.try_admit(2)
+        gate.release(1)
+        assert gate.try_admit(2)
+        gate.release(99)  # unknown session: no-op
+
+    def test_stats_and_validation(self):
+        gate = AdmissionGate(3, retry_delay_ms=2.0)
+        gate.try_admit(1)
+        assert gate.stats() == {
+            "max_inflight": 3.0,
+            "admitted": 1.0,
+            "deferrals": 0.0,
+        }
+        with pytest.raises(ValueError):
+            AdmissionGate(0)
+        with pytest.raises(ValueError):
+            AdmissionGate(1, retry_delay_ms=0.0)
+
+
+class TestDegradedRuns:
+    def test_degraded_chaos_keeps_the_oracle_green(self):
+        result = run_chaos(
+            PARAMS,
+            "update_cache_avm",
+            mpl=2,
+            num_operations=24,
+            seed=4,
+            shards=2,
+            degrade=True,
+        )
+        assert result.oracle_ok
+        assert result.oracle_failures == 0
+        assert result.attribution_consistent
+
+    def test_binding_gate_defers_without_losing_operations(self):
+        ungated = run_concurrent_workload(
+            PARAMS, "cache_invalidate", mpl=4, num_operations=40, seed=2
+        )
+        gated = run_concurrent_workload(
+            PARAMS,
+            "cache_invalidate",
+            mpl=4,
+            num_operations=40,
+            seed=2,
+            admission=1,
+        )
+        assert gated.admission_deferrals > 0
+        assert gated.num_accesses + gated.num_updates == (
+            ungated.num_accesses + ungated.num_updates
+        )
+
+    def test_non_binding_gate_is_bit_identical(self):
+        plain = run_concurrent_workload(
+            PARAMS, "update_cache_avm", mpl=2, num_operations=30, seed=6
+        )
+        gated = run_concurrent_workload(
+            PARAMS,
+            "update_cache_avm",
+            mpl=2,
+            num_operations=30,
+            seed=6,
+            admission=2,
+        )
+        assert gated.admission_deferrals == 0
+        assert gated.cost_per_access_ms == plain.cost_per_access_ms
+        assert gated.makespan_ms == plain.makespan_ms
+        assert gated.blocked_ms_total == plain.blocked_ms_total
+
+    def test_degrade_requires_shards(self):
+        with pytest.raises(ValueError):
+            run_concurrent_workload(
+                PARAMS, "cache_invalidate", num_operations=8, degrade=True
+            )
+        with pytest.raises(ValueError):
+            run_concurrent_workload(
+                PARAMS, "cache_invalidate", num_operations=8, admission=0
+            )
+
+    def test_degrade_run_completes_with_sharded_engine(self):
+        result = run_concurrent_workload(
+            PARAMS,
+            "update_cache_avm",
+            mpl=2,
+            num_operations=24,
+            seed=3,
+            shards=2,
+            degrade=True,
+        )
+        assert result.num_accesses + result.num_updates == 24
+        assert result.shards == 2

@@ -101,6 +101,122 @@ def test_routing_is_a_conservative_superset(num_shards, domain, data):
             assert homes[name] in routed
 
 
+def _is_conservative_superset(after: dict, before: dict) -> bool:
+    """``after`` routes at least everything ``before`` did: every hull
+    only ever widened (or appeared) and no catch-all registration was
+    lost."""
+    for key, hulls in before["hulls"].items():
+        wide = after["hulls"].get(key)
+        if wide is None:
+            return False
+        for narrow_hull, wide_hull in zip(hulls, wide):
+            if narrow_hull is None:
+                continue
+            if wide_hull is None:
+                return False
+            if wide_hull.lo is not None and (
+                narrow_hull.lo is None or wide_hull.lo > narrow_hull.lo
+            ):
+                return False
+            if wide_hull.hi is not None and (
+                narrow_hull.hi is None or wide_hull.hi < narrow_hull.hi
+            ):
+                return False
+    for relation, shards in before["catch_all"].items():
+        if not shards <= after["catch_all"].get(relation, frozenset()):
+            return False
+    return True
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    num_shards=st.integers(min_value=2, max_value=12),
+    domain=st.integers(min_value=2, max_value=2_000),
+    data=st.data(),
+)
+def test_hulls_stay_conservative_across_failover_reregistration(
+    num_shards, domain, data
+):
+    """A rebuilt standby re-registers its procedures' coverage after a
+    crash + promotion; re-registration is additive (hulls only widen),
+    so the post-failover snapshot is always a conservative superset of
+    the pre-crash one and no probe that routed before stops routing."""
+    router = ShardRouter(num_shards, domain=domain)
+    n_procs = data.draw(st.integers(min_value=1, max_value=10))
+    coverages = {}
+    for i in range(n_procs):
+        lo = data.draw(st.integers(min_value=0, max_value=domain - 1))
+        width = data.draw(st.integers(min_value=1, max_value=domain))
+        coverages[f"P{i}"] = [("R1", interval(lo, lo + width))]
+        router.assign(f"P{i}", coverages[f"P{i}"])
+    probes = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=domain - 1),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    before = router.coverage_hulls()
+    routed_before = set(router.route_values("R1", [{"sel": v} for v in probes]))
+
+    # The crashed shard's procedures re-register on the promoted engine.
+    crashed = data.draw(st.integers(min_value=0, max_value=num_shards - 1))
+    for name, coverage in coverages.items():
+        if router.home_of(name) == crashed:
+            router.assign(name, coverage)
+
+    after = router.coverage_hulls()
+    assert _is_conservative_superset(after, before)
+    routed_after = set(router.route_values("R1", [{"sel": v} for v in probes]))
+    assert routed_before <= routed_after
+
+
+def test_failover_leaves_facade_coverage_intact():
+    """End to end on the real facade: crash + replica promotion never
+    touches the interval index, so the promoted shard keeps receiving
+    exactly the updates its procedures cover."""
+    from repro.core import ProcedureManager
+    from repro.model.params import ModelParams
+    from repro.shard import make_sharded_strategy
+    from repro.workload.database import build_database
+    from repro.workload.procedures import build_procedures
+
+    params = ModelParams(
+        n_tuples=400,
+        num_p1=3,
+        num_p2=3,
+        selectivity_f=0.01,
+        selectivity_f2=0.1,
+        tuples_per_update=4,
+    )
+    db = build_database(params, seed=6, buffer_capacity=0)
+    pop = build_procedures(db, params, model=1, seed=6)
+    facade = make_sharded_strategy(
+        "update_cache_avm", db, params, num_shards=2, seed=6, replicas=1
+    )
+    manager = ProcedureManager(facade)
+    for name, expr in pop.definitions:
+        manager.define_procedure(name, expr)
+    before = facade.router.coverage_hulls()
+
+    facade.crash_shard(0)
+    facade.promote_replica(0)
+    facade.recover_shard_engine(0)
+
+    after = facade.router.coverage_hulls()
+    assert after == before
+    assert _is_conservative_superset(after, before)
+    # Probing each surviving hull still routes its owner shard.
+    for (relation, _), hulls in after["hulls"].items():
+        for shard, hull in enumerate(hulls):
+            if hull is not None and hull.lo is not None:
+                field = hull.field
+                routed = facade.router.route_values(
+                    relation, [{field: hull.lo}]
+                )
+                assert shard in routed
+
+
 class TestAssignment:
     def test_home_is_range_owner_of_interval_lo(self):
         router = ShardRouter(4, domain=100)
