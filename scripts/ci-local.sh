@@ -60,6 +60,13 @@ if ! python -m repro chaos --strategy ci --mpl 2 --operations 80 \
     status=1
 fi
 
+# Telemetry monitor smoke, mirroring the CI artifact step: the chaos
+# workload replayed behind the streaming bus — fails on reconciliation
+# drift or a shard ending CRITICAL.
+run python -m repro monitor --strategy ci --chaos --mpl 2 \
+    --operations 80 --fault-events 40 --seed 3 --shards 2 \
+    --replicas 1 --kill-shard 0 --export telemetry-series.txt
+
 # Shard sizing smoke, mirroring the CI artifact step (small population;
 # the 10^5 sweep and its sublinearity gate run inside the bench suite).
 run python -m repro shard --strategy rvm --shards 1,8 \

@@ -416,6 +416,13 @@ def _cmd_concurrent(args: argparse.Namespace) -> int:
             simulated_ms_total=sum(r.clock_total_ms for r in results),
             phase_costs=phase_costs,
             counters=counters,
+            gauges={
+                name: value
+                for observation in observations
+                for name, value in (
+                    observation.registry.gauge_values().items()
+                )
+            },
             metrics=_merged_metrics([r.metrics for r in results]),
             result_summary=sweep_to_dict(results),
         )
@@ -561,6 +568,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         for observation in observations:
             for name, value in observation.registry.counter_values().items():
                 counters[name] = counters.get(name, 0.0) + value
+        # Gauges are levels, not flows: the last run's snapshot wins per
+        # name (sizing layout and final degradation rungs — satellite
+        # state the manifest should capture).
+        gauges: dict[str, float] = {}
+        for observation in observations:
+            gauges.update(observation.registry.gauge_values())
         _write_run_artifacts(
             args,
             "chaos",
@@ -573,6 +586,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             simulated_ms_total=sum(r.clock_total_ms for r in results),
             phase_costs=phase_costs,
             counters=counters,
+            gauges=gauges,
             metrics=_merged_metrics([r.metrics for r in results]),
             result_summary=chaos_to_dict(results),
         )
@@ -584,6 +598,152 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         ]
         print(f"FAILED consistency: {bad}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.monitor import (
+        monitor_to_dict,
+        render_monitor_table,
+        run_monitor,
+    )
+    from repro.obs.profile import resolve_strategy
+    from repro.obs.telemetry import (
+        HealthThresholds,
+        to_openmetrics,
+        write_series_jsonl,
+    )
+
+    try:
+        strategy = resolve_strategy(args.strategy)
+        if args.window_ms <= 0:
+            raise ValueError("--window-ms must be positive")
+        try:
+            mpl = int(args.mpl)
+        except ValueError:
+            raise ValueError(f"--mpl expects one integer, got {args.mpl!r}")
+        if mpl < 1:
+            raise ValueError("--mpl must be >= 1")
+        try:
+            fault_events = int(args.fault_events)
+        except ValueError:
+            raise ValueError(
+                f"--fault-events expects an integer, got {args.fault_events!r}"
+            )
+        if fault_events < 1:
+            raise ValueError("--fault-events must be >= 1")
+        if args.shards is not None and args.shards < 1:
+            raise ValueError("--shards must be >= 1")
+        if args.replicas not in (0, 1):
+            raise ValueError("--replicas must be 0 or 1 (one hot standby)")
+        if args.replicas and (args.shards is None or args.shards < 2):
+            raise ValueError("--replicas requires --shards >= 2")
+        if args.batch_size is not None and args.batch_size < 1:
+            raise ValueError("--batch-size must be >= 1")
+        for chaos_only, name in (
+            (mpl > 1, "--mpl"),
+            (args.kill_shard is not None, "--kill-shard"),
+            (args.degrade, "--degrade"),
+        ):
+            if chaos_only and not args.chaos:
+                raise ValueError(f"{name} requires --chaos")
+        if args.degrade and (args.shards is None or args.shards < 2):
+            raise ValueError("--degrade requires --shards >= 2")
+        if args.kill_shard is not None:
+            if args.shards is None or args.shards < 2:
+                raise ValueError("--kill-shard requires --shards >= 2")
+            if not 0 <= args.kill_shard < args.shards:
+                raise ValueError(
+                    f"--kill-shard must be in [0, {args.shards - 1}]"
+                )
+        if args.chaos and args.batch_size is not None:
+            raise ValueError("--batch-size applies to plain runs only")
+        thresholds = HealthThresholds(
+            warn_invalidation_rate=args.warn_invalidation_rate,
+            critical_invalidation_rate=args.critical_invalidation_rate,
+            warn_lock_wait=args.warn_lock_wait,
+            critical_lock_wait=args.critical_lock_wait,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    params = SIM_SCALE_PARAMS.with_update_probability(args.update_probability)
+    start = time.perf_counter()
+    report = run_monitor(
+        strategy,
+        params,
+        model=args.model,
+        num_operations=args.operations,
+        seed=args.seed,
+        shards=args.shards,
+        replicas=args.replicas,
+        batch_size=args.batch_size,
+        window_ms=args.window_ms,
+        chaos=args.chaos,
+        mpl=mpl,
+        fault_events=fault_events,
+        kill_shard=args.kill_shard,
+        degrade=args.degrade,
+        thresholds=thresholds,
+    )
+    wall = time.perf_counter() - start
+    if args.series_out:
+        rows = write_series_jsonl(args.series_out, report.bus, report.health)
+        print(
+            f"wrote {rows} series records to {args.series_out}",
+            file=sys.stderr,
+        )
+    if args.export:
+        with open(args.export, "w") as handle:
+            handle.write(to_openmetrics(report.bus, report.health))
+        print(f"wrote OpenMetrics export to {args.export}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(monitor_to_dict(report), indent=2, sort_keys=True))
+    else:
+        mode_note = "chaos" if args.chaos else "plain"
+        print(
+            f"monitor: strategy={strategy} mode={mode_note} "
+            f"model={args.model} P={args.update_probability:g} "
+            f"ops={args.operations} seed={args.seed} "
+            f"shards={args.shards or 1} window={args.window_ms:g}ms"
+        )
+        print(render_monitor_table(report))
+    if _wants_artifacts(args):
+        observation = report.observation
+        _write_run_artifacts(
+            args,
+            "monitor",
+            observation=observation,
+            trace_label=f"monitor {strategy}",
+            params=params,
+            seed=args.seed,
+            strategy=strategy,
+            wall_time_s=wall,
+            simulated_ms_total=report.clock_total_ms,
+            phase_costs=observation.phase_costs(),
+            counters=observation.registry.counter_values(),
+            gauges=observation.registry.gauge_values(),
+            result_summary=monitor_to_dict(report),
+        )
+    if not report.reconciliation_ok:
+        print(
+            "FAILED: windowed series do not reconcile with the cost pie",
+            file=sys.stderr,
+        )
+        return 1
+    if report.health.any_critical:
+        critical = [
+            f"shard{shard}"
+            for shard, state in sorted(report.health.final_states().items())
+            if state == 2
+        ]
+        print(
+            f"CRITICAL at end of run: {', '.join(critical)}",
+            file=sys.stderr,
+        )
+        return 2
     return 0
 
 
@@ -1195,6 +1355,135 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_artifact_flags(chaos_parser)
     chaos_parser.set_defaults(func=_cmd_chaos)
+
+    monitor_parser = sub.add_parser(
+        "monitor",
+        help=(
+            "replay a workload with the streaming telemetry bus: "
+            "per-window per-shard health table, JSONL series log, "
+            "OpenMetrics export (exit 2 if any shard ends CRITICAL)"
+        ),
+    )
+    monitor_parser.add_argument(
+        "--strategy",
+        default="cache_invalidate",
+        help="one strategy or alias (ar, ci, avm, rvm, hybrid)",
+    )
+    monitor_parser.add_argument(
+        "--model", type=int, default=1, choices=(1, 2)
+    )
+    monitor_parser.add_argument(
+        "-P",
+        "--update-probability",
+        type=float,
+        default=DEFAULT_PARAMS.update_probability,
+    )
+    monitor_parser.add_argument("--operations", type=int, default=200)
+    monitor_parser.add_argument("--seed", type=int, default=7)
+    monitor_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "run behind the sharded engine with N key-range shards "
+            "(per-shard health; default: unsharded = one shard 0)"
+        ),
+    )
+    monitor_parser.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help="hot standbys per shard (0 or 1; needs --shards >= 2)",
+    )
+    monitor_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="batched update propagation (plain runs only)",
+    )
+    monitor_parser.add_argument(
+        "--window-ms",
+        type=float,
+        default=100.0,
+        help="fixed aggregation window in simulated ms (default 100)",
+    )
+    monitor_parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help=(
+            "replay under the fault-injected multi-client chaos harness "
+            "instead of the plain runner"
+        ),
+    )
+    monitor_parser.add_argument(
+        "--mpl",
+        default="1",
+        help="multiprogramming level for --chaos runs",
+    )
+    monitor_parser.add_argument(
+        "--fault-events",
+        default="25",
+        help="fault budget for --chaos runs",
+    )
+    monitor_parser.add_argument(
+        "--kill-shard",
+        type=int,
+        default=None,
+        metavar="I",
+        help=(
+            "schedule one fail-stop of shard I (needs --chaos and "
+            "--shards >= 2)"
+        ),
+    )
+    monitor_parser.add_argument(
+        "--degrade",
+        action="store_true",
+        help=(
+            "attach the per-shard overload ladder (needs --chaos and "
+            "--shards >= 2)"
+        ),
+    )
+    monitor_parser.add_argument(
+        "--warn-invalidation-rate",
+        type=float,
+        default=0.5,
+        help="invalidations per simulated ms above which a shard WARNs",
+    )
+    monitor_parser.add_argument(
+        "--critical-invalidation-rate",
+        type=float,
+        default=2.0,
+        help="invalidation rate above which a shard goes CRITICAL",
+    )
+    monitor_parser.add_argument(
+        "--warn-lock-wait",
+        type=float,
+        default=0.5,
+        help="lock-wait fraction of the window above which a shard WARNs",
+    )
+    monitor_parser.add_argument(
+        "--critical-lock-wait",
+        type=float,
+        default=0.9,
+        help="lock-wait fraction above which a shard goes CRITICAL",
+    )
+    monitor_parser.add_argument(
+        "--series-out",
+        default=None,
+        metavar="PATH",
+        help="write the windowed series + health transitions as JSONL",
+    )
+    monitor_parser.add_argument(
+        "--export",
+        default=None,
+        metavar="PATH",
+        help="write the run's Prometheus/OpenMetrics exposition text",
+    )
+    monitor_parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    _add_artifact_flags(monitor_parser)
+    monitor_parser.set_defaults(func=_cmd_monitor)
 
     shard_parser = sub.add_parser(
         "shard",

@@ -293,6 +293,11 @@ class _Engine:
             procedure = getattr(context.op, "procedure", None)
             if self.wait_observer is not None and procedure is not None:
                 self.wait_observer(procedure, wait_ms, now)
+            tracer = self.db.clock.tracer
+            if tracer is not None and tracer.telemetry is not None:
+                tracer.telemetry.on_point(
+                    "lock.wait.ms", wait_ms, now, procedure=procedure
+                )
         before = self.db.clock.snapshot()
         context.execute()
         service_ms = self.db.clock.elapsed_since(before)
@@ -343,6 +348,13 @@ class _Engine:
         tracer = self.db.clock.tracer
         if tracer is not None:
             tracer.event("lock.deadlock.abort")
+            if tracer.telemetry is not None:
+                tracer.telemetry.on_point(
+                    "lock.abort",
+                    1.0,
+                    now,
+                    procedure=getattr(context.op, "procedure", None),
+                )
         if context.aborts > MAX_ABORTS_PER_OPERATION:
             raise RuntimeError(
                 f"operation in session {session.session_id} aborted "

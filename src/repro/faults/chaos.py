@@ -32,7 +32,7 @@ import math
 import random
 import zlib
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.concurrent.engine import _Engine, collect_footprints
 from repro.concurrent.session import ClientSession, session_seed, split_operations
@@ -46,6 +46,9 @@ from repro.workload.database import SyntheticDatabase, build_database
 from repro.workload.generator import generate_operations
 from repro.workload.procedures import build_procedures
 from repro.workload.runner import make_strategy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.telemetry import TelemetryBus
 
 #: The five strategies a chaos campaign covers (same set as the
 #: concurrency comparison).
@@ -240,6 +243,7 @@ def run_chaos(
     shards: int | None = None,
     replicas: int = 0,
     degrade: bool = False,
+    telemetry: "TelemetryBus | None" = None,
 ) -> ChaosRunResult:
     """One fault-injected multi-client run of ``strategy_name``.
 
@@ -359,6 +363,15 @@ def run_chaos(
 
     if observation is None:
         observation = CostAttribution()
+    if telemetry is not None:
+        telemetry.configure(
+            num_shards=shards or 1,
+            shard_resolver=getattr(strategy, "shard_of", None),
+        )
+        observation.telemetry = telemetry
+        controller = getattr(strategy, "controller", None)
+        if controller is not None:
+            controller.telemetry = telemetry
     measure_start = db.clock.snapshot()
     observation.attach(db.clock)
     engine = _Engine(db, manager, sessions, footprints)
@@ -371,12 +384,29 @@ def run_chaos(
         oracle_ok = supervisor.verify_consistency()
     finally:
         observation.detach()
+    clock_total_ms = db.clock.elapsed_since(measure_start)
+    if telemetry is not None:
+        telemetry.finalize(db.clock.elapsed_ms)
 
     failover = (
         strategy.failover_stats()
         if hasattr(strategy, "failover_stats")
         else {}
     )
+    if hasattr(strategy, "shards"):
+        # Post-run shard state for the manifest snapshot: the sizing
+        # gauges plus each shard's final degradation rung (uncharged —
+        # the measured window was captured above).
+        from repro.shard.sizing import measure_sizing, register_metrics
+
+        register_metrics(
+            measure_sizing(db, strategy, seed=seed), observation.registry
+        )
+        if strategy.controller is not None:
+            for shard_id, rung in enumerate(strategy.controller.rungs()):
+                observation.registry.gauge(
+                    f"shard.{shard_id}.degrade.rung"
+                ).set(float(rung))
     phase_costs = observation.phase_costs()
     return ChaosRunResult(
         strategy=strategy_name,
@@ -402,7 +432,7 @@ def run_chaos(
         oracle_checks=supervisor.oracle_checks,
         oracle_failures=supervisor.oracle_failures,
         oracle_ok=oracle_ok and supervisor.oracle_failures == 0,
-        clock_total_ms=db.clock.elapsed_since(measure_start),
+        clock_total_ms=clock_total_ms,
         engine_ms=engine_ms,
         recovery_ms=phase_costs.get("fault.recovery", 0.0),
         oracle_ms=phase_costs.get("fault.oracle", 0.0),

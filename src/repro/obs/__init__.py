@@ -27,6 +27,12 @@ On top of attribution sits the **flight recorder**
 span streams, per-run provenance manifests (:mod:`repro.obs.manifest`),
 and the benchmark ledger with its regression gate
 (:mod:`repro.obs.ledger`).
+
+The **streaming telemetry bus** (:mod:`repro.obs.telemetry`) turns the
+same charge/event stream into windowed per-shard/per-procedure time
+series with OK/WARN/CRITICAL health states and deterministic
+OpenMetrics/JSONL exporters; :mod:`repro.obs.monitor` (imported lazily
+by the CLI — it pulls in the runners) replays a workload behind it.
 """
 
 from repro.obs.attribution import DEFAULT_PHASE_FOR_KIND, CostAttribution
@@ -40,6 +46,22 @@ from repro.obs.flight import (
     write_span_jsonl,
 )
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.telemetry import (
+    STATE_CRITICAL,
+    STATE_NAMES,
+    STATE_OK,
+    STATE_WARN,
+    HealthEvaluator,
+    HealthReport,
+    HealthThresholds,
+    HealthTransition,
+    TelemetryBus,
+    WindowedSeries,
+    WindowRecord,
+    series_jsonl_lines,
+    to_openmetrics,
+    write_series_jsonl,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     PHASES,
@@ -53,20 +75,34 @@ __all__ = [
     "NULL_TRACER",
     "PHASES",
     "SCHEMA_VERSION",
+    "STATE_CRITICAL",
+    "STATE_NAMES",
+    "STATE_OK",
+    "STATE_WARN",
     "CostAttribution",
     "Counter",
     "DEFAULT_PHASE_FOR_KIND",
     "FlightRecorder",
     "Gauge",
+    "HealthEvaluator",
+    "HealthReport",
+    "HealthThresholds",
+    "HealthTransition",
     "Histogram",
     "MetricsRegistry",
     "NullTracer",
     "Span",
     "SpanRecord",
+    "TelemetryBus",
     "Tracer",
+    "WindowRecord",
+    "WindowedSeries",
     "phase_totals_from_events",
+    "series_jsonl_lines",
     "to_chrome_trace",
+    "to_openmetrics",
     "validate_chrome_trace",
     "write_chrome_trace",
+    "write_series_jsonl",
     "write_span_jsonl",
 ]

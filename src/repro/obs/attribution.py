@@ -60,6 +60,9 @@ class CostAttribution:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.keep_events = keep_events
         self.tracer: Tracer | None = None
+        #: Optional :class:`repro.obs.telemetry.TelemetryBus` receiving
+        #: every attributed charge (assign before :meth:`attach`).
+        self.telemetry = None
         self._clock: "CostClock | None" = None
         self._phase_ms: dict[str, float] = defaultdict(float)
         self._procedure_ms: dict[str, float] = defaultdict(float)
@@ -77,6 +80,7 @@ class CostAttribution:
         self.tracer = Tracer(
             registry=self.registry, clock=clock, keep_events=self.keep_events
         )
+        self.tracer.telemetry = self.telemetry
         clock.set_attribution(self._on_charge, self.tracer)
         self._clock = clock
         return self
@@ -118,6 +122,13 @@ class CostAttribution:
         counters = self.registry
         counters.counter(f"charge.{kind}.ms").inc(ms)
         counters.counter(f"charge.{kind}.count").inc(count)
+        if self.telemetry is not None:
+            self.telemetry.on_charge(
+                phase,
+                procedure,
+                ms,
+                tracer._now_ms() if tracer is not None else 0.0,
+            )
 
     # -- results ---------------------------------------------------------
 

@@ -3,10 +3,11 @@
 Backs ``repro-procs bench``. The suite is *pinned* — a fixed set of
 representative scenarios (analytical model-1/model-2 figures, a
 multiprogramming-level sweep, a batched-update amortization point, a
-shard-scale sizing sweep, a chaos smoke, and a shard-chaos failover
-point — one scheduled shard kill with and without a replica) whose
-metrics are
-normalized into flat ``{key: {value, unit, direction}}`` records — so
+shard-scale sizing sweep, a chaos smoke, a shard-chaos failover
+point — one scheduled shard kill with and without a replica — and a
+telemetry-overhead point gating that the streaming bus charges nothing
+to the simulated clock) whose metrics are normalized into flat
+``{key: {value, unit, direction}}`` records — so
 every snapshot is comparable with every other snapshot of the same
 ``SUITE_VERSION``. Snapshots append to ``BENCH_history.jsonl`` (the perf
 trajectory) and overwrite ``BENCH_latest.json``; ``bench --compare
@@ -31,7 +32,7 @@ from repro.obs.manifest import git_sha
 
 #: Bump when the pinned scenario set or metric keys change shape;
 #: snapshots of different suite versions refuse to compare.
-SUITE_VERSION = "4"
+SUITE_VERSION = "5"
 
 #: Wall-clock suite version: a *different* lineage from the simulated
 #: suite, so a wall snapshot can never be compared against the
@@ -341,6 +342,53 @@ def run_bench_suite(operations: int = 120, seed: int = 7) -> dict:
         else:
             checks[f"{prefix}.wal_rebuilt"] = shard_chaos.wal_rebuilds >= 1
 
+    # Telemetry-overhead scenario: the streaming bus is pure bookkeeping.
+    # Same (seed, ops) run twice — once fully unobserved, once with the
+    # bus wired — must produce a bit-identical simulated clock and access
+    # log, and the summed windowed phase series must reconcile exactly
+    # with the attribution cost pie (the flight recorder's invariant,
+    # re-proven over windows).
+    from repro.obs.telemetry import TelemetryBus, reconciles
+
+    tele_ops = max(30, operations // 2)
+    for shards_n, label in ((None, "plain"), (4, "shard4")):
+        unobserved = run_workload(
+            params,
+            _CHAOS_STRATEGY,
+            num_operations=tele_ops,
+            seed=seed,
+            record_accesses=True,
+            shards=shards_n,
+        )
+        bus = TelemetryBus()
+        observed = run_workload(
+            params,
+            _CHAOS_STRATEGY,
+            num_operations=tele_ops,
+            seed=seed,
+            record_accesses=True,
+            shards=shards_n,
+            telemetry=bus,
+        )
+        prefix = f"telemetry.overhead.{label}"
+        metric(
+            f"{prefix}.clock_delta_ms",
+            abs(observed.clock_total_ms - unobserved.clock_total_ms),
+            "ms",
+            "lower",
+        )
+        metric(f"{prefix}.series", len(bus.series), "count", "higher")
+        metric(f"{prefix}.windows", bus.num_windows, "count", "higher")
+        checks[f"{prefix}.clock_identical"] = (
+            observed.clock_total_ms == unobserved.clock_total_ms
+        )
+        checks[f"{prefix}.access_log_identical"] = (
+            observed.access_log == unobserved.access_log
+        )
+        checks[f"{prefix}.series_reconcile"] = reconciles(
+            bus, observed.phase_costs
+        )
+
     return {
         "schema_version": SCHEMA_VERSION,
         "kind": "bench_snapshot",
@@ -562,11 +610,13 @@ def compare_snapshots(
 
     A metric regresses when it moves in its bad direction (up for
     ``lower``-is-better, down for ``higher``) by more than ``tolerance``
-    (relative). A baseline metric absent from the current snapshot is a
-    regression (coverage loss); a new current-only metric is reported
-    but never fails. A check that was true in the baseline and is false
-    now is a regression with ``delta_frac=None``. Snapshots of different
-    suite versions refuse to compare.
+    (relative). Metrics and checks present in only one snapshot are
+    reported instead of silently skipped: a baseline entry absent from
+    the current snapshot is ``missing`` (coverage loss — fails the
+    gate); a current-only entry is ``new`` (reported, never failing). A
+    check that was true in the baseline and is false now is a regression
+    with ``delta_frac=None``. Snapshots of different suite versions
+    refuse to compare.
     """
     if tolerance < 0:
         raise ValueError("tolerance must be >= 0")
@@ -626,8 +676,29 @@ def compare_snapshots(
         ))
     base_checks: dict = baseline.get("checks", {})
     cur_checks: dict = current.get("checks", {})
-    for key in sorted(base_checks):
-        if base_checks[key] and not cur_checks.get(key, False):
+    for key in sorted(set(base_checks) | set(cur_checks)):
+        if key not in base_checks:
+            # Added since the baseline: visible in the table, never fails.
+            deltas.append(MetricDelta(
+                key=key,
+                direction="higher",
+                baseline=None,
+                current=1.0 if cur_checks[key] else 0.0,
+                delta_frac=None,
+                status="new",
+            ))
+        elif key not in cur_checks:
+            # Gone from the current snapshot: coverage loss, fails the
+            # gate exactly like a vanished metric.
+            deltas.append(MetricDelta(
+                key=key,
+                direction="higher",
+                baseline=1.0 if base_checks[key] else 0.0,
+                current=None,
+                delta_frac=None,
+                status="missing",
+            ))
+        elif base_checks[key] and not cur_checks[key]:
             deltas.append(MetricDelta(
                 key=key,
                 direction="higher",

@@ -85,6 +85,7 @@ def build_run_manifest(
     simulated_ms_total: float | None = None,
     phase_costs: dict[str, float] | None = None,
     counters: dict[str, float] | None = None,
+    gauges: dict[str, float] | None = None,
     metrics: MetricSet | None = None,
     result_summary: dict | None = None,
 ) -> dict:
@@ -102,6 +103,9 @@ def build_run_manifest(
             analytical-only commands like ``run``).
         phase_costs: the per-phase cost pie from attribution.
         counters: event counters (cache hit/miss, lock waits, faults).
+        gauges: post-run gauge snapshot — the ``sizing.*`` shard layout
+            and each shard's final ``shard.<i>.degrade.rung``, so the
+            manifest captures shard state, not just flows.
         metrics: a :class:`MetricSet` to summarize into fixed-boundary
             histograms.
         result_summary: per-command payload (e.g. the sweep/campaign
@@ -125,6 +129,7 @@ def build_run_manifest(
         "simulated_ms_total": simulated_ms_total,
         "phase_costs_ms": dict(phase_costs or {}),
         "counters": dict(counters or {}),
+        "gauges": dict(gauges or {}),
         "histograms": metric_histograms(metrics),
         "result_summary": result_summary or {},
     }

@@ -132,6 +132,9 @@ class Tracer:
     ) -> None:
         self.registry = registry
         self.clock = clock
+        #: Optional :class:`repro.obs.telemetry.TelemetryBus` receiving
+        #: every event (propagated by CostAttribution.attach).
+        self.telemetry = None
         self._stack: list[Span] = []
         # Parallel stacks so current_phase/current_procedure are O(1):
         # a span contributes only the context fields it actually sets.
@@ -197,6 +200,10 @@ class Tracer:
         """Count a named occurrence (``cache.hit``, routed tokens, ...)."""
         if self.registry is not None:
             self.registry.counter(name).inc(amount)
+        if self.telemetry is not None:
+            self.telemetry.on_event(
+                name, amount, self._now_ms(), self.current_procedure()
+            )
 
 
 class _NullSpan:
@@ -223,6 +230,7 @@ class NullTracer:
     """
 
     enabled = False
+    telemetry = None
 
     def span(
         self, phase: Optional[str], procedure: Optional[str] = None

@@ -83,6 +83,7 @@ class Recomputer:
 class _ShardLoad:
     """One shard's rolling load window and current rung."""
 
+    shard_id: int = 0
     window_start_ms: float = 0.0
     invalidations: int = 0
     lock_wait_ms: float = 0.0
@@ -127,9 +128,14 @@ class OverloadController:
         self.low_invalidation_rate = low_invalidation_rate
         self.high_lock_wait = high_lock_wait
         self.low_lock_wait = low_lock_wait
-        self._loads = [_ShardLoad() for _ in range(num_shards)]
+        self._loads = [
+            _ShardLoad(shard_id=i) for i in range(num_shards)
+        ]
         self.escalations = 0
         self.deescalations = 0
+        #: Optional :class:`repro.obs.telemetry.TelemetryBus` receiving
+        #: a ``shard.degrade.rung`` gauge at every rung change.
+        self.telemetry = None
 
     # -- observations ------------------------------------------------------
 
@@ -165,6 +171,7 @@ class OverloadController:
         while now_ms >= load.window_start_ms + self.window_ms:
             inval_rate = load.invalidations / self.window_ms
             wait_frac = load.lock_wait_ms / self.window_ms
+            rung_before = load.rung
             if (
                 inval_rate > self.high_invalidation_rate
                 or wait_frac > self.high_lock_wait
@@ -179,6 +186,13 @@ class OverloadController:
                 if load.rung > RUNG_NATIVE:
                     load.rung -= 1
                     self.deescalations += 1
+            if load.rung != rung_before and self.telemetry is not None:
+                self.telemetry.on_point(
+                    "shard.degrade.rung",
+                    float(load.rung),
+                    load.window_start_ms + self.window_ms,
+                    shard=load.shard_id,
+                )
             load.invalidations = 0
             load.lock_wait_ms = 0.0
             load.window_start_ms += self.window_ms

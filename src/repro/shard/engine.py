@@ -264,6 +264,15 @@ class ShardedStrategy(ProcedureStrategy):
         if tracer is not None:
             tracer.event(name)
 
+    def _point(self, shard_id: int, point: str, value: float) -> None:
+        """Push one explicit per-shard telemetry sample (uncharged; a
+        no-op unless a telemetry bus is wired through the tracer)."""
+        tracer = self.clock.tracer
+        if tracer is not None and tracer.telemetry is not None:
+            tracer.telemetry.on_point(
+                point, value, self.clock.elapsed_ms, shard=shard_id
+            )
+
     def _recompute_full(self, name: str) -> list[Row]:
         """Fresh unprojected rows from the base relations (charged under
         ``fault.recovery`` — degradation repair is recovery work)."""
@@ -390,6 +399,7 @@ class ShardedStrategy(ProcedureStrategy):
             # invalidation bit); accesses repair lazily.
             self._dirty[shard_id].update(shard.strategy.procedures)
             self._event("shard.degrade.skip")
+            self._point(shard_id, "shard.invalidations", 1.0)
             controller.observe_invalidations(
                 shard_id, 1, self.clock.elapsed_ms
             )
@@ -413,10 +423,11 @@ class ShardedStrategy(ProcedureStrategy):
         if shard.replica is not None:
             with self._span(REPLICA_PHASE):
                 apply(shard.replica)
+        delta = getattr(shard.strategy, "invalidation_count", 0) - before
+        # Every delivery counts at least one maintenance unit — the same
+        # semantics as the overload controller's observation.
+        self._point(shard_id, "shard.invalidations", float(max(1, delta)))
         if controller is not None:
-            delta = (
-                getattr(shard.strategy, "invalidation_count", 0) - before
-            )
             controller.observe_invalidations(
                 shard_id, delta, self.clock.elapsed_ms
             )
@@ -435,6 +446,7 @@ class ShardedStrategy(ProcedureStrategy):
         queue.append(relation)
         self.queue_max_depth = max(self.queue_max_depth, len(queue))
         self._event("shard.delivery.queued")
+        self._point(shard_id, "shard.queue.depth", float(len(queue)))
         with self._span(RECOVERY_PHASE):
             self.clock.charge_fixed(delay)
 
@@ -485,6 +497,7 @@ class ShardedStrategy(ProcedureStrategy):
         shard.down = True
         self.shard_crashes += 1
         self._event("shard.crash")
+        self._point(shard_id, "shard.crash", 1.0)
 
     def recover_shard_engine(self, shard_id: int) -> list[str]:
         """Strategy-level recovery of one downed shard (the WAL-rebuild
@@ -505,6 +518,8 @@ class ShardedStrategy(ProcedureStrategy):
             self.deliveries_drained += len(queue)
             queue.clear()
             self._event("shard.queue.drained")
+            self._point(shard_id, "shard.queue.depth", 0.0)
+        self._point(shard_id, "shard.recovered", 1.0)
         return list(dict.fromkeys(dirty))
 
     def promote_replica(self, shard_id: int) -> ProcedureStrategy:
@@ -529,6 +544,7 @@ class ShardedStrategy(ProcedureStrategy):
         shard.down = False
         self.promotions += 1
         self._event("shard.failover.promoted")
+        self._point(shard_id, "shard.failover", 1.0)
         return old
 
     def mark_shard_dirty(self, shard_id: int) -> None:

@@ -212,6 +212,7 @@ class ShardedRecoverySupervisor(RecoverySupervisor):
                 self._fail_over(shard_id)
             else:
                 self.wal_rebuilds += 1
+                facade._point(shard_id, "shard.wal_rebuild", 1.0)
                 with self._span(RECOVERY_PHASE):
                     dirty = facade.recover_shard_engine(shard_id)
                     for name in sorted(dirty):

@@ -34,6 +34,7 @@ from repro.workload.procedures import ProcedurePopulation, build_procedures
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import CostAttribution
+    from repro.obs.telemetry import TelemetryBus
     from repro.storage.buffer import BufferPool
 
 
@@ -255,6 +256,7 @@ def run_workload(
     keep_manager: bool = False,
     shards: int | None = None,
     replicas: int = 0,
+    telemetry: "TelemetryBus | None" = None,
 ) -> RunResult:
     """Run one strategy over a synthetic workload.
 
@@ -299,6 +301,12 @@ def run_workload(
             — each shard keeps a second engine maintained through the
             same routed fan-out, ready for chaos-style failover and
             measurable by the sizing layer.
+        telemetry: a :class:`repro.obs.telemetry.TelemetryBus` to stream
+            the measured window into (windowed per-shard/per-procedure
+            series). Auto-creates an ``observation`` when none was
+            passed — the bus rides the attribution sink — and finalizes
+            the bus's open windows after the run. Pure bookkeeping: the
+            simulated clock is bit-identical with or without it.
     """
     if batch_size is not None and batch_size < 1:
         raise ValueError("batch_size must be >= 1 (or None for unbatched)")
@@ -346,6 +354,16 @@ def run_workload(
             access_log.append((name, tuple(result.rows)))
 
     measure_start = db.clock.snapshot()
+    if telemetry is not None:
+        if observation is None:
+            from repro.obs import CostAttribution
+
+            observation = CostAttribution()
+        telemetry.configure(
+            num_shards=shards or 1,
+            shard_resolver=getattr(strategy, "shard_of", None),
+        )
+        observation.telemetry = telemetry
     if observation is not None:
         observation.attach(db.clock)
     operations = generate_operations(
@@ -394,6 +412,8 @@ def run_workload(
     finally:
         if observation is not None:
             observation.detach()
+    if telemetry is not None:
+        telemetry.finalize(db.clock.elapsed_ms)
 
     return RunResult(
         strategy=strategy_name,

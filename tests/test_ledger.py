@@ -166,6 +166,32 @@ class TestCompare:
         assert new[0].status == "new"
         assert not new[0].is_regression
 
+    def test_missing_check_is_a_regression(self):
+        baseline = copy.deepcopy(snapshot())
+        baseline["checks"]["old.coverage.check"] = True
+        deltas = compare_snapshots(baseline, snapshot())
+        missing = [d for d in deltas if d.key == "old.coverage.check"]
+        assert missing[0].status == "missing"
+        assert missing[0].is_regression
+
+    def test_new_check_is_reported_not_failed(self):
+        current = copy.deepcopy(snapshot())
+        current["checks"]["brand.new.check"] = True
+        deltas = compare_snapshots(snapshot(), current)
+        new = [d for d in deltas if d.key == "brand.new.check"]
+        assert new[0].status == "new"
+        assert not new[0].is_regression
+
+    def test_telemetry_overhead_checks_present(self):
+        checks = snapshot()["checks"]
+        for label in ("plain", "shard4"):
+            for gate in (
+                "clock_identical",
+                "access_log_identical",
+                "series_reconcile",
+            ):
+                assert f"telemetry.overhead.{label}.{gate}" in checks
+
     def test_failed_check_is_a_regression(self):
         current = copy.deepcopy(snapshot())
         key = next(iter(current["checks"]))
