@@ -33,6 +33,7 @@ run python -m pytest tests/test_batch_differential.py -q
 run python -m pytest tests/test_columnar_differential.py -q
 run python -m pytest tests/test_shard_differential.py -q
 run python -m pytest tests/test_shard_chaos.py -q
+run python -m pytest tests/test_serve_differential.py -q
 
 # Coverage flags mirror CI when pytest-cov is importable (offline boxes
 # without it still run the plain suite).
@@ -66,6 +67,11 @@ fi
 run python -m repro monitor --strategy ci --chaos --mpl 2 \
     --operations 80 --fault-events 40 --seed 3 --shards 2 \
     --replicas 1 --kill-shard 0 --export telemetry-series.txt
+
+# Serving-tier smoke, mirroring the CI artifact step: open-loop Zipf
+# burst at MPL 16 with audit recomparison — fails on any stale read.
+run python -m repro serve --strategy ci --requests 300 --seed 7 \
+    --mpl 16 --audit --stats-out serve-stats.json
 
 # Shard sizing smoke, mirroring the CI artifact step (small population;
 # the 10^5 sweep and its sublinearity gate run inside the bench suite).

@@ -442,6 +442,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.obs.profile import resolve_strategy
 
     try:
+        if args.operations < 1:
+            raise ValueError("--operations must be >= 1")
         try:
             mpl = int(args.mpl)
         except ValueError:
@@ -618,6 +620,8 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 
     try:
         strategy = resolve_strategy(args.strategy)
+        if args.operations < 1:
+            raise ValueError("--operations must be >= 1")
         if args.window_ms <= 0:
             raise ValueError("--window-ms must be positive")
         try:
@@ -696,7 +700,9 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     if args.export:
-        with open(args.export, "w") as handle:
+        from repro.obs.flight import ensure_parent_dir
+
+        with open(ensure_parent_dir(args.export), "w") as handle:
             handle.write(to_openmetrics(report.bus, report.health))
         print(f"wrote OpenMetrics export to {args.export}", file=sys.stderr)
     if args.json:
@@ -744,6 +750,106 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.obs.profile import resolve_strategy
+    from repro.serve import run_serve_load
+
+    try:
+        strategy = resolve_strategy(args.strategy)
+        if args.requests < 1:
+            raise ValueError("--requests must be >= 1")
+        if args.capacity < 1:
+            raise ValueError("--capacity must be >= 1")
+        if args.ttl_ms is not None and args.ttl_ms <= 0:
+            raise ValueError("--ttl-ms must be positive")
+        if args.mpl is not None and args.mpl < 1:
+            raise ValueError("--mpl must be >= 1")
+        if args.rate is not None and args.rate <= 0:
+            raise ValueError("--rate must be positive")
+        if args.zipf_s < 0:
+            raise ValueError("--zipf-s must be >= 0")
+        if args.shards is not None and args.shards < 1:
+            raise ValueError("--shards must be >= 1")
+        if not 0 <= args.update_probability < 1:
+            raise ValueError("-P/--update-probability must be in [0, 1)")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    params = SIM_SCALE_PARAMS.with_update_probability(args.update_probability)
+    result = run_serve_load(
+        params,
+        strategy,
+        model=args.model,
+        num_requests=args.requests,
+        seed=args.seed,
+        shards=args.shards,
+        capacity=args.capacity,
+        ttl_ms=args.ttl_ms,
+        max_inflight=args.mpl,
+        rate_rps=args.rate,
+        zipf_s=args.zipf_s,
+        update_probability=args.update_probability,
+        audit=args.audit,
+    )
+    payload = result.to_dict()
+    if args.stats_out:
+        parent = os.path.dirname(os.path.abspath(args.stats_out))
+        os.makedirs(parent, exist_ok=True)
+        with open(args.stats_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote serve stats to {args.stats_out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        cache = result.cache
+        statuses = " ".join(
+            f"{code}:{count}"
+            for code, count in sorted(result.status_counts.items())
+        )
+        print(
+            f"serve: strategy={strategy} requests={result.requests} "
+            f"seed={result.seed} shards={args.shards or 1} "
+            f"mpl={args.mpl or 'off'} "
+            f"rate={args.rate or 'burst'}"
+        )
+        print(
+            f"  statuses      {statuses}"
+            + (f" (429={result.rejected_429})" if result.rejected_429 else "")
+        )
+        print(
+            f"  cache         hit_rate={cache['hit_rate']:.3f} "
+            f"hits={cache['hits']:.0f} misses={cache['misses']:.0f} "
+            f"expired={cache['expirations']:.0f} "
+            f"evicted={cache['evictions']:.0f} "
+            f"invalidated={cache['invalidations']:.0f} "
+            f"stale={cache['stale_reads']:.0f}"
+        )
+        print(
+            f"  wall          {result.wall_s:.2f}s "
+            f"{result.throughput_rps:.0f} req/s "
+            f"p50={result.latency_p50_ms:.2f}ms "
+            f"p99={result.latency_p99_ms:.2f}ms"
+        )
+        print(f"  simulated     {result.clock_total_ms:.1f} ms charged")
+    if result.cache["stale_reads"]:
+        print(
+            f"FAILED: {result.cache['stale_reads']:.0f} stale reads served",
+            file=sys.stderr,
+        )
+        return 1
+    if result.failed_503:
+        print(
+            f"FAILED: {result.failed_503} requests hit engine faults (503)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -828,6 +934,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     try:
         strategy = resolve_strategy(args.strategy)
+        if args.operations < 1:
+            raise ValueError("--operations must be >= 1")
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -1484,6 +1592,92 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_artifact_flags(monitor_parser)
     monitor_parser.set_defaults(func=_cmd_monitor)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help=(
+            "drive open-loop request load at the front-tier serving "
+            "stack: result cache + admission control over one engine"
+        ),
+    )
+    serve_parser.add_argument(
+        "--strategy",
+        default="cache_invalidate",
+        help="strategy name or alias (ar, ci, avm, rvm, or the full names)",
+    )
+    serve_parser.add_argument("--model", type=int, default=1, choices=(1, 2))
+    serve_parser.add_argument(
+        "--requests",
+        type=int,
+        default=400,
+        help="length of the request plan (reads + update posts)",
+    )
+    serve_parser.add_argument("--seed", type=int, default=7)
+    serve_parser.add_argument(
+        "-P",
+        "--update-probability",
+        type=float,
+        default=0.1,
+        help="fraction of requests that are update transactions",
+    )
+    serve_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="serve from the sharded engine with this many shards",
+    )
+    serve_parser.add_argument(
+        "--capacity",
+        type=int,
+        default=256,
+        help="front-tier cache entries before LRU eviction",
+    )
+    serve_parser.add_argument(
+        "--ttl-ms",
+        type=float,
+        default=None,
+        help="entry TTL in simulated ms (default: no TTL)",
+    )
+    serve_parser.add_argument(
+        "--mpl",
+        type=int,
+        default=None,
+        help=(
+            "admission-control multiprogramming level; requests beyond "
+            "it get 429 (default: no gate)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="open-loop arrival rate in requests/s (default: one burst)",
+    )
+    serve_parser.add_argument(
+        "--zipf-s",
+        type=float,
+        default=1.1,
+        help="Zipf skew of the read popularity ranking (default 1.1)",
+    )
+    serve_parser.add_argument(
+        "--audit",
+        action="store_true",
+        help=(
+            "recompute on every cache hit and count disagreements as "
+            "stale reads (exit 1 on any)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--stats-out",
+        default=None,
+        metavar="PATH",
+        help="write the run summary JSON to PATH (the CI artifact)",
+    )
+    serve_parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
 
     shard_parser = sub.add_parser(
         "shard",

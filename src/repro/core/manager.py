@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.procedure import DatabaseProcedure
 from repro.core.strategy import ProcedureStrategy
@@ -69,6 +69,13 @@ class ProcedureManager:
         self.wall_access_s = 0.0
         self.wall_maintenance_s = 0.0
         self.last_rids: list[RID] = []
+        #: Optional tap on the update stream: called with ``(relation,
+        #: inserts, deletes)`` after every transaction's base changes are
+        #: applied — the same delta the strategy's i-lock sweep consumes.
+        #: The front-tier result cache (``repro.serve``) subscribes here.
+        self.update_listener: (
+            Callable[[str, list[Row], list[Row]], object] | None
+        ) = None
 
     # -- definition -------------------------------------------------------
 
@@ -165,6 +172,8 @@ class ProcedureManager:
         self.base_update_cost_ms += base_cost
         self.maintenance_cost_ms += maint_cost
         self.num_updates += 1
+        if self.update_listener is not None:
+            self.update_listener(relation_name, inserts, deletes)
         return UpdateResult(
             relation=relation_name,
             tuples_modified=len(changes),
@@ -204,6 +213,8 @@ class ProcedureManager:
                 inserts.append(new_row)
         self.base_update_cost_ms += self.clock.elapsed_since(before_base)
         self.num_updates += 1
+        if self.update_listener is not None:
+            self.update_listener(relation_name, inserts, deletes)
         return inserts, deletes
 
     def maintain_batch(self, batch: "DeltaBatch") -> float:
@@ -235,6 +246,8 @@ class ProcedureManager:
         self.base_update_cost_ms += base_cost
         self.maintenance_cost_ms += maint_cost
         self.num_updates += 1
+        if self.update_listener is not None:
+            self.update_listener(relation_name, list(rows), [])
         return UpdateResult(
             relation=relation_name,
             tuples_modified=len(rows),
@@ -257,6 +270,8 @@ class ProcedureManager:
         self.base_update_cost_ms += base_cost
         self.maintenance_cost_ms += maint_cost
         self.num_updates += 1
+        if self.update_listener is not None:
+            self.update_listener(relation_name, [], deleted)
         return UpdateResult(
             relation=relation_name,
             tuples_modified=len(deleted),

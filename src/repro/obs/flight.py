@@ -30,6 +30,7 @@ the exported totals would silently stop summing.
 from __future__ import annotations
 
 import json
+import os
 from typing import Iterable
 
 from repro.obs.attribution import CostAttribution
@@ -45,6 +46,20 @@ TRACE_PID = 1
 #: tid of the main span timeline and of the synthetic unspanned track.
 TRACE_TID_TIMELINE = 0
 TRACE_TID_UNSPANNED = 1
+
+
+def ensure_parent_dir(path: str) -> str:
+    """Create ``path``'s parent directory if missing; returns ``path``.
+
+    Every artifact writer in the obs layer funnels through this, so an
+    ``--export``/``--series-out``/``--trace-out`` destination inside a
+    not-yet-created results directory works on first run instead of
+    failing with ``FileNotFoundError``.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    return path
 
 
 class FlightRecorder:
@@ -193,7 +208,7 @@ def write_chrome_trace(
     metadata: dict | None = None,
 ) -> None:
     """Serialize :func:`to_chrome_trace` to ``path``."""
-    with open(path, "w") as handle:
+    with open(ensure_parent_dir(path), "w") as handle:
         json.dump(
             to_chrome_trace(observation, label=label, metadata=metadata),
             handle,
@@ -209,7 +224,7 @@ def write_span_jsonl(path: str, observation: CostAttribution) -> int:
             "observation was never attached to a clock; nothing to export"
         )
     count = 0
-    with open(path, "w") as handle:
+    with open(ensure_parent_dir(path), "w") as handle:
         for record in observation.tracer.events:
             handle.write(json.dumps(span_to_dict(record), sort_keys=True))
             handle.write("\n")

@@ -32,12 +32,12 @@ from repro.obs.manifest import git_sha
 
 #: Bump when the pinned scenario set or metric keys change shape;
 #: snapshots of different suite versions refuse to compare.
-SUITE_VERSION = "5"
+SUITE_VERSION = "6"
 
 #: Wall-clock suite version: a *different* lineage from the simulated
 #: suite, so a wall snapshot can never be compared against the
 #: bit-deterministic baseline (the values are machine-dependent).
-WALL_SUITE_VERSION = "2-wall"
+WALL_SUITE_VERSION = "3-wall"
 
 #: Default relative tolerance for the regression gate (deterministic
 #: metrics — the default is headroom for intentional small shifts, not
@@ -101,6 +101,21 @@ _SHARD_SCALE_POINTS: tuple[tuple[int, int], ...] = (
 _SHARD_MIX_POPULATION = (960, 40)
 _SHARD_MIX_SHARDS = 8
 _SHARD_MIX_UPDATE_WEIGHTS = {"R1": 0.6, "R2": 0.4}
+
+#: Front-tier serve scenario: the runner's stream replayed through the
+#: result cache with the audit oracle on (every hit recomputes through
+#: the engine and compares). Read-heavy, high-locality (``Z = 0.1`` —
+#: 10% of procedures take 90% of reads), so the cache has something to
+#: do; the gates are the hit rate floor, zero stale reads, and
+#: cache-on/off access-log identity.
+_SERVE_STRATEGY = "cache_invalidate"
+_SERVE_UPDATE_P = 0.1
+_SERVE_LOCALITY = 0.1
+_SERVE_CAPACITY = 64
+_SERVE_MIN_HIT_RATE = 0.5
+#: Operations floor: below this the cold-start misses dominate and the
+#: hit-rate gate would measure warm-up, not steady state.
+_SERVE_MIN_OPERATIONS = 120
 
 
 def run_bench_suite(operations: int = 120, seed: int = 7) -> dict:
@@ -389,6 +404,50 @@ def run_bench_suite(operations: int = 120, seed: int = 7) -> dict:
             bus, observed.phase_costs
         )
 
+    # Front-tier serve scenario: same stream, cache on (audited) vs off.
+    from repro.serve import run_served_workload
+
+    serve_params = SIM_SCALE_PARAMS.replace(
+        locality=_SERVE_LOCALITY
+    ).with_update_probability(_SERVE_UPDATE_P)
+    serve_ops = max(_SERVE_MIN_OPERATIONS, operations)
+    served = run_served_workload(
+        serve_params,
+        _SERVE_STRATEGY,
+        num_operations=serve_ops,
+        seed=seed,
+        capacity=_SERVE_CAPACITY,
+        audit=True,
+    )
+    unserved = run_served_workload(
+        serve_params,
+        _SERVE_STRATEGY,
+        num_operations=serve_ops,
+        seed=seed,
+        cached=False,
+    )
+    stats = served.cache.stats()
+    prefix = f"serve.cache.{_SERVE_STRATEGY}"
+    metric(f"{prefix}.hit_rate", stats["hit_rate"], "frac", "higher")
+    metric(f"{prefix}.hits", stats["hits"], "count", "higher")
+    metric(
+        f"{prefix}.invalidations", stats["invalidations"], "count", "lower"
+    )
+    metric(f"{prefix}.evictions", stats["evictions"], "count", "lower")
+    metric(
+        f"{prefix}.stale_reads", stats["stale_reads"], "count", "lower"
+    )
+    metric(
+        f"{prefix}.clock_total_ms", served.clock_total_ms, "ms", "lower"
+    )
+    checks[f"{prefix}.hit_rate_floor"] = (
+        stats["hit_rate"] >= _SERVE_MIN_HIT_RATE
+    )
+    checks[f"{prefix}.zero_stale_reads"] = stats["stale_reads"] == 0
+    checks[f"{prefix}.results_match_uncached"] = (
+        served.access_log == unserved.access_log
+    )
+
     return {
         "schema_version": SCHEMA_VERSION,
         "kind": "bench_snapshot",
@@ -506,6 +565,44 @@ def run_wallclock_suite(
         >= WALL_MIN_SPEEDUP_X
     )
 
+    # Serve lane: open-loop burst at the front-tier stack — real
+    # throughput and tail latency of the asyncio app (admission gate at
+    # MPL 16), alongside the simulated clock the cache never charges.
+    from repro.serve import run_serve_load
+
+    serve_params = SIM_SCALE_PARAMS.replace(
+        locality=_SERVE_LOCALITY
+    ).with_update_probability(_SERVE_UPDATE_P)
+    throughput_samples = []
+    p99_samples = []
+    hit_samples = []
+    for _ in range(repeats):
+        load = run_serve_load(
+            serve_params,
+            _SERVE_STRATEGY,
+            num_requests=max(120, operations * 2),
+            seed=seed,
+            capacity=_SERVE_CAPACITY,
+            max_inflight=16,
+        )
+        throughput_samples.append(load.throughput_rps)
+        p99_samples.append(load.latency_p99_ms)
+        hit_samples.append(load.hit_rate)
+    prefix = f"wallclock.serve.{_SERVE_STRATEGY}"
+    metric(
+        f"{prefix}.throughput_rps",
+        statistics.median(throughput_samples),
+        "req/s",
+        "higher",
+    )
+    metric(
+        f"{prefix}.p99_ms", statistics.median(p99_samples), "ms", "lower"
+    )
+    metric(
+        f"{prefix}.hit_rate", statistics.median(hit_samples), "frac", "higher"
+    )
+    checks[f"{prefix}.served"] = all(t > 0 for t in throughput_samples)
+
     return {
         "schema_version": SCHEMA_VERSION,
         "kind": "bench_snapshot",
@@ -617,6 +714,12 @@ def compare_snapshots(
     check that was true in the baseline and is false now is a regression
     with ``delta_frac=None``. Snapshots of different suite versions
     refuse to compare.
+
+    The output order is a function of the key *sets* alone — metric rows
+    sorted by key, then check rows sorted by key (lexicographic on the
+    string form, so a hand-edited baseline with odd key types cannot
+    raise or reorder) — never of dict insertion order, so the rendered
+    ``--compare`` table is byte-stable across runs.
     """
     if tolerance < 0:
         raise ValueError("tolerance must be >= 0")
@@ -629,7 +732,7 @@ def compare_snapshots(
     deltas: list[MetricDelta] = []
     base_metrics: dict = baseline.get("metrics", {})
     cur_metrics: dict = current.get("metrics", {})
-    for key in sorted(set(base_metrics) | set(cur_metrics)):
+    for key in sorted(set(base_metrics) | set(cur_metrics), key=str):
         base_entry = base_metrics.get(key)
         cur_entry = cur_metrics.get(key)
         if base_entry is None:
@@ -676,7 +779,7 @@ def compare_snapshots(
         ))
     base_checks: dict = baseline.get("checks", {})
     cur_checks: dict = current.get("checks", {})
-    for key in sorted(set(base_checks) | set(cur_checks)):
+    for key in sorted(set(base_checks) | set(cur_checks), key=str):
         if key not in base_checks:
             # Added since the baseline: visible in the table, never fails.
             deltas.append(MetricDelta(

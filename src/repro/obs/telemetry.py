@@ -50,7 +50,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.obs.flight import SCHEMA_VERSION
+from repro.obs.flight import SCHEMA_VERSION, ensure_parent_dir
 from repro.sim.metrics import RunningStat
 
 #: Sample kinds carried by the bus. ``phase`` samples are attributed
@@ -685,7 +685,7 @@ def write_series_jsonl(
 ) -> int:
     """Write the JSONL series log; returns the number of lines."""
     lines = series_jsonl_lines(bus, health)
-    with open(path, "w") as handle:
+    with open(ensure_parent_dir(path), "w") as handle:
         for line in lines:
             handle.write(line)
             handle.write("\n")

@@ -1,0 +1,452 @@
+"""The front-tier result cache: the paper's trade, one tier up.
+
+A procedure's result is worth keeping if invalidating it on update is
+cheaper than recomputing it on access — the engine strategies play that
+trade against the simulated disk. The serving tier plays it again in
+front of the whole engine: a normalized-key result cache holding the
+*projected rows* of recent procedure accesses, invalidated by the same
+update stream that feeds the i-lock tables.
+
+Three mechanisms bound staleness:
+
+- **Interval/table invalidation** (the correctness mechanism). Every
+  cacheable key registers a *footprint* derived from its procedure's
+  query: per member relation, the restriction's key interval when one
+  exists, else the whole relation. An update transaction probes the
+  changed old/new values against a per-``(relation, field)`` sorted
+  interval index — Łopuszański's single-table web-cache scheme
+  (arXiv 2310.15360) rather than the engine's per-lock sweep: intervals
+  are sorted by lower bound with running max-upper-bound prefixes, so
+  each changed value stabs the index in ``O(log n + k)`` instead of
+  probing every lock. A footprint hit drops the entry before any reader
+  can see it; table-level footprints fall back to whole-relation drops.
+- **TTL on the simulated clock** (the belt-and-braces bound): entries
+  expire ``ttl_ms`` simulated milliseconds after insertion even if no
+  invalidation arrives.
+- **Capacity LRU eviction** (the space bound), as in the lakehouse
+  query-cache exemplar.
+
+The cache itself is front-tier bookkeeping: it never charges the
+simulated clock. Misses recompute through the engine (which charges as
+usual); hits cost nothing — exactly the asymmetry the hit-rate metric
+prices.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+from repro.query.predicate import KeyInterval
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.procedure import DatabaseProcedure
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.telemetry import TelemetryBus
+    from repro.sim.clock import CostClock
+    from repro.storage.catalog import Catalog
+
+#: ``get_or_compute`` outcome labels, in the exemplar API's vocabulary.
+MODE_HIT = "cache_hit"
+MODE_MISS = "cache_miss"
+MODE_EXPIRED = "cache_expired"
+MODE_UNCACHED = "uncached"
+
+
+def canonical_rows(rows: Iterable[tuple]) -> tuple:
+    """The serving tier's canonical response order: sorted rows.
+
+    Physical scan order is an engine-level detail — clustered
+    relocations and page splits legitimately reorder equal-key tuples
+    without changing any value, and multi-shard engines interleave rows
+    differently than shards=1. The front tier therefore guarantees
+    *result* identity in a canonical order (the same convention the
+    shard facade's differential harness uses), which also makes
+    cache-on and cache-off responses bit-identical.
+    """
+    return tuple(sorted(rows))
+
+
+def canonical_key(raw: str) -> str:
+    """Normalize a request key: collapse internal whitespace, strip the
+    surrounding whitespace and any trailing statement terminator, so
+    ``" P1_007 ;"`` and ``"P1_007"`` share one cache line (the
+    normalized-SQL matching of the lakehouse exemplar, scaled down to
+    procedure names)."""
+    key = " ".join(raw.split())
+    while key.endswith(";"):
+        key = key[:-1].rstrip()
+    return key
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """One relation a cached result depends on, with the key interval
+    that bounds the dependency (``None`` = the whole relation)."""
+
+    relation: str
+    interval: Optional[KeyInterval] = None
+
+
+def footprint_of(procedure: "DatabaseProcedure") -> tuple[Footprint, ...]:
+    """Derive a cached result's invalidation footprint from its query.
+
+    For each member relation, take the restriction's key interval on one
+    restricted field when extractable (a conservative superset of the
+    satisfying rows — rows outside it can never join into or select into
+    the result), else fall back to the whole relation. Join-key churn is
+    covered because join inputs without an interval restriction register
+    table-level footprints.
+    """
+    query = procedure.query
+    if query is None:
+        raise ValueError(
+            f"procedure {procedure.name!r} is unbound; bind() before caching"
+        )
+    prints: list[Footprint] = []
+    for relation in query.relations:
+        predicate = query.restriction_of(relation)
+        interval: Optional[KeyInterval] = None
+        for field in sorted(predicate.fields()):
+            interval = predicate.interval_on(field)
+            if interval is not None:
+                break
+        prints.append(Footprint(relation, interval))
+    return tuple(prints)
+
+
+class IntervalStabber:
+    """A sorted interval index answering point stabs.
+
+    Intervals are kept sorted by lower bound alongside a running
+    max-upper-bound prefix; a stab bisects to the last interval whose
+    lower bound admits the value, then walks left only while the prefix
+    maximum says a hit is still possible. Mutations mark the index dirty
+    and it rebuilds lazily on the next probe. Non-orderable bound types
+    degrade to a linear (still exact) scan.
+    """
+
+    _NEG = (0,)  # sort key for an unbounded lower end
+
+    def __init__(self) -> None:
+        self._intervals: dict[str, KeyInterval] = {}
+        self._dirty = True
+        self._linear = False
+        self._lo_keys: list[tuple] = []
+        self._order: list[str] = []
+        self._max_hi: list[Any] = []  # prefix max upper bound; None = +inf
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def add(self, key: str, interval: KeyInterval) -> None:
+        self._intervals[key] = interval
+        self._dirty = True
+
+    def discard(self, key: str) -> None:
+        if self._intervals.pop(key, None) is not None:
+            self._dirty = True
+
+    def _rebuild(self) -> None:
+        self._dirty = False
+        self._linear = False
+        try:
+            ranked = sorted(
+                self._intervals.items(),
+                key=lambda kv: self._NEG
+                if kv[1].lo is None
+                else (1, kv[1].lo),
+            )
+        except TypeError:  # mixed bound types: stay exact, go linear
+            self._linear = True
+            return
+        self._lo_keys = [
+            self._NEG if iv.lo is None else (1, iv.lo) for _, iv in ranked
+        ]
+        self._order = [key for key, _ in ranked]
+        self._max_hi = []
+        running: Any = ...  # sentinel: nothing seen yet
+        for _, interval in ranked:
+            if running is None or interval.hi is None:
+                running = None  # unbounded above dominates everything
+            elif running is ... or interval.hi > running:
+                running = interval.hi
+            self._max_hi.append(running)
+
+    def stab(self, value: Any) -> set[str]:
+        """Keys of every interval containing ``value``."""
+        if self._dirty:
+            self._rebuild()
+        if self._linear:
+            return {
+                key
+                for key, interval in self._intervals.items()
+                if interval.contains(value)
+            }
+        hits: set[str] = set()
+        try:
+            idx = bisect.bisect_right(self._lo_keys, (1, value))
+        except TypeError:
+            self._linear = True
+            return self.stab(value)
+        for i in range(idx - 1, -1, -1):
+            ceiling = self._max_hi[i]
+            try:
+                if ceiling is not None and ceiling < value:
+                    break  # no interval at or left of i reaches this high
+            except TypeError:
+                self._linear = True
+                return self.stab(value)
+            interval = self._intervals[self._order[i]]
+            if interval.contains(value):
+                hits.add(self._order[i])
+        return hits
+
+
+@dataclass
+class _Entry:
+    rows: tuple
+    expires_ms: Optional[float]
+    footprints: tuple[Footprint, ...]
+
+
+class ResultCache:
+    """get_or_compute over canonicalized keys with sound invalidation.
+
+    Only *registered* keys (see :meth:`register`) are cached — an
+    unregistered key has no footprint, so its result passes through
+    uncached rather than risk staleness. ``audit=True`` recomputes on
+    every hit and counts disagreements as ``stale_reads`` — the bench
+    gate's zero-stale proof runs with it on.
+    """
+
+    def __init__(
+        self,
+        clock: "CostClock",
+        catalog: "Catalog | None" = None,
+        capacity: int = 256,
+        ttl_ms: Optional[float] = None,
+        registry: "MetricsRegistry | None" = None,
+        telemetry: "TelemetryBus | None" = None,
+        audit: bool = False,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if ttl_ms is not None and ttl_ms <= 0:
+            raise ValueError("ttl_ms must be positive (or None for no TTL)")
+        self.clock = clock
+        self.catalog = catalog
+        self.capacity = capacity
+        self.ttl_ms = ttl_ms
+        self.registry = registry
+        self.telemetry = telemetry
+        self.audit = audit
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._footprints: dict[str, tuple[Footprint, ...]] = {}
+        self._stabbers: dict[str, dict[str, IntervalStabber]] = {}
+        self._table_keys: dict[str, set[str]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.stale_reads = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, procedure: "DatabaseProcedure") -> str:
+        """Make ``procedure`` cacheable; returns its canonical key."""
+        return self.register_key(
+            procedure.name, footprint_of(procedure)
+        )
+
+    def register_key(
+        self, raw_key: str, footprints: tuple[Footprint, ...]
+    ) -> str:
+        """Make ``raw_key`` cacheable under an explicit footprint set —
+        the general form of :meth:`register` for results whose
+        dependencies are known without a bound procedure (and the hook
+        the property-based oracle harness drives)."""
+        key = canonical_key(raw_key)
+        self._footprints[key] = tuple(footprints)
+        return key
+
+    def is_registered(self, raw_key: str) -> bool:
+        return canonical_key(raw_key) in self._footprints
+
+    # -- the exemplar API --------------------------------------------------
+
+    def get_or_compute(
+        self, raw_key: str, compute: Callable[[], Iterable[tuple]]
+    ) -> tuple[tuple, str]:
+        """Serve ``raw_key`` from cache or compute-and-fill.
+
+        Returns ``(rows, mode)`` with mode one of ``cache_hit``,
+        ``cache_miss``, ``cache_expired`` (present but past TTL, treated
+        as a miss), or ``uncached`` (unregistered key, passthrough).
+        """
+        key = canonical_key(raw_key)
+        footprints = self._footprints.get(key)
+        if footprints is None:
+            return tuple(compute()), MODE_UNCACHED
+        now = self.clock.elapsed_ms
+        entry = self._entries.get(key)
+        mode = MODE_MISS
+        if entry is not None:
+            if entry.expires_ms is not None and now >= entry.expires_ms:
+                self._drop(key)
+                self.expirations += 1
+                self._emit("serve.cache.expiration")
+                mode = MODE_EXPIRED
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                self._emit("serve.cache.hit")
+                if self.audit:
+                    fresh = tuple(compute())
+                    if fresh != entry.rows:
+                        self.stale_reads += 1
+                        self._emit("serve.cache.stale_read")
+                        self._drop(key)
+                        self._store(key, fresh, footprints)
+                        return fresh, MODE_HIT
+                return entry.rows, MODE_HIT
+        if mode is MODE_MISS:
+            self.misses += 1
+            self._emit("serve.cache.miss")
+        rows = tuple(compute())
+        self._store(key, rows, footprints)
+        return rows, mode
+
+    # -- invalidation ------------------------------------------------------
+
+    def on_update(
+        self,
+        relation: str,
+        inserts: list[tuple],
+        deletes: list[tuple],
+    ) -> int:
+        """Feed one update transaction's delta through the invalidation
+        index — the same ``deletes + inserts`` row stream the engine hands
+        its i-lock sweep. Returns the number of entries dropped."""
+        if not inserts and not deletes:
+            return 0
+        doomed = set(self._table_keys.get(relation, ()))
+        by_field = self._stabbers.get(relation)
+        if by_field:
+            if self.catalog is None:
+                raise ValueError(
+                    "on_update with interval footprints needs a catalog"
+                )
+            names = self.catalog.get(relation).schema.names()
+            for field, stabber in by_field.items():
+                if not len(stabber):
+                    continue
+                pos = names.index(field)
+                seen: set = set()
+                for row in deletes + inserts:
+                    value = row[pos]
+                    if value in seen or value is None:
+                        continue
+                    seen.add(value)
+                    doomed |= stabber.stab(value)
+        return self._invalidate(doomed)
+
+    def invalidate_table(self, relation: str) -> int:
+        """Drop every entry whose footprint touches ``relation`` at all
+        (interval or table level) — the coarse invalidate-by-table verb
+        of the exemplar API. Returns the number dropped."""
+        doomed = {
+            key
+            for key, entry in self._entries.items()
+            if any(fp.relation == relation for fp in entry.footprints)
+        }
+        return self._invalidate(doomed)
+
+    def clear(self) -> int:
+        """Drop everything (counts as invalidations)."""
+        return self._invalidate(set(self._entries))
+
+    # -- stats -------------------------------------------------------------
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.expirations
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "expirations": self.expirations,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "stale_reads": self.stale_reads,
+            "hit_rate": self.hit_rate,
+        }
+
+    # -- internals ---------------------------------------------------------
+
+    def _emit(self, point: str) -> None:
+        if self.registry is not None:
+            self.registry.counter(point).inc()
+        if self.telemetry is not None:
+            self.telemetry.on_point(point, 1.0, self.clock.elapsed_ms)
+
+    def _store(
+        self, key: str, rows: tuple, footprints: tuple[Footprint, ...]
+    ) -> None:
+        if key in self._entries:
+            self._drop(key)
+        expires = (
+            None
+            if self.ttl_ms is None
+            else self.clock.elapsed_ms + self.ttl_ms
+        )
+        self._entries[key] = _Entry(rows, expires, footprints)
+        for fp in footprints:
+            if fp.interval is None:
+                self._table_keys.setdefault(fp.relation, set()).add(key)
+            else:
+                self._stabbers.setdefault(fp.relation, {}).setdefault(
+                    fp.interval.field, IntervalStabber()
+                ).add(key, fp.interval)
+        while len(self._entries) > self.capacity:
+            victim = next(iter(self._entries))
+            self._drop(victim)
+            self.evictions += 1
+            self._emit("serve.cache.eviction")
+
+    def _drop(self, key: str) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        for fp in entry.footprints:
+            if fp.interval is None:
+                keys = self._table_keys.get(fp.relation)
+                if keys is not None:
+                    keys.discard(key)
+            else:
+                by_field = self._stabbers.get(fp.relation)
+                if by_field is not None:
+                    stabber = by_field.get(fp.interval.field)
+                    if stabber is not None:
+                        stabber.discard(key)
+
+    def _invalidate(self, doomed: set[str]) -> int:
+        dropped = 0
+        for key in sorted(doomed):
+            if key in self._entries:
+                self._drop(key)
+                dropped += 1
+                self.invalidations += 1
+                self._emit("serve.cache.invalidation")
+        return dropped

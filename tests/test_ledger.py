@@ -53,7 +53,9 @@ class TestSuite:
         assert snap["operations"] == 60
         # The pinned scenarios all contribute metrics.
         prefixes = {key.split(".")[0] for key in snap["metrics"]}
-        assert {"fig05", "fig17", "concurrent", "chaos", "update"} <= prefixes
+        assert {
+            "fig05", "fig17", "concurrent", "chaos", "update", "serve",
+        } <= prefixes
         for entry in snap["metrics"].values():
             assert entry["direction"] in ("lower", "higher")
 
@@ -114,6 +116,35 @@ class TestCompare:
         assert regressions(deltas) == []
         assert all(d.status == "ok" for d in deltas
                    if d.delta_frac is not None)
+
+    def test_compare_output_is_insertion_order_independent(self):
+        """The --compare table is a function of the key sets alone: a
+        baseline whose dicts were written in a different order renders
+        byte-identical output."""
+        base = snapshot()
+        shuffled = copy.deepcopy(base)
+        shuffled["metrics"] = dict(
+            reversed(list(shuffled["metrics"].items()))
+        )
+        shuffled["checks"] = dict(reversed(list(shuffled["checks"].items())))
+        straight = compare_snapshots(base, base, tolerance=0.1)
+        reordered = compare_snapshots(shuffled, base, tolerance=0.1)
+        assert [d.key for d in straight] == [d.key for d in reordered]
+        assert render_delta_table(
+            straight, tolerance=0.1
+        ) == render_delta_table(reordered, tolerance=0.1)
+
+    def test_compare_survives_mixed_type_keys(self):
+        """A hand-edited baseline with a non-string key cannot crash the
+        union sort; the stray key is reported as missing coverage."""
+        baseline = copy.deepcopy(snapshot())
+        baseline["metrics"][123] = {
+            "value": 1.0, "unit": "ms", "direction": "lower",
+        }
+        deltas = compare_snapshots(baseline, snapshot(), tolerance=0.1)
+        stray = [d for d in deltas if d.key == 123]
+        assert len(stray) == 1
+        assert stray[0].status == "missing"
 
     def test_injected_regression_detected(self):
         baseline = copy.deepcopy(snapshot())

@@ -1,0 +1,110 @@
+"""Differential harness: front-tier cache on vs off.
+
+The headline correctness proof for the serving tier. The same seeded
+operation stream — the exact stream ``run_workload`` would execute — is
+replayed twice per configuration, once through the result cache and once
+straight through the engine. The two access logs must be identical, in
+order, across every engine strategy, multiple seeds, and both the
+unsharded engine and a multi-shard facade: a cache hit must be
+indistinguishable from a recompute.
+
+Both replays record :func:`repro.serve.cache.canonical_rows` (the
+serving tier's response contract), so "identical" here means identical
+canonical responses — physical scan order is the engine's business, the
+tier's answer is not allowed to depend on whether it was cached.
+
+Runs as its own named CI step, before the broad suite.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+from repro.experiments.simcompare import SIM_SCALE_PARAMS
+from repro.serve import run_served_workload
+
+STRATEGIES = (
+    "always_recompute",
+    "cache_invalidate",
+    "update_cache_avm",
+    "update_cache_rvm",
+    "hybrid",
+)
+
+SEEDS = (0, 1, 2)
+SHARDS = (None, 4)  # unsharded reference and a multi-shard facade
+
+_PARAMS = SIM_SCALE_PARAMS.with_update_probability(0.3)
+_OPERATIONS = 60
+
+
+@lru_cache(maxsize=None)
+def _run(strategy, seed, shards=None, cached=True, **kwargs):
+    return run_served_workload(
+        _PARAMS,
+        strategy,
+        num_operations=_OPERATIONS,
+        seed=seed,
+        shards=shards,
+        cached=cached,
+        audit=cached,
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("shards", SHARDS)
+def test_cached_replay_matches_uncached(strategy, seed, shards):
+    """Cache-on and cache-off replays of one seed produce identical
+    access logs — and the audited run observes zero stale hits."""
+    cached = _run(strategy, seed, shards=shards)
+    uncached = _run(strategy, seed, shards=shards, cached=False)
+    assert cached.access_log == uncached.access_log
+    assert cached.cache is not None
+    assert cached.cache.stale_reads == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cache_actually_serves_hits(seed):
+    """The differential is not vacuous: the cached replay takes real
+    hits and — without audit recomputes — finishes with strictly less
+    simulated work than the uncached replay (hits skip the engine)."""
+    cached = run_served_workload(
+        _PARAMS,
+        "cache_invalidate",
+        num_operations=_OPERATIONS,
+        seed=seed,
+        cached=True,
+        audit=False,
+    )
+    uncached = _run("cache_invalidate", seed, cached=False)
+    assert cached.access_log == uncached.access_log
+    assert cached.cache is not None
+    assert cached.cache.hits > 0
+    assert cached.clock_total_ms < uncached.clock_total_ms
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES[:2])
+def test_small_capacity_still_sound(strategy):
+    """A cache too small for the population churns through evictions
+    but never changes an answer."""
+    cached = _run(strategy, 0, capacity=4)
+    uncached = _run(strategy, 0, cached=False)
+    assert cached.access_log == uncached.access_log
+    assert cached.cache is not None
+    assert cached.cache.evictions > 0
+    assert cached.cache.stale_reads == 0
+
+
+@pytest.mark.parametrize("ttl_ms", (1.0, 500.0))
+def test_ttl_expiry_still_sound(ttl_ms):
+    """TTL expiry (on the simulated clock) only converts hits into
+    recomputes — responses stay identical."""
+    cached = _run("cache_invalidate", 1, ttl_ms=ttl_ms)
+    uncached = _run("cache_invalidate", 1, cached=False)
+    assert cached.access_log == uncached.access_log
+    assert cached.cache is not None
+    assert cached.cache.stale_reads == 0
